@@ -1,0 +1,14 @@
+"""Benchmarks + regeneration of the ablation experiments (E-ABL-*).
+
+Each run regenerates the design-choice table and asserts its checks.
+"""
+
+import pytest
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    ["E-ABL-QUANT", "E-ABL-HEADROOM", "E-ABL-WINDOW", "E-ABL-FIFO", "E-ABL-GLOBAL"],
+)
+def test_regenerate_ablation(run_experiment, experiment_id, benchmark):
+    run_experiment(experiment_id)

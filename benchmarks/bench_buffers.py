@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-BUF: buffer sizing and loss sweep.
+
+Regenerates the finite-buffer table via the experiment registry, times
+it, and asserts every check passed.
+"""
+
+
+def test_regenerate_e_buf(run_experiment):
+    run_experiment("E-BUF")

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-C: Section 4 combined-algorithm sweep.
+
+Regenerates the paper artifact via the experiment registry, times it, and
+asserts every guarantee check passed.
+"""
+
+
+def test_regenerate_e_c(run_experiment):
+    run_experiment("E-C")

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-F1: Figure 1 demand-example regeneration.
+
+Regenerates the paper artifact via the experiment registry, times it, and
+asserts every guarantee check passed.
+"""
+
+
+def test_regenerate_e_f1(run_experiment):
+    run_experiment("E-F1")

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-F2: Figure 2 allocation-regime table regeneration.
+
+Regenerates the paper artifact via the experiment registry, times it, and
+asserts every guarantee check passed.
+"""
+
+
+def test_regenerate_e_f2(run_experiment):
+    run_experiment("E-F2")

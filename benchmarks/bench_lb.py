@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-LB: Remark 1.1 lower-bound demonstrations.
+
+Regenerates the paper artifact via the experiment registry, times it, and
+asserts every guarantee check passed.
+"""
+
+
+def test_regenerate_e_lb(run_experiment):
+    run_experiment("E-LB")

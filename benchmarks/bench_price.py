@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-PRICE: the cost-crossover table (§1).
+
+Regenerates the pricing sweep via the experiment registry, times it, and
+asserts every crossover check passed.
+"""
+
+
+def test_regenerate_e_price(run_experiment):
+    run_experiment("E-PRICE")

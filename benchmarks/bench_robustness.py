@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-ROB: guarantee survival off-contract.
+
+Regenerates the robustness table via the experiment registry, times it,
+and asserts every check passed.
+"""
+
+
+def test_regenerate_e_rob(run_experiment):
+    run_experiment("E-ROB")

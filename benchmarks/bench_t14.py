@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-T14: Theorem 14 phased multi-session sweep.
+
+Regenerates the paper artifact via the experiment registry, times it, and
+asserts every guarantee check passed.
+"""
+
+
+def test_regenerate_e_t14(run_experiment):
+    run_experiment("E-T14")

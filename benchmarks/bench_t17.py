@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-T17: Theorem 17 continuous multi-session sweep.
+
+Regenerates the paper artifact via the experiment registry, times it, and
+asserts every guarantee check passed.
+"""
+
+
+def test_regenerate_e_t17(run_experiment):
+    run_experiment("E-T17")

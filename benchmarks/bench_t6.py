@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-T6: Theorem 6 single-session competitiveness sweep.
+
+Regenerates the paper artifact via the experiment registry, times it, and
+asserts every guarantee check passed.
+"""
+
+
+def test_regenerate_e_t6(run_experiment):
+    run_experiment("E-T6")

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E-T7: Theorem 7 modified-algorithm sweep.
+
+Regenerates the paper artifact via the experiment registry, times it, and
+asserts every guarantee check passed.
+"""
+
+
+def test_regenerate_e_t7(run_experiment):
+    run_experiment("E-T7")

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artifact gets one benchmark: the benchmark *times* the
+experiment harness and *asserts* that every guarantee check passed, so
+``pytest benchmarks/ --benchmark-only`` both regenerates the paper's
+tables/figures and regression-tests their conclusions.
+
+Experiments run once per round (they are seconds-scale, not
+microseconds-scale); the kernel benchmarks in ``bench_kernel.py`` use
+normal multi-round timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Time one experiment and assert all its guarantee checks pass."""
+
+    def _run(experiment_id: str, scale: float = 0.5):
+        result = benchmark.pedantic(
+            registry.run,
+            args=(experiment_id,),
+            kwargs={"seed": 0, "scale": scale},
+            rounds=1,
+            iterations=1,
+        )
+        assert result.rows, f"{experiment_id} produced no rows"
+        failed = [check.render() for check in result.checks if not check.passed]
+        assert not failed, f"{experiment_id} checks failed: {failed}"
+        return result
+
+    return _run

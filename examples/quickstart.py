@@ -1,0 +1,53 @@
+"""Quickstart: dynamic bandwidth allocation for one bursty session.
+
+Generates a bursty demand trace (the paper's Figure 1 shape), runs the
+Figure 3 online algorithm, and prints what the paper's model cares about:
+how few allocation changes were needed while keeping the delay and
+utilization guarantees.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SingleSessionOnline, run_single_session, stage_lower_bound
+from repro.analysis import render_ascii_series, summarize_single
+from repro.params import OfflineConstraints
+from repro.traffic import figure1_demand
+
+# The service contract: the offline comparator must achieve delay <= 8
+# slots and keep every 16-slot window at least 25% utilized with at most
+# 64 bits/slot.  The online algorithm then guarantees delay <= 16 slots
+# and ~8.3% utilization while staying O(log 64) = O(6)-competitive in the
+# number of bandwidth changes.
+OFFLINE = OfflineConstraints(bandwidth=64, delay=8, utilization=0.25, window=16)
+
+
+def main() -> None:
+    arrivals = figure1_demand(mean_rate=6.0).materialize(2000, seed=7)
+    print(render_ascii_series(list(arrivals[:400]), label="demand (first 400 slots)"))
+    print()
+
+    policy = SingleSessionOnline(
+        max_bandwidth=OFFLINE.bandwidth,
+        offline_delay=OFFLINE.delay,
+        offline_utilization=OFFLINE.utilization,
+        window=OFFLINE.window,
+    )
+    trace = run_single_session(policy, arrivals)
+    summary = summarize_single(trace, "Fig. 3 online", OFFLINE.window)
+
+    print(f"slots simulated        : {trace.slots}")
+    print(f"bits in / out          : {trace.total_arrived:.0f} / "
+          f"{trace.total_delivered:.0f}")
+    print(f"max bit delay          : {summary.max_delay} slots "
+          f"(guarantee: {2 * OFFLINE.delay})")
+    print(f"global utilization     : {summary.global_utilization:.2f}")
+    print(f"bandwidth changes      : {summary.change_count}")
+    print(f"completed stages       : {trace.completed_stages} "
+          f"(each certifies >= 1 offline change)")
+    print(f"offline lower bound    : {stage_lower_bound(arrivals, OFFLINE)}")
+    print(f"worst changes per stage: {policy.max_changes_per_stage} "
+          f"(bound: log2(B_A) + 2 = 8)")
+
+
+if __name__ == "__main__":
+    main()

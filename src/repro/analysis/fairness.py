@@ -1,0 +1,53 @@
+"""Per-session fairness metrics for the multi-session algorithms.
+
+The paper bounds every session's delay by the same ``2·D_O``, but says
+nothing about how evenly the pain is spread.  Jain's fairness index over
+per-session delay (or service) quantifies it: 1.0 = perfectly even,
+``1/k`` = one session takes everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.recorder import MultiSessionTrace, histogram_quantile
+
+
+def jain_index(values: list[float] | np.ndarray) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)``.
+
+    Defined as 1.0 for an all-zero vector (nobody is treated unequally).
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ConfigError("need at least one value")
+    if (array < 0).any():
+        raise ConfigError("values must be >= 0")
+    total = float(array.sum())
+    sum_squares = float((array**2).sum())
+    if total == 0 or sum_squares == 0:
+        # All-zero, or subnormal values whose squares underflow to zero:
+        # treat as evenly-nothing.
+        return 1.0
+    return total * total / (len(array) * sum_squares)
+
+
+def delay_fairness(trace: MultiSessionTrace, quantile: float = 0.99) -> float:
+    """Jain index over per-session delay quantiles."""
+    delays = [
+        float(histogram_quantile(histogram, quantile))
+        for histogram in trace.delay_histograms
+    ]
+    return jain_index(delays)
+
+
+def service_fairness(trace: MultiSessionTrace) -> float:
+    """Jain index over per-session delivered-bits shares, normalized by
+    offered load (a session that asked for little and got little is not
+    unfairly treated)."""
+    delivered = trace.delivered.sum(axis=0)
+    offered = trace.arrivals.sum(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(offered > 1e-9, delivered / offered, 1.0)
+    return jain_index(ratios)

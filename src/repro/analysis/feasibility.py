@@ -1,0 +1,195 @@
+"""Feasibility checking — footnote 1 of the paper, made executable.
+
+"Whenever we consider an algorithm with given constraints we always assume
+that all the input streams are feasible; i.e., can be served within these
+constraints."  These functions verify that assumption against a concrete
+offline schedule (the generator's certificate profile) or against a
+constant bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.envelope import LowTracker
+from repro.errors import ConfigError
+from repro.network.queue import BitQueue
+from repro.params import OfflineConstraints
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of a feasibility check with diagnostics."""
+
+    feasible: bool
+    max_delay: int
+    min_window_utilization: float
+    max_bandwidth_used: float
+    detail: str = ""
+
+
+def simulate_fifo_delay(
+    arrivals: np.ndarray, capacities: np.ndarray
+) -> tuple[int, float]:
+    """Serve ``arrivals`` FIFO with per-slot ``capacities``.
+
+    Returns ``(max_delay, leftover_bits)``.  FIFO equals EDF here because
+    deadlines are ordered by arrival, so if any schedule with these
+    capacities meets the deadlines, this one does.
+    """
+    if len(arrivals) != len(capacities):
+        raise ConfigError("arrivals and capacities must have equal length")
+    queue = BitQueue("feasibility")
+    max_delay = 0
+    for t in range(len(arrivals)):
+        queue.push(t, float(arrivals[t]))
+        result = queue.serve(t, float(capacities[t]))
+        if result.deliveries:
+            max_delay = max(max_delay, result.max_delay)
+    if not queue.is_empty:
+        oldest = queue.oldest_arrival
+        if oldest is not None:
+            max_delay = max(max_delay, len(arrivals) - oldest)
+    return max_delay, queue.size
+
+
+def window_utilizations(
+    arrivals: np.ndarray, allocation: np.ndarray, window: int
+) -> np.ndarray:
+    """``IN(t-W, t] / B(t-W, t]`` for every full window (NaN where B = 0)."""
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window!r}")
+    arrivals = np.asarray(arrivals, dtype=float)
+    allocation = np.asarray(allocation, dtype=float)
+    if len(arrivals) < window:
+        return np.empty(0)
+    kernel = np.ones(window)
+    in_sums = np.convolve(arrivals, kernel, mode="valid")
+    alloc_sums = np.convolve(allocation, kernel, mode="valid")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(alloc_sums > _EPS, in_sums / alloc_sums, np.nan)
+    return ratios
+
+
+def check_stream_against_profile(
+    arrivals: np.ndarray,
+    profile: np.ndarray,
+    offline: OfflineConstraints,
+) -> FeasibilityReport:
+    """Does ``profile`` serve ``arrivals`` within the offline constraints?
+
+    Checks (i) the profile respects ``B_O``; (ii) FIFO service under the
+    profile meets the delay bound ``D_O`` and drains; (iii) every full
+    ``W``-window of the profile achieves utilization ``>= U_O`` (skipped
+    when the scenario has no utilization constraint).
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    profile = np.asarray(profile, dtype=float)
+    max_bw = float(profile.max(initial=0.0))
+    if max_bw > offline.bandwidth * (1 + _EPS):
+        return FeasibilityReport(
+            feasible=False,
+            max_delay=-1,
+            min_window_utilization=float("nan"),
+            max_bandwidth_used=max_bw,
+            detail=f"profile exceeds B_O: {max_bw:.6f} > {offline.bandwidth:.6f}",
+        )
+    # Delay: append D_O drain slots at the profile's final level.
+    tail = np.full(offline.delay, profile[-1] if len(profile) else 0.0)
+    padded_arrivals = np.concatenate([arrivals, np.zeros(offline.delay)])
+    padded_profile = np.concatenate([profile, tail])
+    max_delay, leftover = simulate_fifo_delay(padded_arrivals, padded_profile)
+    if leftover > _EPS or max_delay > offline.delay:
+        return FeasibilityReport(
+            feasible=False,
+            max_delay=max_delay,
+            min_window_utilization=float("nan"),
+            max_bandwidth_used=max_bw,
+            detail=f"delay {max_delay} > D_O={offline.delay} "
+            f"(leftover {leftover:.6f})",
+        )
+    min_util = float("inf")
+    if offline.utilization is not None and offline.window is not None:
+        ratios = window_utilizations(arrivals, profile, offline.window)
+        finite = ratios[~np.isnan(ratios)]
+        if finite.size:
+            min_util = float(finite.min())
+        if min_util < offline.utilization * (1 - _EPS):
+            return FeasibilityReport(
+                feasible=False,
+                max_delay=max_delay,
+                min_window_utilization=min_util,
+                max_bandwidth_used=max_bw,
+                detail=f"window utilization {min_util:.6f} < "
+                f"U_O={offline.utilization:.6f}",
+            )
+    return FeasibilityReport(
+        feasible=True,
+        max_delay=max_delay,
+        min_window_utilization=min_util,
+        max_bandwidth_used=max_bw,
+    )
+
+
+def check_multi_against_profiles(
+    arrivals: np.ndarray,
+    profiles: np.ndarray,
+    offline_bandwidth: float,
+    offline_delay: int,
+) -> FeasibilityReport:
+    """Per-session delay feasibility plus the shared bandwidth cap."""
+    arrivals = np.asarray(arrivals, dtype=float)
+    profiles = np.asarray(profiles, dtype=float)
+    if arrivals.shape != profiles.shape:
+        raise ConfigError(
+            f"shapes differ: arrivals {arrivals.shape}, profiles {profiles.shape}"
+        )
+    totals = profiles.sum(axis=1)
+    max_total = float(totals.max(initial=0.0))
+    if max_total > offline_bandwidth * (1 + _EPS):
+        return FeasibilityReport(
+            feasible=False,
+            max_delay=-1,
+            min_window_utilization=float("nan"),
+            max_bandwidth_used=max_total,
+            detail=f"Σ profiles {max_total:.6f} > B_O={offline_bandwidth:.6f}",
+        )
+    worst_delay = 0
+    for i in range(arrivals.shape[1]):
+        tail = np.full(offline_delay, profiles[-1, i] if len(profiles) else 0.0)
+        padded_arrivals = np.concatenate([arrivals[:, i], np.zeros(offline_delay)])
+        padded_profile = np.concatenate([profiles[:, i], tail])
+        max_delay, leftover = simulate_fifo_delay(padded_arrivals, padded_profile)
+        worst_delay = max(worst_delay, max_delay)
+        if leftover > _EPS or max_delay > offline_delay:
+            return FeasibilityReport(
+                feasible=False,
+                max_delay=max_delay,
+                min_window_utilization=float("nan"),
+                max_bandwidth_used=max_total,
+                detail=f"session {i}: delay {max_delay} > D_O={offline_delay}",
+            )
+    return FeasibilityReport(
+        feasible=True,
+        max_delay=worst_delay,
+        min_window_utilization=float("inf"),
+        max_bandwidth_used=max_total,
+    )
+
+
+def constant_bandwidth_needed(arrivals: np.ndarray, delay: int) -> float:
+    """Smallest constant bandwidth meeting the delay bound (global low)."""
+    tracker = LowTracker(delay)
+    peak = 0.0
+    for bits in np.asarray(arrivals, dtype=float):
+        peak = tracker.push(float(bits))
+    return peak
+
+
+def is_delay_feasible(arrivals: np.ndarray, bandwidth: float, delay: int) -> bool:
+    """Can constant ``bandwidth`` serve the stream within ``delay``?"""
+    return constant_bandwidth_needed(arrivals, delay) <= bandwidth * (1 + _EPS)

@@ -1,0 +1,189 @@
+"""Quality-of-service metrics over finalized traces.
+
+The paper's three cost axes, computed from the per-slot arrays the engine
+records:
+
+* **Latency** — max / quantile bit delay (from the bits-weighted delay
+  histograms the queues produce).
+* **Utilization** — global (whole-run), fixed-window local (the offline
+  definition), and *existential*-window local (the form of the online
+  guarantee in Lemma 5: for every slot, the best window of length at most
+  ``W_max`` ending there).
+* **Changes** — counts and rates of allocation changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.feasibility import window_utilizations
+from repro.errors import ConfigError
+from repro.sim.recorder import (
+    MultiSessionTrace,
+    SingleSessionTrace,
+    histogram_quantile,
+)
+
+_EPS = 1e-9
+
+
+def global_utilization(arrivals: np.ndarray, allocation: np.ndarray) -> float:
+    """Whole-run ``bits-in / bandwidth-allocated`` ratio."""
+    allocated = float(np.asarray(allocation, dtype=float).sum())
+    if allocated <= _EPS:
+        return float("inf")
+    return float(np.asarray(arrivals, dtype=float).sum()) / allocated
+
+
+def min_fixed_window_utilization(
+    arrivals: np.ndarray, allocation: np.ndarray, window: int
+) -> float:
+    """The offline utilization figure: worst full ``window`` ratio."""
+    ratios = window_utilizations(arrivals, allocation, window)
+    finite = ratios[~np.isnan(ratios)]
+    if finite.size == 0:
+        return float("inf")
+    return float(finite.min())
+
+
+def min_existential_window_utilization(
+    arrivals: np.ndarray,
+    allocation: np.ndarray,
+    max_window: int,
+) -> float:
+    """The online guarantee of Lemma 5, measured.
+
+    For each slot ``t`` take the *best* utilization over windows
+    ``(t - w, t]`` with ``1 <= w <= max_window``; return the worst of those
+    best values over all ``t`` (with ``t`` ranging over slots where some
+    window has positive allocation).  The algorithm satisfies Lemma 5 iff
+    this value is at least ``U_O / 3`` with ``max_window = W + 5·D_O``.
+
+    Implemented as a sliding-window minimum over the prefix differences of
+    ``IN - θ·B`` for a sweep of thresholds θ (bisection on θ would be
+    exact; a direct per-slot scan is O(T · W) and used when T·W is small).
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    allocation = np.asarray(allocation, dtype=float)
+    if max_window < 1:
+        raise ConfigError(f"max_window must be >= 1, got {max_window!r}")
+    horizon = len(arrivals)
+    in_prefix = np.concatenate([[0.0], np.cumsum(arrivals)])
+    alloc_prefix = np.concatenate([[0.0], np.cumsum(allocation)])
+    worst = float("inf")
+    for t in range(1, horizon + 1):
+        start = max(0, t - max_window)
+        in_slice = in_prefix[t] - in_prefix[start:t]
+        alloc_slice = alloc_prefix[t] - alloc_prefix[start:t]
+        usable = alloc_slice > _EPS
+        if not usable.any():
+            continue
+        best = float(np.max(in_slice[usable] / alloc_slice[usable]))
+        if best < worst:
+            worst = best
+    return worst
+
+
+def backlog_series(arrivals: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+    """End-of-slot queue sizes of a FIFO server with per-slot capacities.
+
+    The Lindley recursion ``q_t = max(0, q_{t-1} + a_t - c_t)`` — used to
+    reconstruct the *offline* queue from a certificate profile.
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if arrivals.shape != capacities.shape:
+        raise ConfigError("arrivals and capacities must have equal shape")
+    backlog = np.empty_like(arrivals)
+    q = 0.0
+    for t in range(len(arrivals)):
+        q = max(0.0, q + arrivals[t] - capacities[t])
+        backlog[t] = q
+    return backlog
+
+
+def corollary4_margin(
+    online_backlog: np.ndarray,
+    arrivals: np.ndarray,
+    offline_profile: np.ndarray,
+    offline_bandwidth: float,
+    offline_delay: int,
+) -> float:
+    """Corollary 4, measured: ``q_online <= q_offline + B_O · D_O``.
+
+    Returns the minimum slack ``(q_offline + B_O·D_O) − q_online`` over the
+    profile's horizon; non-negative means the corollary held throughout.
+    """
+    horizon = len(offline_profile)
+    offline_backlog = backlog_series(arrivals[:horizon], offline_profile)
+    bound = offline_backlog + offline_bandwidth * offline_delay
+    slack = bound - np.asarray(online_backlog, dtype=float)[:horizon]
+    return float(slack.min()) if len(slack) else float("inf")
+
+
+@dataclass(frozen=True)
+class QosSummary:
+    """One row of the Figure-2-style comparison table."""
+
+    label: str
+    max_delay: int
+    p99_delay: int
+    global_utilization: float
+    min_window_utilization: float
+    change_count: int
+    changes_per_kslot: float
+    max_allocation: float
+
+    def as_row(self) -> list[str]:
+        return [
+            self.label,
+            str(self.max_delay),
+            str(self.p99_delay),
+            f"{self.global_utilization:.3f}",
+            f"{self.min_window_utilization:.3f}"
+            if np.isfinite(self.min_window_utilization)
+            else "inf",
+            str(self.change_count),
+            f"{self.changes_per_kslot:.1f}",
+            f"{self.max_allocation:.1f}",
+        ]
+
+
+def summarize_single(
+    trace: SingleSessionTrace, label: str, window: int
+) -> QosSummary:
+    """Collapse a single-session trace into a QoS row."""
+    return QosSummary(
+        label=label,
+        max_delay=trace.max_delay,
+        p99_delay=histogram_quantile(trace.delay_histogram, 0.99),
+        global_utilization=global_utilization(trace.arrivals, trace.allocation),
+        min_window_utilization=min_fixed_window_utilization(
+            trace.arrivals, trace.allocation, window
+        ),
+        change_count=trace.change_count,
+        changes_per_kslot=1000.0 * trace.change_count / max(1, trace.slots),
+        max_allocation=trace.max_allocation,
+    )
+
+
+def summarize_multi(
+    trace: MultiSessionTrace, label: str, window: int
+) -> QosSummary:
+    """Collapse a multi-session trace into a QoS row (joint utilization)."""
+    total_arrivals = trace.arrivals.sum(axis=1)
+    total_allocation = trace.total_allocation
+    return QosSummary(
+        label=label,
+        max_delay=trace.max_delay,
+        p99_delay=histogram_quantile(trace.merged_delay_histogram, 0.99),
+        global_utilization=global_utilization(total_arrivals, total_allocation),
+        min_window_utilization=min_fixed_window_utilization(
+            total_arrivals, total_allocation, window
+        ),
+        change_count=trace.change_count,
+        changes_per_kslot=1000.0 * trace.change_count / max(1, trace.slots),
+        max_allocation=trace.max_total_allocation,
+    )

@@ -1,0 +1,101 @@
+"""The paper's economic motivation, made quantitative.
+
+Section 1 grounds the whole model in money: constant allocations "enable a
+simple pricing model that depends on the total bandwidth consumption", a
+bandwidth change "would translate also to the price of a bandwidth
+change", and §1.1's combined scenario is explicitly "the provider is
+billed according to the total bandwidth consumption and the number of
+bandwidth changes performed".
+
+:class:`PricingModel` prices a finished run along exactly those axes —
+bandwidth·time, changes, and (to keep the latency promise honest) an SLA
+penalty per bit delivered late.  Experiment E-PRICE sweeps the change
+price and shows where the Figure 2 regimes cross over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.recorder import MultiSessionTrace, SingleSessionTrace
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One run's bill."""
+
+    bandwidth_cost: float
+    change_cost: float
+    sla_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.bandwidth_cost + self.change_cost + self.sla_cost
+
+    def as_row(self) -> list[str]:
+        return [
+            f"{self.bandwidth_cost:.1f}",
+            f"{self.change_cost:.1f}",
+            f"{self.sla_cost:.1f}",
+            f"{self.total:.1f}",
+        ]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Per-unit prices for the three cost axes.
+
+    Attributes:
+        bandwidth_price: price per bit-slot of *allocated* bandwidth (the
+            consumption component — paid whether or not the bits flowed).
+        change_price: price per bandwidth allocation change (switch
+            reconfiguration cost).
+        sla_price: penalty per bit delivered later than ``delay_bound``.
+        delay_bound: the latency promise in slots (None = no SLA term).
+    """
+
+    bandwidth_price: float = 1.0
+    change_price: float = 0.0
+    sla_price: float = 0.0
+    delay_bound: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_price < 0 or self.change_price < 0 or self.sla_price < 0:
+            raise ConfigError("prices must be >= 0")
+        if self.sla_price > 0 and self.delay_bound is None:
+            raise ConfigError("sla_price needs a delay_bound")
+
+    def _sla_cost(self, histogram: dict[int, float]) -> float:
+        if self.sla_price == 0 or self.delay_bound is None:
+            return 0.0
+        late_bits = sum(
+            bits for delay, bits in histogram.items() if delay > self.delay_bound
+        )
+        return self.sla_price * late_bits
+
+    def cost_single(self, trace: SingleSessionTrace) -> CostBreakdown:
+        """Price a single-session run."""
+        return CostBreakdown(
+            bandwidth_cost=self.bandwidth_price * float(trace.allocation.sum()),
+            change_cost=self.change_price * trace.change_count,
+            sla_cost=self._sla_cost(trace.delay_histogram),
+        )
+
+    def cost_multi(self, trace: MultiSessionTrace) -> CostBreakdown:
+        """Price a multi-session run (all channels, all sessions)."""
+        return CostBreakdown(
+            bandwidth_cost=self.bandwidth_price
+            * float(trace.total_allocation.sum()),
+            change_cost=self.change_price * trace.change_count,
+            sla_cost=self._sla_cost(trace.merged_delay_histogram),
+        )
+
+
+def cheapest(costs: dict[str, CostBreakdown]) -> str:
+    """Label of the cheapest run."""
+    if not costs:
+        raise ConfigError("no costs to compare")
+    return min(costs.items(), key=lambda item: item[1].total)[0]

@@ -1,0 +1,81 @@
+"""Aligned text / markdown table rendering for experiment output."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row width {len(row)} != header width {len(headers)}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)
+
+
+def render_markdown_table(
+    headers: list[str],
+    rows: list[list[str]],
+) -> str:
+    """Render a GitHub-flavored markdown table."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row width {len(row)} != header width {len(headers)}: {row!r}"
+            )
+    parts = ["| " + " | ".join(headers) + " |"]
+    parts.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        parts.append("| " + " | ".join(row) + " |")
+    return "\n".join(parts)
+
+
+def render_ascii_series(
+    values: list[float],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Crude ASCII sparkline chart of a series (used for Figure 1/2 output)."""
+    if not values:
+        return "(empty series)"
+    if width < 1 or height < 1:
+        raise ConfigError("width and height must be >= 1")
+    n = len(values)
+    # Downsample by max-pooling so spikes stay visible.
+    pooled: list[float] = []
+    for column in range(min(width, n)):
+        start = column * n // min(width, n)
+        end = max(start + 1, (column + 1) * n // min(width, n))
+        pooled.append(max(values[start:end]))
+    peak = max(pooled) or 1.0
+    grid = [[" "] * len(pooled) for _ in range(height)]
+    for column, value in enumerate(pooled):
+        bar = int(round(value / peak * height))
+        for row in range(bar):
+            grid[height - 1 - row][column] = "#"
+    lines = ["".join(row).rstrip() for row in grid]
+    if label:
+        lines.insert(0, f"{label} (peak={peak:.1f})")
+    return "\n".join(lines)

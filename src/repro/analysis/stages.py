@@ -1,0 +1,77 @@
+"""Stage-level analytics over finalized traces.
+
+The paper's accounting is per stage: each completed stage certifies one
+offline change and costs the online algorithm a bounded number of changes.
+These helpers slice a trace along its stage boundaries so experiments can
+report the distribution, not just totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.link import BandwidthChange
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Per-stage slices of a run."""
+
+    starts: tuple[int, ...]
+    ends: tuple[int, ...]          # reset slot of each completed stage
+    changes_per_stage: tuple[int, ...]
+    durations: tuple[int, ...]
+
+    @property
+    def completed(self) -> int:
+        return len(self.ends)
+
+    @property
+    def max_changes(self) -> int:
+        return max(self.changes_per_stage, default=0)
+
+    @property
+    def mean_changes(self) -> float:
+        if not self.changes_per_stage:
+            return 0.0
+        return float(np.mean(self.changes_per_stage))
+
+    @property
+    def mean_duration(self) -> float:
+        if not self.durations:
+            return 0.0
+        return float(np.mean(self.durations))
+
+
+def stage_breakdown(
+    stage_starts: list[int],
+    resets: list[int],
+    changes: list[BandwidthChange],
+    total_slots: int,
+) -> StageBreakdown:
+    """Slice a run into stage accounting periods.
+
+    A stage's accounting period runs from its start slot until the next
+    stage's start (so RESET-drain changes are charged to the stage that
+    triggered them, matching Lemma 1's bookkeeping).
+    """
+    if not stage_starts:
+        return StageBreakdown((), (), (), ())
+    starts = sorted(stage_starts)
+    boundaries = starts[1:] + [total_slots]
+    change_times = sorted(change.t for change in changes)
+    per_stage = []
+    durations = []
+    for start, end in zip(starts, boundaries):
+        per_stage.append(
+            sum(1 for t in change_times if start <= t < end)
+        )
+        durations.append(end - start)
+    return StageBreakdown(
+        starts=tuple(starts),
+        ends=tuple(sorted(resets)),
+        changes_per_stage=tuple(per_stage),
+        durations=tuple(durations),
+    )

@@ -1,0 +1,94 @@
+"""Command-line interface: ``python -m repro`` / ``repro-bandwidth``.
+
+Subcommands:
+
+* ``list`` — show every registered experiment.
+* ``run E-T6 [E-T14 ...] | all`` — run experiments and print the tables;
+  ``--markdown`` emits EXPERIMENTS.md-ready blocks, ``--out`` writes to a
+  file, ``--scale`` shrinks horizons for a quick look.
+* ``simulate`` — run one policy on one workload and print the QoS row
+  (see :mod:`repro.cli_simulate`).
+* ``report`` — run everything and write EXPERIMENTS.md
+  (see :mod:`repro.cli_report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.cli_report import add_report_parser, run_report
+from repro.cli_simulate import add_simulate_parser, run_simulate
+from repro.experiments import registry
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bandwidth",
+        description=(
+            "Competitive Dynamic Bandwidth Allocation (PODC 1998) — "
+            "experiment runner"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "ids", nargs="+", help="experiment ids (or 'all')"
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink horizons/sweeps by this factor (default 1.0)",
+    )
+    run_parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown blocks"
+    )
+    run_parser.add_argument("--out", type=str, default=None, help="output file")
+
+    add_simulate_parser(sub)
+    add_report_parser(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, description in registry.describe():
+            print(f"{experiment_id:8s} {description}")
+        return 0
+    if args.command == "simulate":
+        return run_simulate(args)
+    if args.command == "report":
+        return run_report(args)
+
+    ids = registry.all_ids() if args.ids == ["all"] else args.ids
+    blocks: list[str] = []
+    failed = False
+    for experiment_id in ids:
+        started = time.perf_counter()
+        result = registry.run(experiment_id, seed=args.seed, scale=args.scale)
+        elapsed = time.perf_counter() - started
+        block = result.to_markdown() if args.markdown else result.render()
+        blocks.append(block + f"\n\n(ran in {elapsed:.1f}s)")
+        if not result.all_passed:
+            failed = True
+    output = ("\n\n" + "=" * 78 + "\n\n").join(blocks)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""The paper's algorithms: envelopes, online allocators, offline comparators."""
+
+from repro.core.allocator import BandwidthPolicy, MultiSessionPolicy
+from repro.core.baselines import (
+    EqualSplitMultiSession,
+    EwmaAllocator,
+    PerSlotAllocator,
+    PeriodicRenegotiationAllocator,
+    StaticAllocator,
+    StoreAndForwardMultiSession,
+)
+from repro.core.combined import CombinedMultiSession
+from repro.core.continuous import ContinuousMultiSession
+from repro.core.envelope import HighTracker, LowTracker, NaiveLowTracker
+from repro.core.hull import MaxSlopeHull
+from repro.core.modified_single import ModifiedSingleSessionOnline
+from repro.core.offline_greedy import (
+    GreedyScheduleResult,
+    best_offline_schedule,
+    greedy_offline_schedule,
+)
+from repro.core.opt_bruteforce import (
+    iter_schedules,
+    min_changes_bruteforce,
+    min_changes_bruteforce_multi,
+)
+from repro.core.variants import EagerResetSingleSession, NonMonotoneSingleSession
+from repro.core.offline import (
+    StageCertificate,
+    constant_offline_schedule,
+    constructive_offline_via_online,
+    stage_certificate,
+    stage_lower_bound,
+)
+from repro.core.offline_multi import (
+    MultiStageCertificate,
+    equal_split_offline,
+    multi_stage_certificate,
+    multi_stage_lower_bound,
+)
+from repro.core.phased import PhasedMultiSession
+from repro.core.powers import (
+    ClampedQuantizer,
+    FractionalPowerOfTwoQuantizer,
+    GeometricQuantizer,
+    IdentityQuantizer,
+    PowerOfTwoQuantizer,
+    next_power_of_two,
+)
+from repro.core.single_session import SingleSessionOnline
+
+__all__ = [
+    "BandwidthPolicy",
+    "ClampedQuantizer",
+    "EagerResetSingleSession",
+    "NonMonotoneSingleSession",
+    "GreedyScheduleResult",
+    "best_offline_schedule",
+    "greedy_offline_schedule",
+    "iter_schedules",
+    "min_changes_bruteforce",
+    "min_changes_bruteforce_multi",
+    "CombinedMultiSession",
+    "ContinuousMultiSession",
+    "EqualSplitMultiSession",
+    "EwmaAllocator",
+    "FractionalPowerOfTwoQuantizer",
+    "GeometricQuantizer",
+    "HighTracker",
+    "IdentityQuantizer",
+    "LowTracker",
+    "MaxSlopeHull",
+    "ModifiedSingleSessionOnline",
+    "MultiSessionPolicy",
+    "MultiStageCertificate",
+    "NaiveLowTracker",
+    "PerSlotAllocator",
+    "PeriodicRenegotiationAllocator",
+    "PhasedMultiSession",
+    "PowerOfTwoQuantizer",
+    "SingleSessionOnline",
+    "StageCertificate",
+    "StaticAllocator",
+    "StoreAndForwardMultiSession",
+    "constant_offline_schedule",
+    "constructive_offline_via_online",
+    "equal_split_offline",
+    "multi_stage_certificate",
+    "multi_stage_lower_bound",
+    "next_power_of_two",
+    "stage_certificate",
+    "stage_lower_bound",
+]

@@ -1,0 +1,178 @@
+"""The ``low(t)`` / ``high(t)`` envelope of Section 2.
+
+Within a stage starting at slot ``ts``, and under the assumption that the
+offline algorithm holds its bandwidth constant since ``ts``:
+
+* ``low(t)`` — the smallest bandwidth that could still meet the offline
+  delay bound ``D_O`` for every arrival window ending at or before ``t``::
+
+      low(t) = max over u in [ts, t] of  IN[u..t] / (t - u + 1 + D_O)
+
+  (inclusive-slot translation of the paper's
+  ``max IN[t'-w, t') / (w + D_O)``).
+
+* ``high(t)`` — the largest bandwidth that still meets the offline local
+  utilization ``U_O`` over every complete window of ``W`` slots inside the
+  stage; ``B_A`` while the stage is younger than ``W`` slots::
+
+      high(t) = min over complete windows of  IN(window) / (U_O * W)
+
+A stage ends at the first ``t`` with ``high(t) < low(t)``: no constant
+offline bandwidth can satisfy both constraints, hence the offline algorithm
+changed its allocation at least once during the stage (Lemma 1).
+
+Both trackers are incremental: ``push`` one slot's arrivals, get the new
+bound.  ``LowTracker`` uses the convex-hull max-slope structure
+(O(log n) per slot); ``NaiveLowTracker`` is the O(n)-per-slot reference.
+"""
+
+from __future__ import annotations
+
+from repro.core.hull import MaxSlopeHull
+from repro.core.windows import SlidingWindowSum
+from repro.errors import ConfigError
+
+
+class LowTracker:
+    """Incremental ``low(t)`` via max-slope queries on the lower hull.
+
+    Slot indices are stage-relative: the ``r``-th ``push`` (``r = 0, 1, ...``)
+    corresponds to absolute slot ``ts + r``.  ``low`` is monotone
+    non-decreasing within a stage.
+    """
+
+    def __init__(self, offline_delay: int):
+        if offline_delay < 1:
+            raise ConfigError(f"offline_delay must be >= 1, got {offline_delay!r}")
+        self.offline_delay = int(offline_delay)
+        self._hull = MaxSlopeHull()
+        self._cumulative = 0.0
+        self._slot = 0
+        self._low = 0.0
+
+    @property
+    def low(self) -> float:
+        """Current value of ``low(t)`` (0 before any push)."""
+        return self._low
+
+    @property
+    def slots_seen(self) -> int:
+        """Number of slots pushed since the last reset."""
+        return self._slot
+
+    def reset(self) -> None:
+        """Start a new stage."""
+        self._hull.clear()
+        self._cumulative = 0.0
+        self._slot = 0
+        self._low = 0.0
+
+    def push(self, arrivals: float) -> float:
+        """Advance one slot with ``arrivals`` bits; return the new low(t).
+
+        For window start ``u = r`` the relevant history point is
+        ``(r - 1, C(r - 1))`` with ``C`` the stage-relative cumulative sum,
+        and the query point is ``(r + D_O, C(r))``.
+        """
+        if arrivals < 0:
+            raise ConfigError(f"arrivals must be >= 0, got {arrivals!r}")
+        r = self._slot
+        self._hull.add(r - 1, self._cumulative)
+        self._cumulative += arrivals
+        self._slot += 1
+        candidate = self._hull.max_slope_from(r + self.offline_delay, self._cumulative)
+        if candidate > self._low:
+            self._low = candidate
+        return self._low
+
+
+class NaiveLowTracker:
+    """Reference implementation of ``low(t)``: O(n) scan per slot."""
+
+    def __init__(self, offline_delay: int):
+        if offline_delay < 1:
+            raise ConfigError(f"offline_delay must be >= 1, got {offline_delay!r}")
+        self.offline_delay = int(offline_delay)
+        self._arrivals: list[float] = []
+        self._low = 0.0
+
+    @property
+    def low(self) -> float:
+        return self._low
+
+    @property
+    def slots_seen(self) -> int:
+        return len(self._arrivals)
+
+    def reset(self) -> None:
+        self._arrivals.clear()
+        self._low = 0.0
+
+    def push(self, arrivals: float) -> float:
+        self._arrivals.append(arrivals)
+        t = len(self._arrivals) - 1
+        window_sum = 0.0
+        for u in range(t, -1, -1):
+            window_sum += self._arrivals[u]
+            needed = window_sum / (t - u + 1 + self.offline_delay)
+            if needed > self._low:
+                self._low = needed
+        return self._low
+
+
+class HighTracker:
+    """Incremental ``high(t)``: the utilization upper bound on offline BW.
+
+    While the stage has seen fewer than ``window`` slots the bound is the
+    maximum bandwidth ``B_A``; afterwards it is the running minimum of
+    ``IN(window) / (U_O * W)`` over complete in-stage windows.  ``high`` is
+    monotone non-increasing within a stage.
+
+    With ``utilization=None`` the tracker degenerates to the constant
+    ``B_A`` (the pure multi-session case has no utilization constraint).
+    """
+
+    def __init__(
+        self,
+        utilization: float | None,
+        window: int | None,
+        max_bandwidth: float,
+    ):
+        if max_bandwidth <= 0:
+            raise ConfigError(f"max_bandwidth must be > 0, got {max_bandwidth!r}")
+        if utilization is not None:
+            if not 0 < utilization <= 1:
+                raise ConfigError(f"utilization must be in (0,1], got {utilization!r}")
+            if window is None or window < 1:
+                raise ConfigError(f"window must be >= 1, got {window!r}")
+        self.utilization = utilization
+        self.window = int(window) if window is not None else None
+        self.max_bandwidth = float(max_bandwidth)
+        self._sum = (
+            SlidingWindowSum(self.window) if self.window is not None else None
+        )
+        self._high = self.max_bandwidth
+
+    @property
+    def high(self) -> float:
+        """Current value of ``high(t)`` (``B_A`` before any push)."""
+        return self._high
+
+    def reset(self) -> None:
+        """Start a new stage."""
+        if self._sum is not None:
+            self._sum.reset()
+        self._high = self.max_bandwidth
+
+    def push(self, arrivals: float) -> float:
+        """Advance one slot with ``arrivals`` bits; return the new high(t)."""
+        if arrivals < 0:
+            raise ConfigError(f"arrivals must be >= 0, got {arrivals!r}")
+        if self.utilization is None or self._sum is None:
+            return self._high
+        window_sum = self._sum.push(arrivals)
+        if self._sum.full:
+            bound = window_sum / (self.utilization * self._sum.window)
+            if bound < self._high:
+                self._high = bound
+        return self._high

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A parameter set is invalid (e.g. negative bandwidth, ``W < D_O``)."""
+
+
+class FeasibilityError(ReproError):
+    """An input stream violates the feasibility assumption of the paper.
+
+    The paper's footnote 1: "whenever we consider an algorithm with given
+    constraints we always assume that all the input streams are feasible;
+    i.e., can be served within these constraints."
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine detected an impossible state (internal bug)."""
+
+
+class InvariantViolation(SimulationError):
+    """A monitored theorem invariant (e.g. Claim 2, Lemma 10) was violated."""
+
+    def __init__(self, name: str, t: int, detail: str):
+        self.name = name
+        self.t = t
+        self.detail = detail
+        super().__init__(f"invariant {name!r} violated at t={t}: {detail}")
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or produced no results."""

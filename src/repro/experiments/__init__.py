@@ -1,0 +1,6 @@
+"""Paper-artifact regeneration: one experiment per table/figure/theorem."""
+
+from repro.experiments.common import Check, ExperimentResult
+from repro.experiments.registry import all_ids, describe, get, run
+
+__all__ = ["Check", "ExperimentResult", "all_ids", "describe", "get", "run"]

@@ -1,0 +1,93 @@
+"""Experiment scaffolding: result containers, checks, registry plumbing.
+
+Every experiment is a function ``run(seed=0, scale=1.0) -> ExperimentResult``
+registered under a stable id (``E-T6``, ``E-F2``, ...).  ``scale`` shrinks
+horizons and sweep widths so the same code serves unit tests (fast), the
+benchmark harness (medium), and EXPERIMENTS.md regeneration (full).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_markdown_table, render_table
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Check:
+    """One pass/fail guarantee verification."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated artifact for one paper table/figure/theorem."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+    checks: list[Check] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    preamble: str = ""
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def check(self, name: str, passed: bool, detail: str) -> None:
+        """Append a guarantee verification."""
+        self.checks.append(Check(name=name, passed=bool(passed), detail=detail))
+
+    def render(self) -> str:
+        """Human-readable block: table, checks, notes."""
+        parts = []
+        if self.preamble:
+            parts.append(self.preamble)
+        parts.append(
+            render_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+        )
+        if self.checks:
+            parts.append("")
+            parts.extend(check.render() for check in self.checks)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Markdown block for EXPERIMENTS.md."""
+        parts = [f"### {self.experiment_id}: {self.title}", ""]
+        if self.preamble:
+            parts.extend(["```", self.preamble, "```", ""])
+        parts.append(render_markdown_table(self.headers, self.rows))
+        if self.checks:
+            parts.append("")
+            for check in self.checks:
+                mark = "✅" if check.passed else "❌"
+                parts.append(f"- {mark} **{check.name}** — {check.detail}")
+        if self.notes:
+            parts.append("")
+            for note in self.notes:
+                parts.append(f"> {note}")
+        return "\n".join(parts)
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer knob, respecting a floor."""
+    if scale <= 0:
+        raise ExperimentError(f"scale must be > 0, got {scale!r}")
+    return max(minimum, int(round(value * scale)))
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Compact float formatting for table cells."""
+    return f"{value:.{digits}f}"

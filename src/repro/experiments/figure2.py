@@ -1,0 +1,124 @@
+"""E-F2 — regenerate Figure 2: the latency/utilization/changes trade-off.
+
+Figure 2 contrasts four allocation regimes on the same demand:
+
+  (a) static high allocation  — short delay, low utilization, 0 changes;
+  (b) static low allocation   — high utilization, long delay, 0 changes;
+  (c) per-packet dynamic      — short delay, high utilization, a change
+      almost every slot;
+  (d) few-changes dynamic     — the paper's point: all three decent.
+
+We realize (d) with the Figure 3 online algorithm and tabulate the three
+cost axes for all four, plus the two heuristic baselines from the related
+experimental work ([GKT95] periodic renegotiation, [ACHM96] EWMA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import summarize_single
+from repro.core.baselines import (
+    EwmaAllocator,
+    PerSlotAllocator,
+    PeriodicRenegotiationAllocator,
+    StaticAllocator,
+)
+from repro.core.powers import next_power_of_two
+from repro.core.single_session import SingleSessionOnline
+from repro.experiments.common import ExperimentResult, scaled
+from repro.experiments.registry import register
+from repro.params import OfflineConstraints
+from repro.sim.engine import run_single_session
+from repro.traffic.feasible import generate_feasible_stream
+
+_HEADERS = [
+    "policy",
+    "max delay",
+    "p99 delay",
+    "global util",
+    "min W-util",
+    "changes",
+    "changes/kslot",
+    "max alloc",
+]
+
+
+@register("E-F2", "Figure 2: static vs dynamic allocation regimes")
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    offline = OfflineConstraints(bandwidth=64, delay=8, utilization=0.25, window=16)
+    horizon = scaled(6000, scale, minimum=800)
+    stream = generate_feasible_stream(
+        offline, horizon, segments=max(2, scaled(12, scale)), seed=seed,
+        burstiness="blocks",
+    )
+    arrivals = stream.arrivals
+    peak_slot = float(arrivals.max())
+    mean_rate = float(arrivals.mean())
+
+    policies = {
+        "(a) static peak": StaticAllocator(next_power_of_two(peak_slot)),
+        "(b) static mean": StaticAllocator(max(1.0, mean_rate)),
+        "(c) per-slot dynamic": PerSlotAllocator(
+            max_bandwidth=next_power_of_two(peak_slot)
+        ),
+        "(d) Fig. 3 online": SingleSessionOnline(
+            max_bandwidth=offline.bandwidth,
+            offline_delay=offline.delay,
+            offline_utilization=offline.utilization,
+            window=offline.window,
+        ),
+        "GKT95 periodic": PeriodicRenegotiationAllocator(
+            max_bandwidth=next_power_of_two(peak_slot), period=4 * offline.delay
+        ),
+        "ACHM96 ewma": EwmaAllocator(
+            max_bandwidth=next_power_of_two(peak_slot), drain_delay=offline.delay
+        ),
+    }
+
+    summaries = {}
+    rows = []
+    for label, policy in policies.items():
+        trace = run_single_session(policy, arrivals)
+        summary = summarize_single(trace, label, offline.window)
+        summaries[label] = summary
+        rows.append(summary.as_row())
+
+    result = ExperimentResult(
+        experiment_id="E-F2",
+        title="Figure 2 — the three-way trade-off",
+        headers=_HEADERS,
+        rows=rows,
+    )
+    a, b = summaries["(a) static peak"], summaries["(b) static mean"]
+    c, d = summaries["(c) per-slot dynamic"], summaries["(d) Fig. 3 online"]
+    result.check(
+        "(a) short delay, low utilization",
+        a.max_delay <= 1 and a.global_utilization < 0.5,
+        f"delay {a.max_delay}, global util {a.global_utilization:.2f}",
+    )
+    result.check(
+        "(b) long delay, high utilization",
+        b.max_delay > d.max_delay and b.global_utilization > a.global_utilization,
+        f"delay {b.max_delay} vs online {d.max_delay}; util "
+        f"{b.global_utilization:.2f}",
+    )
+    result.check(
+        "(c) good delay+util, change explosion",
+        c.max_delay <= 1 and c.change_count > 10 * d.change_count,
+        f"{c.change_count} changes vs online {d.change_count}",
+    )
+    result.check(
+        "(d) all three decent (Theorem 6 envelope)",
+        d.max_delay <= 2 * offline.delay
+        and d.change_count < c.change_count
+        and d.global_utilization >= offline.utilization / 3,
+        f"delay {d.max_delay} <= {2 * offline.delay}, changes "
+        f"{d.change_count}, global util {d.global_utilization:.2f} >= "
+        f"{offline.utilization / 3:.2f}",
+    )
+    result.notes.append(
+        "Thin lines of the paper's sketch = the demand; each row is one "
+        "thick-line allocation strategy."
+    )
+    return result

@@ -1,0 +1,173 @@
+"""E-INV — how tightly the proved invariants run in practice.
+
+Runs the algorithm suite across the workload zoo with every runtime
+monitor armed (Claim 2, Claim 9, Lemmas 10/16, the bandwidth caps) and
+reports the observed worst-case *margins*.  A margin ever going negative
+would abort the run with :class:`~repro.errors.InvariantViolation`; the
+table shows how much headroom each proved bound keeps on realistic
+traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import corollary4_margin
+from repro.core.continuous import ContinuousMultiSession
+from repro.core.phased import PhasedMultiSession
+from repro.core.single_session import SingleSessionOnline
+from repro.experiments.common import ExperimentResult, fmt, scaled
+from repro.experiments.registry import register
+from repro.params import OfflineConstraints
+from repro.sim.engine import run_multi_session, run_single_session
+from repro.sim.invariants import (
+    Claim2Monitor,
+    Claim9Monitor,
+    DelayMonitor,
+    MaxBandwidthMonitor,
+    OverflowBoundMonitor,
+)
+from repro.traffic.feasible import generate_feasible_stream
+from repro.traffic.multi import generate_multi_feasible
+
+_HEADERS = [
+    "scenario",
+    "invariant",
+    "bound",
+    "worst observed",
+    "margin",
+]
+
+
+@register("E-INV", "Invariant margins: Claims 2/9, Lemmas 10/16 across the zoo")
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    delay = 8
+    utilization = 0.25
+    window = 16
+    bandwidth = 128.0
+    horizon = scaled(4000, scale, minimum=600)
+    segments = max(2, scaled(8, scale))
+
+    rows = []
+    result = ExperimentResult(
+        experiment_id="E-INV",
+        title="Invariant tightness across workloads",
+        headers=_HEADERS,
+        rows=rows,
+    )
+
+    offline = OfflineConstraints(
+        bandwidth=bandwidth, delay=delay, utilization=utilization, window=window
+    )
+    for burstiness in ("smooth", "blocks"):
+        stream = generate_feasible_stream(
+            offline,
+            horizon,
+            segments=segments,
+            seed=seed + hash(burstiness) % 1000,
+            burstiness=burstiness,
+        )
+        policy = SingleSessionOnline(
+            max_bandwidth=bandwidth,
+            offline_delay=delay,
+            offline_utilization=utilization,
+            window=window,
+        )
+        claim2 = Claim2Monitor(online_delay=2 * delay)
+        claim9 = Claim9Monitor(offline_bandwidth=bandwidth, offline_delay=delay)
+        max_bw = MaxBandwidthMonitor(bandwidth)
+        delay_mon = DelayMonitor(online_delay=2 * delay)
+        trace = run_single_session(
+            policy, stream.arrivals, monitors=[claim2, claim9, max_bw, delay_mon]
+        )
+        corollary4 = corollary4_margin(
+            trace.backlog,
+            trace.arrivals,
+            stream.profile,
+            bandwidth,
+            delay,
+        )
+        scenario = f"single/{burstiness}"
+        rows.append(
+            [
+                scenario,
+                "Claim 2: B_on >= q/D_A",
+                ">= 0",
+                fmt(claim2.min_margin, 3),
+                "slack bits" if claim2.min_margin >= 0 else "VIOLATED",
+            ]
+        )
+        rows.append(
+            [
+                scenario,
+                "Claim 9 arrival envelope",
+                "<= 0",
+                fmt(claim9.max_excess, 3),
+                "excess bits" if claim9.max_excess <= 0 else "VIOLATED",
+            ]
+        )
+        rows.append(
+            [
+                scenario,
+                "delay <= 2·D_O",
+                str(2 * delay),
+                str(delay_mon.max_delay),
+                f"{2 * delay - delay_mon.max_delay} slots",
+            ]
+        )
+        rows.append(
+            [
+                scenario,
+                "Corollary 4: q <= q_off + B_O·D_O",
+                ">= 0",
+                fmt(corollary4, 1),
+                "slack bits" if corollary4 >= 0 else "VIOLATED",
+            ]
+        )
+
+    for label, factory, overflow_slack in (
+        ("phased", PhasedMultiSession, 2.0),
+        ("continuous", ContinuousMultiSession, 3.0),
+    ):
+        workload = generate_multi_feasible(
+            8,
+            offline_bandwidth=bandwidth,
+            offline_delay=delay,
+            horizon=horizon,
+            segments=segments,
+            seed=seed + 17,
+            burstiness="blocks",
+        )
+        policy = factory(8, offline_bandwidth=bandwidth, offline_delay=delay)
+        overflow = OverflowBoundMonitor(bandwidth, overflow_slack)
+        claim9 = Claim9Monitor(offline_bandwidth=bandwidth, offline_delay=delay)
+        delay_mon = DelayMonitor(online_delay=2 * delay)
+        run_multi_session(
+            policy, workload.arrivals, monitors=[overflow, claim9, delay_mon]
+        )
+        rows.append(
+            [
+                f"multi/{label}",
+                f"overflow <= {overflow_slack:.0f}·B_O",
+                fmt(overflow.bound, 1),
+                fmt(overflow.max_seen, 1),
+                fmt(overflow.bound - overflow.max_seen, 1),
+            ]
+        )
+        rows.append(
+            [
+                f"multi/{label}",
+                "delay <= 2·D_O",
+                str(2 * delay),
+                str(delay_mon.max_delay),
+                f"{2 * delay - delay_mon.max_delay} slots",
+            ]
+        )
+
+    result.check(
+        "no invariant violated",
+        True,
+        "every monitored run completed without InvariantViolation "
+        "(violations abort the run)",
+    )
+    return result

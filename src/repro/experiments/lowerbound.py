@@ -1,0 +1,140 @@
+"""E-LB — Remark §1.1: slack is necessary (and Ω(log B_A) is real).
+
+Two demonstrations:
+
+1. **No-slack blow-up.**  On the sawtooth adversary (trickle pinned at the
+   utilization floor, bursts pinned at the delay ceiling) a no-slack
+   tracker must change its allocation every cycle — its change count grows
+   linearly with the stream length — while the slacked Figure 3 algorithm
+   settles into one stage with O(log B_A) total changes.
+
+2. **Doubling ladder.**  On geometrically doubling bursts the online
+   algorithm must climb every power-of-two rung: ~log2(B_A·D_O) changes
+   against an offline that jumps straight to the top — the Ω(log B_A)
+   lower-bound shape for global utilization.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.single_session import SingleSessionOnline
+from repro.experiments.common import ExperimentResult, fmt, scaled
+from repro.experiments.registry import register
+from repro.sim.engine import run_single_session
+from repro.traffic.adversary import (
+    TightTrackingAllocator,
+    doubling_stream,
+    sawtooth_stream,
+)
+
+_HEADERS = [
+    "stream",
+    "cycles",
+    "slots",
+    "no-slack chg",
+    "fig3 chg",
+    "no-slack chg/cycle",
+    "fig3 chg/cycle",
+]
+
+
+@register("E-LB", "Remark §1.1: slack necessity + doubling lower bound")
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    bandwidth = 64.0
+    delay = 8
+    utilization = 0.25
+    window = 16
+
+    rows = []
+    result = ExperimentResult(
+        experiment_id="E-LB",
+        title="Remark §1.1 — online algorithms need slack",
+        headers=_HEADERS,
+        rows=rows,
+    )
+    growth: list[float] = []
+    fig3_per_cycle: list[float] = []
+    cycle_counts = [scaled(c, scale, minimum=4) for c in (20, 40, 80)]
+    for cycles in cycle_counts:
+        stream = sawtooth_stream(
+            offline_bandwidth=bandwidth,
+            offline_delay=delay,
+            utilization=utilization,
+            window=window,
+            cycles=cycles,
+        )
+        tight = TightTrackingAllocator(
+            max_bandwidth=bandwidth,
+            delay=delay,
+            utilization=utilization,
+            window=window,
+        )
+        slacked = SingleSessionOnline(
+            max_bandwidth=bandwidth,
+            offline_delay=delay,
+            offline_utilization=utilization,
+            window=window,
+        )
+        tight_trace = run_single_session(tight, stream)
+        slacked_trace = run_single_session(slacked, stream)
+        growth.append(tight_trace.change_count / cycles)
+        fig3_per_cycle.append(slacked_trace.change_count / cycles)
+        rows.append(
+            [
+                "sawtooth",
+                str(cycles),
+                str(len(stream)),
+                str(tight_trace.change_count),
+                str(slacked_trace.change_count),
+                fmt(tight_trace.change_count / cycles),
+                fmt(slacked_trace.change_count / cycles),
+            ]
+        )
+
+    ladder = doubling_stream(max_bandwidth=bandwidth, offline_delay=delay)
+    ladder_policy = SingleSessionOnline(
+        max_bandwidth=bandwidth,
+        offline_delay=delay,
+        offline_utilization=utilization,
+        window=window,
+    )
+    ladder_trace = run_single_session(ladder_policy, ladder)
+    rungs = math.log2(bandwidth * delay)
+    rows.append(
+        [
+            "doubling",
+            "-",
+            str(len(ladder)),
+            "-",
+            str(ladder_trace.change_count),
+            "-",
+            "-",
+        ]
+    )
+
+    result.check(
+        "no-slack tracker changes every cycle",
+        min(growth) >= 1.0,
+        f"no-slack changes/cycle >= 1 at every length "
+        f"(min {min(growth):.2f}) — unbounded in stream length",
+    )
+    result.check(
+        "slacked algorithm amortizes",
+        max(fig3_per_cycle) <= min(growth)
+        and fig3_per_cycle[-1] <= fig3_per_cycle[0],
+        f"Fig. 3 changes/cycle {fig3_per_cycle[0]:.2f} -> "
+        f"{fig3_per_cycle[-1]:.2f} (non-increasing with length)",
+    )
+    result.check(
+        "doubling ladder costs Θ(log B_A) changes",
+        0.5 * rungs <= ladder_trace.change_count <= 3 * rungs + 4,
+        f"{ladder_trace.change_count} changes vs log2(B_A·D_O) = {rungs:.0f} rungs",
+    )
+    result.notes.append(
+        "The paper proves the impossibility results in the full version; "
+        "these runs exhibit the claimed shapes executably."
+    )
+    return result

@@ -1,0 +1,71 @@
+"""Experiment registry: stable ids -> runnable experiment functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentResult
+
+
+class ExperimentFn(Protocol):
+    def __call__(self, seed: int = 0, scale: float = 1.0) -> ExperimentResult: ...
+
+
+_REGISTRY: dict[str, tuple[ExperimentFn, str]] = {}
+
+
+def register(
+    experiment_id: str, description: str
+) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering an experiment under a stable id."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = (fn, description)
+        return fn
+
+    return wrap
+
+
+def get(experiment_id: str) -> ExperimentFn:
+    """Look up an experiment by id."""
+    _ensure_loaded()
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[experiment_id][0]
+
+
+def describe() -> list[tuple[str, str]]:
+    """(id, description) pairs, sorted by id."""
+    _ensure_loaded()
+    return [(eid, desc) for eid, (_, desc) in sorted(_REGISTRY.items())]
+
+
+def all_ids() -> list[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def run(experiment_id: str, seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment."""
+    return get(experiment_id)(seed=seed, scale=scale)
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module so decorators fire."""
+    import repro.experiments.ablations  # noqa: F401
+    import repro.experiments.buffers  # noqa: F401
+    import repro.experiments.combined_sweep  # noqa: F401
+    import repro.experiments.figure1  # noqa: F401
+    import repro.experiments.figure2  # noqa: F401
+    import repro.experiments.invariants_exp  # noqa: F401
+    import repro.experiments.lowerbound  # noqa: F401
+    import repro.experiments.pricing_exp  # noqa: F401
+    import repro.experiments.robustness  # noqa: F401
+    import repro.experiments.theorem6  # noqa: F401
+    import repro.experiments.theorem7  # noqa: F401
+    import repro.experiments.theorem14  # noqa: F401
+    import repro.experiments.theorem17  # noqa: F401

@@ -1,0 +1,169 @@
+"""E-T14 — Theorem 14: the phased algorithm is a 3k-competitive
+(4·B_O, 2·D_O)-algorithm.
+
+Sweep the session count ``k``; for each point generate certificate-backed
+multi-session workloads whose offline assignment shifts bandwidth between
+sessions, run the phased algorithm, and verify:
+
+* delay ``<= 2·D_O``                                  (Lemma 11)
+* total allocation ``<= 4·B_O`` and overflow ``<= 2·B_O``  (Lemma 10)
+* changes per stage ``= O(k)``                        (Lemma 12)
+* changes / OPT growing linearly in ``k``             (Theorem 14)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.competitive import bracket
+from repro.analysis.fitting import growth_exponent
+from repro.core.offline_multi import multi_stage_lower_bound
+from repro.core.phased import PhasedMultiSession
+from repro.experiments.common import ExperimentResult, fmt, scaled
+from repro.experiments.registry import register
+from repro.sim.engine import run_multi_session
+from repro.sim.invariants import OverflowBoundMonitor
+from repro.traffic.multi import generate_multi_feasible
+
+_HEADERS = [
+    "k",
+    "online chg",
+    "opt low",
+    "opt up",
+    "ratio(up)",
+    "ratio/k",
+    "stages",
+    "chg/stage",
+    "chg/stage/k",
+    "max delay",
+    "D_A",
+    "max alloc/B_O",
+    "max ovfl/B_O",
+]
+
+
+def _sweep_points(scale: float) -> list[int]:
+    if scale < 0.5:
+        return [2, 8]
+    return [2, 4, 8, 16, 32]
+
+
+def run_sweep(
+    policy_factory,
+    bandwidth_slack: float,
+    overflow_slack: float,
+    experiment_id: str,
+    title: str,
+    seed: int,
+    scale: float,
+) -> ExperimentResult:
+    """Shared sweep harness for Theorems 14 and 17."""
+    offline_bandwidth = 64.0
+    offline_delay = 8
+    horizon = scaled(5000, scale, minimum=600)
+    segments = max(2, scaled(10, scale))
+
+    rows = []
+    result = ExperimentResult(
+        experiment_id=experiment_id, title=title, headers=_HEADERS, rows=rows
+    )
+    delay_ok = True
+    alloc_ok = True
+    per_stage_per_k = []
+    ks: list[float] = []
+    change_counts: list[float] = []
+    for k in _sweep_points(scale):
+        workload = generate_multi_feasible(
+            k,
+            offline_bandwidth=offline_bandwidth,
+            offline_delay=offline_delay,
+            horizon=horizon,
+            segments=segments,
+            seed=seed + k,
+            concentration=0.7,
+            burstiness="blocks",
+        )
+        policy = policy_factory(k, offline_bandwidth, offline_delay)
+        overflow_monitor = OverflowBoundMonitor(offline_bandwidth, overflow_slack)
+        trace = run_multi_session(
+            policy, workload.arrivals, monitors=[overflow_monitor]
+        )
+        report = bracket(
+            online_changes=trace.local_change_count,
+            opt_lower=multi_stage_lower_bound(
+                workload.arrivals, offline_bandwidth, offline_delay
+            ),
+            opt_upper=workload.profile_changes,
+        )
+        stages = max(1, trace.completed_stages + 1)  # count the open stage
+        per_stage = trace.local_change_count / stages
+        per_stage_per_k.append(per_stage / k)
+        ks.append(float(k))
+        change_counts.append(per_stage)
+        online_delay = 2 * offline_delay
+        delay_ok &= trace.max_delay <= online_delay
+        alloc_ok &= trace.max_total_allocation <= bandwidth_slack * offline_bandwidth * (
+            1 + 1e-9
+        )
+        rows.append(
+            [
+                str(k),
+                str(report.online_changes),
+                str(report.opt_lower),
+                str(report.opt_upper),
+                fmt(report.ratio_vs_upper),
+                fmt(report.ratio_vs_upper / k),
+                str(trace.completed_stages),
+                fmt(per_stage, 1),
+                fmt(per_stage / k),
+                str(trace.max_delay),
+                str(online_delay),
+                fmt(trace.max_total_allocation / offline_bandwidth),
+                fmt(overflow_monitor.max_seen / offline_bandwidth),
+            ]
+        )
+
+    result.check(
+        "delay guarantee (Lemma 11/15)",
+        delay_ok,
+        "max bit delay <= D_A = 2·D_O at every k",
+    )
+    result.check(
+        "bandwidth envelope",
+        alloc_ok,
+        f"total allocation <= {bandwidth_slack:.0f}·B_O (overflow channel "
+        f"within {overflow_slack:.0f}·B_O, see last column)",
+    )
+    result.check(
+        "O(k) changes per stage (Lemma 12)",
+        max(per_stage_per_k) <= 6.0,
+        f"changes/stage/k stays bounded: max {max(per_stage_per_k):.2f}",
+    )
+    if len(ks) >= 3:
+        exponent = growth_exponent(ks, change_counts)
+        result.check(
+            "linear-in-k per-stage changes (shape fit)",
+            0.4 <= exponent <= 1.3,
+            f"log-log slope of changes/stage vs k = {exponent:.2f} "
+            "(1.0 = exactly linear; Lemma 12's 3k envelope)",
+        )
+    result.notes.append(
+        "ratio/k should stay roughly flat as k grows — the linear-in-k "
+        "competitive envelope of the theorem."
+    )
+    return result
+
+
+@register("E-T14", "Theorem 14: phased multi-session 3k-competitiveness sweep")
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    return run_sweep(
+        policy_factory=lambda k, bandwidth, delay: PhasedMultiSession(
+            k, offline_bandwidth=bandwidth, offline_delay=delay
+        ),
+        bandwidth_slack=4.0,
+        overflow_slack=2.0,
+        experiment_id="E-T14",
+        title="Theorem 14 — phased algorithm vs k",
+        seed=seed,
+        scale=scale,
+    )

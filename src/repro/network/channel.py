@@ -1,0 +1,86 @@
+"""Regular/overflow channel pair used by the multi-session algorithms.
+
+Sections 3.1 and 3.2 split each session's bandwidth into a *regular* channel
+(steady allocation, incremented in steps of ``B_O / k``) and an *overflow*
+channel (bursts moved out of the regular queue, drained within ``D_O``
+slots).  :class:`SessionChannels` bundles the two queues and the two links
+and implements the service disciplines:
+
+* literal mode — each queue is served by its own channel's bandwidth
+  (what the proofs analyze);
+* FIFO mode — the session's total bandwidth first drains the overflow queue
+  (whose bits are older) and then the regular queue, which serves bits in
+  exact arrival order (the Remark after Theorem 14).
+"""
+
+from __future__ import annotations
+
+from repro.network.link import Link
+from repro.network.queue import BitQueue, ServeResult
+
+
+class SessionChannels:
+    """One session's regular + overflow queues and links."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.regular_queue = BitQueue(f"s{index}.regular.q")
+        self.overflow_queue = BitQueue(f"s{index}.overflow.q")
+        self.regular_link = Link(f"s{index}.regular")
+        self.overflow_link = Link(f"s{index}.overflow")
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionChannels(i={self.index}, "
+            f"Br={self.regular_link.bandwidth:.3f}, "
+            f"Bo={self.overflow_link.bandwidth:.3f}, "
+            f"Qr={self.regular_queue.size:.3f}, "
+            f"Qo={self.overflow_queue.size:.3f})"
+        )
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def total_bandwidth(self) -> float:
+        """``B_i = B_i^r + B_i^o``."""
+        return self.regular_link.bandwidth + self.overflow_link.bandwidth
+
+    @property
+    def total_queued(self) -> float:
+        """``|Q_i| = |Q_i^r| + |Q_i^o|``."""
+        return self.regular_queue.size + self.overflow_queue.size
+
+    @property
+    def change_count(self) -> int:
+        """Bandwidth changes on both channels combined."""
+        return self.regular_link.change_count + self.overflow_link.change_count
+
+    # -- operations -----------------------------------------------------
+
+    def push(self, t: int, bits: float) -> None:
+        """New arrivals always enter the regular queue."""
+        self.regular_queue.push(t, bits)
+
+    def move_regular_to_overflow(self) -> float:
+        """Move ``Q_i^r`` wholesale into ``Q_i^o``; return the bits moved."""
+        return self.regular_queue.drain_to(self.overflow_queue)
+
+    def serve(self, t: int, fifo: bool = False) -> ServeResult:
+        """Serve one slot; return the merged delivery record."""
+        if fifo:
+            capacity = self.total_bandwidth
+            first = self.overflow_queue.serve(t, capacity)
+            # Guard against float dust pushing the remainder below zero.
+            second = self.regular_queue.serve(t, max(0.0, capacity - first.bits))
+        else:
+            first = self.overflow_queue.serve(t, self.overflow_link.bandwidth)
+            second = self.regular_queue.serve(t, self.regular_link.bandwidth)
+        merged = ServeResult(
+            bits=first.bits + second.bits,
+            deliveries=first.deliveries + second.deliveries,
+        )
+        return merged
+
+    def max_age(self, t: int) -> int:
+        """Age of the oldest bit queued in either channel."""
+        return max(self.regular_queue.max_age(t), self.overflow_queue.max_age(t))

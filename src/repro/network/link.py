@@ -1,0 +1,70 @@
+"""A link (or virtual channel) with an allocated bandwidth and a change log.
+
+The paper's cost metric is the *number of bandwidth allocation changes*; the
+link is therefore little more than a current value plus a faithful record of
+every time that value actually changed (assignments of the same value are
+free, matching "it takes time to setup the *modified* bandwidth
+allocation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Allocation changes smaller than this are considered no-ops.
+CHANGE_EPSILON = 1e-9
+
+
+@dataclass
+class BandwidthChange:
+    """One recorded allocation change."""
+
+    t: int
+    old: float
+    new: float
+
+
+class Link:
+    """Bandwidth holder with change accounting."""
+
+    def __init__(self, name: str = "", bandwidth: float = 0.0):
+        if bandwidth < 0:
+            raise ConfigError(f"bandwidth must be >= 0, got {bandwidth!r}")
+        self.name = name
+        self._bandwidth = float(bandwidth)
+        self.changes: list[BandwidthChange] = []
+
+    def __repr__(self) -> str:
+        return f"Link(name={self.name!r}, bandwidth={self._bandwidth:.3f})"
+
+    @property
+    def bandwidth(self) -> float:
+        """Currently allocated bandwidth (bits per slot)."""
+        return self._bandwidth
+
+    @property
+    def change_count(self) -> int:
+        """Number of genuine allocation changes so far."""
+        return len(self.changes)
+
+    def set(self, t: int, bandwidth: float) -> bool:
+        """Set the allocation at slot ``t``; return True if it changed."""
+        if bandwidth < 0:
+            raise ConfigError(f"bandwidth must be >= 0, got {bandwidth!r}")
+        if abs(bandwidth - self._bandwidth) <= CHANGE_EPSILON:
+            return False
+        self.changes.append(
+            BandwidthChange(t=t, old=self._bandwidth, new=bandwidth)
+        )
+        self._bandwidth = float(bandwidth)
+        return True
+
+    def add(self, t: int, delta: float) -> bool:
+        """Adjust the allocation by ``delta``; return True if it changed."""
+        return self.set(t, self._bandwidth + delta)
+
+    def changes_in(self, t0: int, t1: int) -> int:
+        """Number of changes with ``t0 <= t < t1``."""
+        return sum(1 for c in self.changes if t0 <= c.t < t1)

@@ -1,0 +1,168 @@
+"""FIFO bit queue with arrival stamps and delay accounting.
+
+The paper's model is fluid: a slot may carry a fractional number of bits.
+The queue therefore stores *chunks* — (arrival slot, bits) pairs — served in
+FIFO order; serving may split a chunk.  Every delivery reports the delay of
+the served bits, which feeds the latency metrics, and chunks can be moved
+wholesale between queues (the multi-session algorithms re-parent bits from
+regular to overflow queues while preserving arrival stamps).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, SimulationError
+
+#: Bits below this threshold are treated as zero (floating-point dust).
+EPSILON = 1e-9
+
+
+@dataclass
+class Delivery:
+    """Bits delivered in one slot from one arrival cohort."""
+
+    arrival: int
+    served_at: int
+    bits: float
+
+    @property
+    def delay(self) -> int:
+        """Slots between arrival and delivery (0 = same slot)."""
+        return self.served_at - self.arrival
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one :meth:`BitQueue.serve` call."""
+
+    bits: float = 0.0
+    deliveries: list[Delivery] = field(default_factory=list)
+
+    @property
+    def max_delay(self) -> int:
+        """Largest delay among the served bits (-1 when nothing served)."""
+        if not self.deliveries:
+            return -1
+        return max(d.delay for d in self.deliveries)
+
+
+class BitQueue:
+    """FIFO queue of arrival-stamped bit chunks.
+
+    With ``capacity=None`` (the paper's model: "queues ... large enough")
+    the queue is unbounded.  A finite ``capacity`` enables the data-loss
+    extension: arriving bits beyond the capacity are tail-dropped and
+    accounted in :attr:`dropped`.
+    """
+
+    def __init__(self, name: str = "", capacity: float | None = None):
+        if capacity is not None and capacity < 0:
+            raise ConfigError(f"capacity must be >= 0, got {capacity!r}")
+        self.name = name
+        self.capacity = float(capacity) if capacity is not None else None
+        #: Total bits tail-dropped since construction.
+        self.dropped = 0.0
+        self._chunks: deque[list] = deque()  # each chunk is [arrival, bits]
+        self._size = 0.0
+
+    def __repr__(self) -> str:
+        return f"BitQueue(name={self.name!r}, size={self._size:.3f})"
+
+    @property
+    def size(self) -> float:
+        """Bits currently queued."""
+        return self._size if self._size > EPSILON else 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        return self._size <= EPSILON
+
+    @property
+    def oldest_arrival(self) -> int | None:
+        """Arrival slot of the head-of-line bits (None when empty)."""
+        if self.is_empty:
+            return None
+        return self._chunks[0][0]
+
+    def push(self, t: int, bits: float) -> float:
+        """Enqueue ``bits`` arriving at slot ``t``; return bits dropped.
+
+        With a finite capacity, bits that would overflow are tail-dropped
+        (the newest bits are lost, as in a real ingress buffer).
+        """
+        if bits < 0:
+            raise ConfigError(f"bits must be >= 0, got {bits!r}")
+        if bits <= EPSILON:
+            return 0.0
+        lost = 0.0
+        if self.capacity is not None:
+            room = self.capacity - self._size
+            if bits > room:
+                lost = bits - max(0.0, room)
+                self.dropped += lost
+                bits -= lost
+                if bits <= EPSILON:
+                    return lost
+        if self._chunks and self._chunks[-1][0] == t:
+            self._chunks[-1][1] += bits
+        else:
+            if self._chunks and self._chunks[-1][0] > t:
+                raise SimulationError(
+                    f"push at t={t} after chunk stamped {self._chunks[-1][0]}"
+                )
+            self._chunks.append([t, bits])
+        self._size += bits
+        return lost
+
+    def serve(self, t: int, capacity: float) -> ServeResult:
+        """Serve up to ``capacity`` bits FIFO during slot ``t``."""
+        if capacity < 0:
+            raise ConfigError(f"capacity must be >= 0, got {capacity!r}")
+        result = ServeResult()
+        remaining = capacity
+        # Serve down to exact-zero remaining capacity: refusing sub-epsilon
+        # capacities while the queue holds sub-epsilon residue would trap
+        # geometric-decay policies short of draining (a Zeno stall).
+        while remaining > 0.0 and self._chunks:
+            arrival, bits = self._chunks[0]
+            take = bits if bits <= remaining else remaining
+            result.deliveries.append(Delivery(arrival=arrival, served_at=t, bits=take))
+            result.bits += take
+            remaining -= take
+            self._size -= take
+            if take >= bits - EPSILON:
+                self._chunks.popleft()
+            else:
+                self._chunks[0][1] = bits - take
+        if self._size < EPSILON:
+            self._size = 0.0
+            self._chunks.clear()
+        return result
+
+    def drain_to(self, other: "BitQueue") -> float:
+        """Move all chunks to ``other`` preserving arrival order; return bits.
+
+        The destination's newest chunk must not be newer than our oldest —
+        true for the paper's algorithms, which always drain the younger
+        regular queue into the older overflow queue after the overflow queue
+        emptied or in arrival order.
+        """
+        moved = self._size
+        for arrival, bits in self._chunks:
+            other.push(arrival, bits)
+        self._chunks.clear()
+        self._size = 0.0
+        return moved
+
+    def peek_chunks(self) -> list[tuple[int, float]]:
+        """Snapshot of (arrival, bits) chunks, oldest first."""
+        return [(arrival, bits) for arrival, bits in self._chunks]
+
+    def max_age(self, t: int) -> int:
+        """Age in slots of the oldest queued bit (0 when empty)."""
+        oldest = self.oldest_arrival
+        if oldest is None:
+            return 0
+        return t - oldest

@@ -1,0 +1,174 @@
+"""Parameter sets for online algorithms and their offline comparators.
+
+The paper always compares an online algorithm with *relaxed* resources
+against a clairvoyant offline algorithm with *stringent* resources.  The
+relation between the two sides is fixed by constant slack factors:
+
+===========================  =========================================
+quantity                     relation (online vs. offline)
+===========================  =========================================
+delay                        ``D_A = 2 * D_O``
+utilization                  ``U_A = U_O / 3``
+bandwidth (single session)   ``B_A = B_O``
+bandwidth (phased, Thm 14)   ``B_A = 4 * B_O``
+bandwidth (continuous, 17)   ``B_A = 5 * B_O``
+bandwidth (combined, §4)     ``B_A = 7 * B_O`` / ``8 * B_O``
+===========================  =========================================
+
+This module provides small frozen dataclasses encoding each side plus the
+conversions between them, so experiments can be written in terms of either
+the offline constraints (what the adversary must satisfy) or the online
+guarantees (what the user observes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+#: Delay slack of every online algorithm in the paper: ``D_A = 2 * D_O``.
+DELAY_SLACK = 2
+
+#: Utilization slack of the single-session algorithm: ``U_A = U_O / 3``.
+UTILIZATION_SLACK = 3
+
+#: Bandwidth slack of the phased multi-session algorithm (Theorem 14).
+BANDWIDTH_SLACK_PHASED = 4
+
+#: Bandwidth slack of the continuous multi-session algorithm (Theorem 17).
+BANDWIDTH_SLACK_CONTINUOUS = 5
+
+#: Bandwidth slack of the combined algorithm with a phased inner loop (§4).
+BANDWIDTH_SLACK_COMBINED_PHASED = 7
+
+#: Bandwidth slack of the combined algorithm with a continuous inner loop.
+BANDWIDTH_SLACK_COMBINED_CONTINUOUS = 8
+
+#: The utilization window the online algorithm may use is at most
+#: ``W + EXTRA_WINDOW_SLACK * D_O`` (Lemma 5).
+EXTRA_WINDOW_SLACK = 5
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+@dataclass(frozen=True)
+class OfflineConstraints:
+    """The stringent constraints the clairvoyant offline algorithm obeys.
+
+    Attributes:
+        bandwidth: ``B_O`` — the offline maximum (total) bandwidth.
+        delay: ``D_O`` — offline latency bound, in time slots.
+        utilization: ``U_O`` in ``(0, 1]`` — minimum local utilization over
+            windows of ``window`` slots, or ``None`` when the scenario has no
+            utilization constraint (the pure multi-session case of §3).
+        window: ``W`` — the local-utilization window size in slots; required
+            when ``utilization`` is set.  The paper assumes ``W >= D_O``.
+    """
+
+    bandwidth: float
+    delay: int
+    utilization: float | None = None
+    window: int | None = None
+
+    def __post_init__(self) -> None:
+        _require_positive("bandwidth", self.bandwidth)
+        if self.delay < 1:
+            raise ConfigError(f"delay must be >= 1 slot, got {self.delay!r}")
+        if self.utilization is not None:
+            if not 0 < self.utilization <= 1:
+                raise ConfigError(
+                    f"utilization must be in (0, 1], got {self.utilization!r}"
+                )
+            if self.window is None:
+                raise ConfigError("window is required when utilization is set")
+            if self.window < self.delay:
+                raise ConfigError(
+                    f"the paper assumes W >= D_O; got W={self.window}, "
+                    f"D_O={self.delay}"
+                )
+
+    def with_bandwidth(self, bandwidth: float) -> "OfflineConstraints":
+        """Return a copy with a different bandwidth bound."""
+        return replace(self, bandwidth=bandwidth)
+
+
+@dataclass(frozen=True)
+class OnlineGuarantees:
+    """What an online algorithm promises to the user.
+
+    Attributes:
+        max_bandwidth: ``B_A`` — the online algorithm never allocates more
+            than this in total.
+        delay: ``D_A`` — every bit is delivered within this many slots.
+        utilization: ``U_A`` — local utilization floor (``None`` if the
+            scenario has no utilization constraint).
+        window: the online utilization window bound ``W + 5 * D_O``
+            (``None`` if no utilization constraint).
+    """
+
+    max_bandwidth: float
+    delay: int
+    utilization: float | None = None
+    window: int | None = None
+
+
+def single_session_guarantees(offline: OfflineConstraints) -> OnlineGuarantees:
+    """Online guarantees of the Figure 3 algorithm (Theorem 6).
+
+    ``B_A = B_O``, ``D_A = 2 * D_O``, ``U_A = U_O / 3`` over windows of at
+    most ``W + 5 * D_O`` slots.
+    """
+    if offline.utilization is None or offline.window is None:
+        raise ConfigError("the single-session algorithm needs a utilization constraint")
+    return OnlineGuarantees(
+        max_bandwidth=offline.bandwidth,
+        delay=DELAY_SLACK * offline.delay,
+        utilization=offline.utilization / UTILIZATION_SLACK,
+        window=offline.window + EXTRA_WINDOW_SLACK * offline.delay,
+    )
+
+
+def phased_guarantees(offline: OfflineConstraints) -> OnlineGuarantees:
+    """Online guarantees of the phased multi-session algorithm (Theorem 14)."""
+    return OnlineGuarantees(
+        max_bandwidth=BANDWIDTH_SLACK_PHASED * offline.bandwidth,
+        delay=DELAY_SLACK * offline.delay,
+    )
+
+
+def continuous_guarantees(offline: OfflineConstraints) -> OnlineGuarantees:
+    """Online guarantees of the continuous multi-session algorithm (Thm 17)."""
+    return OnlineGuarantees(
+        max_bandwidth=BANDWIDTH_SLACK_CONTINUOUS * offline.bandwidth,
+        delay=DELAY_SLACK * offline.delay,
+    )
+
+
+def combined_guarantees(
+    offline: OfflineConstraints, inner: str = "phased"
+) -> OnlineGuarantees:
+    """Online guarantees of the combined algorithm of Section 4.
+
+    Args:
+        offline: the stringent offline constraints (must include utilization).
+        inner: ``"phased"`` (``B_A = 7 * B_O``) or ``"continuous"``
+            (``B_A = 8 * B_O``).
+    """
+    if offline.utilization is None or offline.window is None:
+        raise ConfigError("the combined algorithm needs a utilization constraint")
+    if inner == "phased":
+        slack = BANDWIDTH_SLACK_COMBINED_PHASED
+    elif inner == "continuous":
+        slack = BANDWIDTH_SLACK_COMBINED_CONTINUOUS
+    else:
+        raise ConfigError(f"inner must be 'phased' or 'continuous', got {inner!r}")
+    return OnlineGuarantees(
+        max_bandwidth=slack * offline.bandwidth,
+        delay=DELAY_SLACK * offline.delay,
+        utilization=offline.utilization / UTILIZATION_SLACK,
+        window=offline.window + EXTRA_WINDOW_SLACK * offline.delay,
+    )

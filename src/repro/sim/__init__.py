@@ -1,0 +1,48 @@
+"""Simulation kernel: clock, events, engine, recorder, invariant monitors."""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import run_multi_session, run_single_session
+from repro.sim.events import EventQueue
+from repro.sim.invariants import (
+    Claim2Monitor,
+    Claim9Monitor,
+    DelayMonitor,
+    MaxBandwidthMonitor,
+    Monitor,
+    OverflowBoundMonitor,
+    RegularBoundMonitor,
+)
+from repro.sim.serialize import (
+    load_multi_trace,
+    load_single_trace,
+    save_multi_trace,
+    save_single_trace,
+)
+from repro.sim.recorder import (
+    MultiSessionRecorder,
+    MultiSessionTrace,
+    SingleSessionRecorder,
+    SingleSessionTrace,
+)
+
+__all__ = [
+    "Claim2Monitor",
+    "Claim9Monitor",
+    "Clock",
+    "DelayMonitor",
+    "EventQueue",
+    "MaxBandwidthMonitor",
+    "Monitor",
+    "MultiSessionRecorder",
+    "MultiSessionTrace",
+    "OverflowBoundMonitor",
+    "RegularBoundMonitor",
+    "SingleSessionRecorder",
+    "SingleSessionTrace",
+    "run_multi_session",
+    "run_single_session",
+    "load_multi_trace",
+    "load_single_trace",
+    "save_multi_trace",
+    "save_single_trace",
+]

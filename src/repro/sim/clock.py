@@ -1,0 +1,34 @@
+"""Discrete simulation clock.
+
+Time is measured in integer slots.  The clock exists mostly so policies and
+monitors share one authoritative notion of "now" and so tests can assert on
+slot arithmetic in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotone integer clock starting at slot 0."""
+
+    def __init__(self) -> None:
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current slot index."""
+        return self._now
+
+    def tick(self) -> int:
+        """Advance one slot; return the new slot index."""
+        self._now += 1
+        return self._now
+
+    def advance_to(self, t: int) -> int:
+        """Jump forward to slot ``t`` (never backwards)."""
+        if t < self._now:
+            raise SimulationError(f"clock cannot go back: {t} < {self._now}")
+        self._now = t
+        return self._now

@@ -1,0 +1,191 @@
+"""The simulation run loops.
+
+Two entry points:
+
+* :func:`run_single_session` — engine owns a FIFO queue; each slot it pushes
+  arrivals, asks the :class:`~repro.core.allocator.BandwidthPolicy` for a
+  bandwidth, serves, and records.
+* :func:`run_multi_session` — the
+  :class:`~repro.core.allocator.MultiSessionPolicy` owns its queues; the
+  engine feeds the arrival vector and records what the policy did.
+
+Both loops optionally *drain*: after the arrival horizon they keep stepping
+with zero arrivals until all queues empty, so every bit's delay is measured.
+A policy that fails to drain (allocates nothing forever) trips a hard cap
+and raises :class:`~repro.errors.SimulationError` instead of spinning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.allocator import BandwidthPolicy, MultiSessionPolicy
+from repro.errors import ConfigError, SimulationError
+from repro.network.queue import BitQueue
+from repro.sim.invariants import Monitor, MultiSlotView, SingleSlotView
+from repro.sim.recorder import (
+    MultiSessionRecorder,
+    MultiSessionTrace,
+    SingleSessionRecorder,
+    SingleSessionTrace,
+)
+
+
+def _as_array(arrivals: Sequence[float] | np.ndarray, ndim: int) -> np.ndarray:
+    array = np.asarray(arrivals, dtype=float)
+    if array.ndim != ndim:
+        raise ConfigError(f"arrivals must be {ndim}-dimensional, got {array.ndim}")
+    if array.size and float(array.min()) < 0:
+        raise ConfigError("arrivals must be non-negative")
+    return array
+
+
+def run_single_session(
+    policy: BandwidthPolicy,
+    arrivals: Sequence[float] | np.ndarray,
+    *,
+    drain: bool = True,
+    max_drain_slots: int | None = None,
+    monitors: Iterable[Monitor] = (),
+    queue_capacity: float | None = None,
+) -> SingleSessionTrace:
+    """Simulate one session under ``policy``; return the finalized trace.
+
+    Args:
+        policy: the allocation policy.
+        arrivals: bits arriving per slot, length ``T`` (the horizon).
+        drain: keep simulating with zero arrivals until the queue empties.
+        max_drain_slots: hard cap on extra drain slots (default
+            ``4 * T + 1000``).
+        monitors: invariant monitors to run each slot.
+        queue_capacity: finite ingress buffer in bits (None = the paper's
+            unbounded-queue model); overflow is tail-dropped and recorded
+            in the trace's ``dropped`` series.
+    """
+    array = _as_array(arrivals, ndim=1)
+    horizon = len(array)
+    cap = max_drain_slots if max_drain_slots is not None else 4 * horizon + 1000
+    queue = BitQueue("session", capacity=queue_capacity)
+    recorder = SingleSessionRecorder()
+    monitor_list = list(monitors)
+
+    t = 0
+    while t < horizon or (drain and not queue.is_empty):
+        if t >= horizon + cap:
+            raise SimulationError(
+                f"queue failed to drain within {cap} extra slots "
+                f"(backlog {queue.size:.3f})"
+            )
+        slot_arrivals = float(array[t]) if t < horizon else 0.0
+        backlog = queue.size
+        lost = queue.push(t, slot_arrivals)
+        bandwidth = policy.decide(t, slot_arrivals, backlog)
+        if bandwidth < 0:
+            raise SimulationError(f"policy returned negative bandwidth at t={t}")
+        queue_before = queue.size
+        result = queue.serve(t, bandwidth)
+        recorder.record(
+            t, slot_arrivals, bandwidth, result, queue.size, dropped=lost
+        )
+        if monitor_list:
+            view = SingleSlotView(
+                t=t,
+                arrivals=slot_arrivals,
+                allocation=bandwidth,
+                queue_before_serve=queue_before,
+                queue_after_serve=queue.size,
+                result=result,
+            )
+            for monitor in monitor_list:
+                monitor.on_single_slot(view)
+        t += 1
+
+    return recorder.finalize(
+        changes=policy.changes,
+        stage_starts=policy.stage_starts,
+        resets=policy.resets,
+        horizon=horizon,
+    )
+
+
+def run_multi_session(
+    policy: MultiSessionPolicy,
+    arrivals: Sequence[Sequence[float]] | np.ndarray,
+    *,
+    drain: bool = True,
+    max_drain_slots: int | None = None,
+    monitors: Iterable[Monitor] = (),
+) -> MultiSessionTrace:
+    """Simulate ``k`` sessions under ``policy``; return the finalized trace.
+
+    Args:
+        policy: the multi-session policy (owns the queues).
+        arrivals: array of shape ``(T, k)`` — bits per slot per session.
+        drain: keep stepping with zero arrivals until all queues empty.
+        max_drain_slots: hard cap on extra drain slots.
+        monitors: invariant monitors to run each slot.
+    """
+    array = _as_array(arrivals, ndim=2)
+    horizon, k = array.shape
+    if k != policy.k:
+        raise ConfigError(f"arrivals have k={k} but policy has k={policy.k}")
+    cap = max_drain_slots if max_drain_slots is not None else 4 * horizon + 1000
+    recorder = MultiSessionRecorder(k)
+    monitor_list = list(monitors)
+    zero = [0.0] * k
+
+    t = 0
+    while t < horizon or (drain and policy.total_backlog > 0):
+        if t >= horizon + cap:
+            raise SimulationError(
+                f"queues failed to drain within {cap} extra slots "
+                f"(backlog {policy.total_backlog:.3f})"
+            )
+        slot_arrivals = [float(x) for x in array[t]] if t < horizon else zero
+        results = policy.step(t, slot_arrivals)
+        if len(results) != k:
+            raise SimulationError(
+                f"policy returned {len(results)} results for k={k} at t={t}"
+            )
+        regular = [s.channels.regular_link.bandwidth for s in policy.sessions]
+        overflow = [s.channels.overflow_link.bandwidth for s in policy.sessions]
+        extra = policy.extra_link.bandwidth if policy.extra_link is not None else 0.0
+        backlogs = [s.backlog for s in policy.sessions]
+        recorder.record(
+            t, slot_arrivals, regular, overflow, results, backlogs, extra
+        )
+        if monitor_list:
+            view = MultiSlotView(
+                t=t,
+                arrivals=slot_arrivals,
+                regular=regular,
+                overflow=overflow,
+                extra=extra,
+                backlogs=backlogs,
+                results=results,
+            )
+            for monitor in monitor_list:
+                monitor.on_multi_slot(view)
+        t += 1
+
+    local_changes = []
+    for session in policy.sessions:
+        channels = session.channels
+        for change in channels.regular_link.changes:
+            local_changes.append((session.index, "regular", change))
+        for change in channels.overflow_link.changes:
+            local_changes.append((session.index, "overflow", change))
+    local_changes.sort(key=lambda item: item[2].t)
+    extra_changes = (
+        list(policy.extra_link.changes) if policy.extra_link is not None else []
+    )
+
+    return recorder.finalize(
+        local_changes=local_changes,
+        extra_changes=extra_changes,
+        stage_starts=policy.stage_starts,
+        resets=policy.resets,
+        horizon=horizon,
+    )

@@ -1,0 +1,59 @@
+"""Scheduled-event queue for timer-driven policy actions.
+
+The continuous multi-session algorithm (Figure 5) schedules
+``REDUCE(i, D, B)`` — "wait ``D`` time units, then lower the overflow
+allocation by ``B``".  :class:`EventQueue` provides exactly that: schedule a
+callback for a future slot, then pop everything due at the start of each
+slot.  Ordering ties are broken by insertion order so reductions fire
+deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[int], None]
+
+
+class EventQueue:
+    """Min-heap of (due slot, sequence, callback)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, EventCallback]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, t: int, callback: EventCallback) -> None:
+        """Run ``callback(slot)`` at the start of slot ``t``."""
+        heapq.heappush(self._heap, (t, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_after(self, now: int, delay: int, callback: EventCallback) -> None:
+        """Run ``callback`` ``delay`` slots after ``now``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay!r}")
+        self.schedule(now + delay, callback)
+
+    def fire_due(self, t: int) -> int:
+        """Run every callback due at or before slot ``t``; return the count."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= t:
+            _, _, callback = heapq.heappop(self._heap)
+            callback(t)
+            fired += 1
+        return fired
+
+    def next_due(self) -> int | None:
+        """Slot of the earliest pending event (None when empty)."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def clear(self) -> None:
+        """Drop all pending events (used on RESET)."""
+        self._heap.clear()

@@ -1,0 +1,234 @@
+"""Runtime monitors for the paper's proved invariants.
+
+A monitor observes every simulated slot and raises
+:class:`~repro.errors.InvariantViolation` the moment a theorem invariant
+breaks, pinpointing the slot — far more diagnostic than a failed
+end-of-run assertion.  Monitors also track their observed worst-case
+*margin* so experiments can report how tight each bound runs in practice.
+
+Implemented invariants:
+
+* Claim 2 — single session: ``B_on >= q / D_A`` whenever the queue holds q.
+* Claim 9 — at most ``(Δ + D_O) * B_O`` bits arrive in any interval of
+  length Δ (checked in O(1) per slot via a running minimum).
+* Lemma 10 / 16 — total overflow bandwidth ≤ ``2·B_O`` (phased) /
+  ``3·B_O`` (continuous).
+* Regular-channel cap — total regular bandwidth stays ≤ ``2·B_O + B_O/k``
+  (the test fires at phase end *before* the RESET, so one increment past
+  ``2·B_O`` is the proved worst case).
+* Max-bandwidth cap — the policy never allocates more than ``B_A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvariantViolation
+from repro.network.queue import ServeResult
+
+_EPS = 1e-6
+
+
+@dataclass
+class SingleSlotView:
+    """What a single-session monitor sees each slot."""
+
+    t: int
+    arrivals: float
+    allocation: float
+    queue_before_serve: float
+    queue_after_serve: float
+    result: ServeResult
+
+
+@dataclass
+class MultiSlotView:
+    """What a multi-session monitor sees each slot."""
+
+    t: int
+    arrivals: list[float]
+    regular: list[float]
+    overflow: list[float]
+    extra: float
+    backlogs: list[float]
+    results: list[ServeResult]
+
+
+class Monitor:
+    """Base monitor; override the hooks you need."""
+
+    name = "monitor"
+
+    def on_single_slot(self, view: SingleSlotView) -> None:  # pragma: no cover
+        """Observe one single-session slot."""
+
+    def on_multi_slot(self, view: MultiSlotView) -> None:  # pragma: no cover
+        """Observe one multi-session slot."""
+
+    def _fail(self, t: int, detail: str) -> None:
+        raise InvariantViolation(self.name, t, detail)
+
+
+class Claim2Monitor(Monitor):
+    """Claim 2: ``B_on >= q / D_A`` — the queue never outruns the allocation.
+
+    Checked after arrivals, before service, exactly as in the claim ("let
+    Q_on and B_on be the queue and the online bandwidth allocation at this
+    time").
+    """
+
+    name = "claim2"
+
+    def __init__(self, online_delay: int):
+        self.online_delay = int(online_delay)
+        #: Smallest observed slack ``B_on * D_A - q`` (bound tightness).
+        self.min_margin = float("inf")
+
+    def on_single_slot(self, view: SingleSlotView) -> None:
+        margin = view.allocation * self.online_delay - view.queue_before_serve
+        if margin < self.min_margin:
+            self.min_margin = margin
+        if margin < -_EPS * max(1.0, view.queue_before_serve):
+            self._fail(
+                view.t,
+                f"B_on={view.allocation:.6f} < q/D_A="
+                f"{view.queue_before_serve / self.online_delay:.6f}",
+            )
+
+
+class MaxBandwidthMonitor(Monitor):
+    """The policy never allocates more than ``B_A`` in total."""
+
+    name = "max-bandwidth"
+
+    def __init__(self, max_bandwidth: float):
+        self.max_bandwidth = float(max_bandwidth)
+        self.max_seen = 0.0
+
+    def _check(self, t: int, total: float) -> None:
+        if total > self.max_seen:
+            self.max_seen = total
+        if total > self.max_bandwidth * (1 + _EPS) + _EPS:
+            self._fail(
+                t, f"allocated {total:.6f} > B_A={self.max_bandwidth:.6f}"
+            )
+
+    def on_single_slot(self, view: SingleSlotView) -> None:
+        self._check(view.t, view.allocation)
+
+    def on_multi_slot(self, view: MultiSlotView) -> None:
+        total = sum(view.regular) + sum(view.overflow) + view.extra
+        self._check(view.t, total)
+
+
+class Claim9Monitor(Monitor):
+    """Claim 9: any interval of length Δ carries ≤ ``(Δ + D_O)·B_O`` bits.
+
+    Equivalent to ``G(t) - min_u G(u) <= D_O * B_O`` where
+    ``G(t) = C(t) - B_O * t`` and ``C`` is the cumulative arrival count, so
+    one running minimum suffices.  Violation means the *workload* is
+    infeasible for the offline constraints — useful failure injection.
+    """
+
+    name = "claim9"
+
+    def __init__(self, offline_bandwidth: float, offline_delay: int):
+        self.offline_bandwidth = float(offline_bandwidth)
+        self.offline_delay = int(offline_delay)
+        self._cumulative = 0.0
+        self._slots = 0
+        self._min_g = 0.0
+        self.max_excess = float("-inf")
+
+    def _ingest(self, t: int, arrivals: float) -> None:
+        # Interval (u, s]: Δ = s - u slots; bits = C(s) - C(u); the bound
+        # (Δ + D_O) * B_O rearranges to G(s) - G(u) <= D_O * B_O with
+        # G(x) = C(x) - B_O * x, so a running minimum of past G suffices.
+        previous_min = self._min_g
+        self._cumulative += arrivals
+        self._slots += 1
+        g = self._cumulative - self.offline_bandwidth * self._slots
+        excess = g - previous_min - self.offline_delay * self.offline_bandwidth
+        if excess > self.max_excess:
+            self.max_excess = excess
+        if excess > _EPS * max(1.0, self._cumulative):
+            self._fail(
+                t,
+                "arrivals exceed the Claim 9 feasibility envelope "
+                f"(excess {excess:.6f} bits)",
+            )
+        if g < self._min_g:
+            self._min_g = g
+
+    def on_single_slot(self, view: SingleSlotView) -> None:
+        self._ingest(view.t, view.arrivals)
+
+    def on_multi_slot(self, view: MultiSlotView) -> None:
+        self._ingest(view.t, sum(view.arrivals))
+
+
+class OverflowBoundMonitor(Monitor):
+    """Lemma 10 / 16: total overflow bandwidth ≤ ``factor · B_O``."""
+
+    name = "overflow-bound"
+
+    def __init__(self, offline_bandwidth: float, factor: float):
+        self.bound = float(offline_bandwidth) * float(factor)
+        self.max_seen = 0.0
+
+    def on_multi_slot(self, view: MultiSlotView) -> None:
+        total = sum(view.overflow)
+        if total > self.max_seen:
+            self.max_seen = total
+        if total > self.bound * (1 + _EPS) + _EPS:
+            self._fail(
+                view.t, f"overflow bandwidth {total:.6f} > {self.bound:.6f}"
+            )
+
+
+class RegularBoundMonitor(Monitor):
+    """Regular channel stays within ``2·B_O`` plus one ``B_O/k`` increment."""
+
+    name = "regular-bound"
+
+    def __init__(self, offline_bandwidth: float, k: int):
+        self.bound = 2.0 * float(offline_bandwidth) + float(offline_bandwidth) / k
+        self.max_seen = 0.0
+
+    def on_multi_slot(self, view: MultiSlotView) -> None:
+        total = sum(view.regular)
+        if total > self.max_seen:
+            self.max_seen = total
+        if total > self.bound * (1 + _EPS) + _EPS:
+            self._fail(
+                view.t, f"regular bandwidth {total:.6f} > {self.bound:.6f}"
+            )
+
+
+class DelayMonitor(Monitor):
+    """Every delivered bit met the online delay bound ``D_A``."""
+
+    name = "delay"
+
+    def __init__(self, online_delay: int, slack_slots: int = 0):
+        self.online_delay = int(online_delay)
+        self.slack_slots = int(slack_slots)
+        self.max_delay = 0
+
+    def _check(self, t: int, results: list[ServeResult]) -> None:
+        for result in results:
+            for delivery in result.deliveries:
+                if delivery.delay > self.max_delay:
+                    self.max_delay = delivery.delay
+                if delivery.delay > self.online_delay + self.slack_slots:
+                    self._fail(
+                        t,
+                        f"bit delay {delivery.delay} > D_A="
+                        f"{self.online_delay} (+{self.slack_slots} slack)",
+                    )
+
+    def on_single_slot(self, view: SingleSlotView) -> None:
+        self._check(view.t, [view.result])
+
+    def on_multi_slot(self, view: MultiSlotView) -> None:
+        self._check(view.t, view.results)

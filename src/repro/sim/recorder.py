@@ -1,0 +1,301 @@
+"""Per-slot trace recording and the finalized trace dataclasses.
+
+Traces are the single interchange format of the library: the engine produces
+them, the analysis module consumes them, and experiments serialize rows out
+of them.  Everything is dense per-slot numpy arrays plus sparse event lists
+(allocation changes, stage starts, resets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.link import BandwidthChange
+from repro.network.queue import ServeResult
+
+
+def merge_histograms(histograms: list[dict[int, float]]) -> dict[int, float]:
+    """Merge bits-weighted delay histograms."""
+    merged: dict[int, float] = {}
+    for histogram in histograms:
+        for delay, bits in histogram.items():
+            merged[delay] = merged.get(delay, 0.0) + bits
+    return merged
+
+
+def histogram_max_delay(histogram: dict[int, float]) -> int:
+    """Largest delay with positive bits (0 for an empty histogram)."""
+    return max(histogram.keys(), default=0)
+
+
+def histogram_quantile(histogram: dict[int, float], q: float) -> int:
+    """Bits-weighted delay quantile (q in [0, 1])."""
+    if not histogram:
+        return 0
+    total = sum(histogram.values())
+    threshold = q * total
+    acc = 0.0
+    for delay in sorted(histogram):
+        acc += histogram[delay]
+        if acc >= threshold:
+            return delay
+    return max(histogram)
+
+
+@dataclass
+class SingleSessionTrace:
+    """Finalized record of a single-session run."""
+
+    arrivals: np.ndarray
+    allocation: np.ndarray
+    delivered: np.ndarray
+    backlog: np.ndarray
+    delay_histogram: dict[int, float]
+    changes: list[BandwidthChange]
+    stage_starts: list[int]
+    resets: list[int]
+    horizon: int
+    dropped: np.ndarray = None  # set in __post_init__ when omitted
+
+    def __post_init__(self) -> None:
+        if self.dropped is None:
+            self.dropped = np.zeros_like(self.arrivals)
+
+    @property
+    def slots(self) -> int:
+        """Total simulated slots, including the drain tail."""
+        return len(self.arrivals)
+
+    @property
+    def max_delay(self) -> int:
+        return histogram_max_delay(self.delay_histogram)
+
+    @property
+    def change_count(self) -> int:
+        return len(self.changes)
+
+    @property
+    def completed_stages(self) -> int:
+        """Stages ended by ``high < low`` (offline-change certificates)."""
+        return len(self.resets)
+
+    @property
+    def total_arrived(self) -> float:
+        return float(self.arrivals.sum())
+
+    @property
+    def total_delivered(self) -> float:
+        return float(self.delivered.sum())
+
+    @property
+    def total_dropped(self) -> float:
+        """Bits tail-dropped at a finite ingress buffer (0 when unbounded)."""
+        return float(self.dropped.sum())
+
+    @property
+    def loss_rate(self) -> float:
+        """Dropped fraction of all offered bits."""
+        offered = self.total_arrived
+        if offered <= 0:
+            return 0.0
+        return self.total_dropped / offered
+
+    @property
+    def max_backlog(self) -> float:
+        """Peak end-of-slot queue size (buffer sizing requirement)."""
+        return float(self.backlog.max(initial=0.0))
+
+    @property
+    def max_allocation(self) -> float:
+        return float(self.allocation.max(initial=0.0))
+
+
+@dataclass
+class MultiSessionTrace:
+    """Finalized record of a multi-session run.
+
+    Arrays are shaped ``(slots, k)`` except the per-slot totals and the
+    optional extra (global-overflow) channel, which are ``(slots,)``.
+    """
+
+    arrivals: np.ndarray
+    regular_allocation: np.ndarray
+    overflow_allocation: np.ndarray
+    delivered: np.ndarray
+    backlog: np.ndarray
+    extra_allocation: np.ndarray
+    delay_histograms: list[dict[int, float]]
+    local_changes: list[tuple[int, str, BandwidthChange]]
+    extra_changes: list[BandwidthChange]
+    stage_starts: list[int]
+    resets: list[int]
+    horizon: int
+
+    @property
+    def slots(self) -> int:
+        return self.arrivals.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.arrivals.shape[1]
+
+    @property
+    def total_allocation(self) -> np.ndarray:
+        """Per-slot total allocated bandwidth across every channel."""
+        return (
+            self.regular_allocation.sum(axis=1)
+            + self.overflow_allocation.sum(axis=1)
+            + self.extra_allocation
+        )
+
+    @property
+    def max_total_allocation(self) -> float:
+        total = self.total_allocation
+        return float(total.max(initial=0.0))
+
+    @property
+    def max_delay(self) -> int:
+        return max(
+            (histogram_max_delay(h) for h in self.delay_histograms), default=0
+        )
+
+    def session_max_delay(self, i: int) -> int:
+        return histogram_max_delay(self.delay_histograms[i])
+
+    @property
+    def merged_delay_histogram(self) -> dict[int, float]:
+        return merge_histograms(self.delay_histograms)
+
+    @property
+    def local_change_count(self) -> int:
+        return len(self.local_changes)
+
+    @property
+    def change_count(self) -> int:
+        return len(self.local_changes) + len(self.extra_changes)
+
+    @property
+    def completed_stages(self) -> int:
+        return len(self.resets)
+
+    @property
+    def total_arrived(self) -> float:
+        return float(self.arrivals.sum())
+
+    @property
+    def total_delivered(self) -> float:
+        return float(self.delivered.sum())
+
+
+class SingleSessionRecorder:
+    """Accumulates per-slot data for a single-session run."""
+
+    def __init__(self) -> None:
+        self._arrivals: list[float] = []
+        self._allocation: list[float] = []
+        self._delivered: list[float] = []
+        self._backlog: list[float] = []
+        self._dropped: list[float] = []
+        self._histogram: dict[int, float] = {}
+
+    def record(
+        self,
+        t: int,
+        arrivals: float,
+        allocation: float,
+        result: ServeResult,
+        backlog_after: float,
+        dropped: float = 0.0,
+    ) -> None:
+        self._arrivals.append(arrivals)
+        self._allocation.append(allocation)
+        self._delivered.append(result.bits)
+        self._backlog.append(backlog_after)
+        self._dropped.append(dropped)
+        for delivery in result.deliveries:
+            self._histogram[delivery.delay] = (
+                self._histogram.get(delivery.delay, 0.0) + delivery.bits
+            )
+
+    def finalize(
+        self,
+        changes: list[BandwidthChange],
+        stage_starts: list[int],
+        resets: list[int],
+        horizon: int,
+    ) -> SingleSessionTrace:
+        return SingleSessionTrace(
+            arrivals=np.asarray(self._arrivals, dtype=float),
+            allocation=np.asarray(self._allocation, dtype=float),
+            delivered=np.asarray(self._delivered, dtype=float),
+            backlog=np.asarray(self._backlog, dtype=float),
+            delay_histogram=self._histogram,
+            changes=list(changes),
+            stage_starts=list(stage_starts),
+            resets=list(resets),
+            horizon=horizon,
+            dropped=np.asarray(self._dropped, dtype=float),
+        )
+
+
+class MultiSessionRecorder:
+    """Accumulates per-slot data for a multi-session run."""
+
+    def __init__(self, k: int):
+        self.k = k
+        self._arrivals: list[list[float]] = []
+        self._regular: list[list[float]] = []
+        self._overflow: list[list[float]] = []
+        self._delivered: list[list[float]] = []
+        self._backlog: list[list[float]] = []
+        self._extra: list[float] = []
+        self._histograms: list[dict[int, float]] = [dict() for _ in range(k)]
+
+    def record(
+        self,
+        t: int,
+        arrivals: list[float],
+        regular: list[float],
+        overflow: list[float],
+        results: list[ServeResult],
+        backlogs: list[float],
+        extra_allocation: float,
+    ) -> None:
+        self._arrivals.append(list(arrivals))
+        self._regular.append(list(regular))
+        self._overflow.append(list(overflow))
+        self._delivered.append([r.bits for r in results])
+        self._backlog.append(list(backlogs))
+        self._extra.append(extra_allocation)
+        for i, result in enumerate(results):
+            histogram = self._histograms[i]
+            for delivery in result.deliveries:
+                histogram[delivery.delay] = (
+                    histogram.get(delivery.delay, 0.0) + delivery.bits
+                )
+
+    def finalize(
+        self,
+        local_changes: list[tuple[int, str, BandwidthChange]],
+        extra_changes: list[BandwidthChange],
+        stage_starts: list[int],
+        resets: list[int],
+        horizon: int,
+    ) -> MultiSessionTrace:
+        shape = (len(self._arrivals), self.k)
+        return MultiSessionTrace(
+            arrivals=np.asarray(self._arrivals, dtype=float).reshape(shape),
+            regular_allocation=np.asarray(self._regular, dtype=float).reshape(shape),
+            overflow_allocation=np.asarray(self._overflow, dtype=float).reshape(shape),
+            delivered=np.asarray(self._delivered, dtype=float).reshape(shape),
+            backlog=np.asarray(self._backlog, dtype=float).reshape(shape),
+            extra_allocation=np.asarray(self._extra, dtype=float),
+            delay_histograms=self._histograms,
+            local_changes=list(local_changes),
+            extra_changes=list(extra_changes),
+            stage_starts=list(stage_starts),
+            resets=list(resets),
+            horizon=horizon,
+        )

@@ -1,0 +1,134 @@
+"""Trace persistence: save finalized traces to ``.npz`` + JSON sidecars.
+
+Dense per-slot arrays go into a compressed ``.npz``; sparse event lists
+(changes, stages, delay histograms) into JSON inside the same archive, so
+one file round-trips the whole trace for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.network.link import BandwidthChange
+from repro.sim.recorder import MultiSessionTrace, SingleSessionTrace
+
+
+def _changes_to_json(changes: list[BandwidthChange]) -> list[dict]:
+    return [{"t": c.t, "old": c.old, "new": c.new} for c in changes]
+
+
+def _changes_from_json(payload: list[dict]) -> list[BandwidthChange]:
+    return [BandwidthChange(t=c["t"], old=c["old"], new=c["new"]) for c in payload]
+
+
+def _histogram_to_json(histogram: dict[int, float]) -> dict[str, float]:
+    return {str(delay): bits for delay, bits in histogram.items()}
+
+
+def _histogram_from_json(payload: dict[str, float]) -> dict[int, float]:
+    return {int(delay): float(bits) for delay, bits in payload.items()}
+
+
+def save_single_trace(path: str | Path, trace: SingleSessionTrace) -> None:
+    """Persist a single-session trace to ``.npz``."""
+    meta = {
+        "kind": "single",
+        "horizon": trace.horizon,
+        "changes": _changes_to_json(trace.changes),
+        "stage_starts": trace.stage_starts,
+        "resets": trace.resets,
+        "delay_histogram": _histogram_to_json(trace.delay_histogram),
+    }
+    np.savez_compressed(
+        path,
+        arrivals=trace.arrivals,
+        allocation=trace.allocation,
+        delivered=trace.delivered,
+        backlog=trace.backlog,
+        dropped=trace.dropped,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+
+
+def load_single_trace(path: str | Path) -> SingleSessionTrace:
+    """Load a trace written by :func:`save_single_trace`."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("kind") != "single":
+            raise ConfigError(f"{path} does not hold a single-session trace")
+        return SingleSessionTrace(
+            arrivals=data["arrivals"],
+            allocation=data["allocation"],
+            delivered=data["delivered"],
+            backlog=data["backlog"],
+            delay_histogram=_histogram_from_json(meta["delay_histogram"]),
+            changes=_changes_from_json(meta["changes"]),
+            stage_starts=list(meta["stage_starts"]),
+            resets=list(meta["resets"]),
+            horizon=int(meta["horizon"]),
+            dropped=data["dropped"] if "dropped" in data.files else None,
+        )
+
+
+def save_multi_trace(path: str | Path, trace: MultiSessionTrace) -> None:
+    """Persist a multi-session trace to ``.npz``."""
+    meta = {
+        "kind": "multi",
+        "horizon": trace.horizon,
+        "local_changes": [
+            {"session": session, "channel": channel, **_changes_to_json([c])[0]}
+            for session, channel, c in trace.local_changes
+        ],
+        "extra_changes": _changes_to_json(trace.extra_changes),
+        "stage_starts": trace.stage_starts,
+        "resets": trace.resets,
+        "delay_histograms": [
+            _histogram_to_json(h) for h in trace.delay_histograms
+        ],
+    }
+    np.savez_compressed(
+        path,
+        arrivals=trace.arrivals,
+        regular_allocation=trace.regular_allocation,
+        overflow_allocation=trace.overflow_allocation,
+        delivered=trace.delivered,
+        backlog=trace.backlog,
+        extra_allocation=trace.extra_allocation,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+
+
+def load_multi_trace(path: str | Path) -> MultiSessionTrace:
+    """Load a trace written by :func:`save_multi_trace`."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("kind") != "multi":
+            raise ConfigError(f"{path} does not hold a multi-session trace")
+        local_changes = [
+            (
+                int(c["session"]),
+                str(c["channel"]),
+                BandwidthChange(t=c["t"], old=c["old"], new=c["new"]),
+            )
+            for c in meta["local_changes"]
+        ]
+        return MultiSessionTrace(
+            arrivals=data["arrivals"],
+            regular_allocation=data["regular_allocation"],
+            overflow_allocation=data["overflow_allocation"],
+            delivered=data["delivered"],
+            backlog=data["backlog"],
+            extra_allocation=data["extra_allocation"],
+            delay_histograms=[
+                _histogram_from_json(h) for h in meta["delay_histograms"]
+            ],
+            local_changes=local_changes,
+            extra_changes=_changes_from_json(meta["extra_changes"]),
+            stage_starts=list(meta["stage_starts"]),
+            resets=list(meta["resets"]),
+            horizon=int(meta["horizon"]),
+        )

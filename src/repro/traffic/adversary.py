@@ -1,0 +1,128 @@
+"""Adversarial constructions behind the paper's lower bounds (Remark §1.1).
+
+Two impossibility claims get executable demonstrations:
+
+* **Slack is necessary.**  An online algorithm forced to match the offline
+  delay *and* utilization exactly must keep re-tuning: the
+  :func:`sawtooth_stream` alternates a trickle pinned at the utilization
+  floor with bursts pinned at the delay ceiling, so a no-slack tracker
+  (:class:`TightTrackingAllocator`) oscillates every cycle while the
+  slacked Figure 3 algorithm rides it out within a stage.
+
+* **Ω(log B_A) under global utilization.**  The
+  :func:`doubling_stream` doubles the burst size every quiet period; any
+  online algorithm that keeps *global* utilization within a constant of
+  the offline's must climb through Θ(log B_A) allocation levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocator import BandwidthPolicy
+from repro.core.windows import SlidingWindowSum
+from repro.errors import ConfigError
+
+
+def sawtooth_stream(
+    offline_bandwidth: float,
+    offline_delay: int,
+    utilization: float,
+    window: int,
+    cycles: int,
+    quiet_factor: float = 1.15,
+) -> np.ndarray:
+    """Trickle-then-burst cycles that pin both constraints at once.
+
+    Each cycle holds ``window`` slots of trickle at
+    ``quiet_factor · U_O · B_O`` per slot (just above the utilization floor
+    for a constant-``B_O`` offline) followed by one burst of
+    ``B_O · D_O`` bits (needing the full ``B_O`` to meet the delay bound).
+    The stream is feasible for a constant ``B_O`` offline with zero
+    changes; any online algorithm with *no* slack must swing its
+    allocation every cycle.
+    """
+    if cycles < 1:
+        raise ConfigError(f"cycles must be >= 1, got {cycles!r}")
+    if not 0 < utilization <= 1:
+        raise ConfigError(f"utilization must be in (0,1], got {utilization!r}")
+    trickle = quiet_factor * utilization * offline_bandwidth
+    burst = offline_bandwidth * offline_delay
+    cycle = [trickle] * window + [burst]
+    return np.asarray(cycle * cycles, dtype=float)
+
+
+def doubling_stream(
+    max_bandwidth: float,
+    offline_delay: int,
+    gap: int | None = None,
+    repeats: int = 1,
+) -> np.ndarray:
+    """Bursts of 1, 2, 4, ..., ``B_A · D_O`` separated by quiet gaps.
+
+    Forces a power-of-two tracker through every rung of its ladder —
+    Θ(log B_A) changes against an offline that (knowing the future) jumps
+    straight to the final level.
+    """
+    if gap is None:
+        gap = 4 * offline_delay
+    if gap < 1:
+        raise ConfigError(f"gap must be >= 1, got {gap!r}")
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats!r}")
+    chunks: list[float] = []
+    for _ in range(repeats):
+        size = 1.0
+        top = max_bandwidth * offline_delay
+        while size <= top:
+            chunks.append(size)
+            chunks.extend([0.0] * (gap - 1))
+            size *= 2.0
+    return np.asarray(chunks, dtype=float)
+
+
+class TightTrackingAllocator(BandwidthPolicy):
+    """The no-slack strawman: meet delay ``D`` and utilization ``U`` exactly.
+
+    Each slot it computes the *least* bandwidth that clears the backlog
+    within ``D`` slots, then — if the trailing ``window`` of allocations
+    would dip below utilization ``U`` — the *largest* bandwidth utilization
+    still permits, and takes whichever constraint binds.  Because the two
+    constraints meet in a point that moves with every burst, the allocation
+    changes almost every cycle of an adversarial stream: the Remark's
+    "unbounded changes" made visible.
+    """
+
+    def __init__(
+        self,
+        max_bandwidth: float,
+        delay: int,
+        utilization: float,
+        window: int,
+        name: str = "tight",
+    ):
+        super().__init__(name=name, max_bandwidth=max_bandwidth)
+        if delay < 1:
+            raise ConfigError(f"delay must be >= 1, got {delay!r}")
+        if not 0 < utilization <= 1:
+            raise ConfigError(f"utilization must be in (0,1], got {utilization!r}")
+        self.delay = int(delay)
+        self.utilization = float(utilization)
+        self.window = int(window)
+        self._in_sum = SlidingWindowSum(self.window)
+        self._alloc_sum = SlidingWindowSum(self.window)
+
+    def decide(self, t: int, arrivals: float, backlog: float) -> float:
+        in_sum = self._in_sum.push(arrivals)
+        # Delay floor: clear everything within D slots from now.
+        floor = (backlog + arrivals) / self.delay
+        # Utilization ceiling: keep IN(window)/B(window) >= U, i.e. this
+        # slot's allocation at most IN/U minus what is already allocated in
+        # the trailing window.  When the constraints conflict, delay wins.
+        ceiling = self.max_bandwidth
+        if self._in_sum.full:
+            ceiling = max(0.0, in_sum / self.utilization - self._alloc_sum.sum)
+        bandwidth = min(self.max_bandwidth, max(floor, min(floor, ceiling)))
+        self.link.set(t, bandwidth)
+        self._alloc_sum.push(self.link.bandwidth)
+        return self.link.bandwidth

@@ -1,0 +1,52 @@
+"""Arrival-process interface and seeding helpers.
+
+An :class:`ArrivalProcess` produces a finite per-slot arrival sequence
+(bits per slot, non-negative floats).  Generators are deterministic given
+an explicit :class:`numpy.random.Generator`, which keeps every experiment
+reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Build a Generator from a seed (passes Generators through)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class ArrivalProcess(ABC):
+    """A source of per-slot arrival volumes."""
+
+    @abstractmethod
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        """Produce ``horizon`` non-negative per-slot arrival volumes."""
+
+    def materialize(
+        self, horizon: int, seed: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Generate with a fresh RNG; validates shape and sign."""
+        if horizon < 0:
+            raise ConfigError(f"horizon must be >= 0, got {horizon!r}")
+        rng = make_rng(seed)
+        arrivals = np.asarray(self.generate(horizon, rng), dtype=float)
+        if arrivals.shape != (horizon,):
+            raise ConfigError(
+                f"{type(self).__name__} returned shape {arrivals.shape}, "
+                f"expected ({horizon},)"
+            )
+        if horizon and float(arrivals.min()) < 0:
+            raise ConfigError(f"{type(self).__name__} produced negative arrivals")
+        return arrivals
+
+    def __add__(self, other: "ArrivalProcess") -> "ArrivalProcess":
+        from repro.traffic.transforms import Superpose
+
+        return Superpose([self, other])

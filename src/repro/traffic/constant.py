@@ -1,0 +1,42 @@
+"""Deterministic arrival processes: CBR and fixed patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traffic.base import ArrivalProcess
+
+
+class ConstantRate(ArrivalProcess):
+    """Constant bit rate: the same volume every slot (e.g. uncompressed
+    voice, the one workload the paper notes suits static allocation)."""
+
+    def __init__(self, rate: float):
+        if rate < 0:
+            raise ConfigError(f"rate must be >= 0, got {rate!r}")
+        self.rate = float(rate)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(horizon, self.rate, dtype=float)
+
+    def __repr__(self) -> str:
+        return f"ConstantRate(rate={self.rate})"
+
+
+class RepeatingPattern(ArrivalProcess):
+    """Cycle a fixed per-slot pattern (deterministic periodic demand)."""
+
+    def __init__(self, pattern: list[float]):
+        if not pattern:
+            raise ConfigError("pattern must be non-empty")
+        if min(pattern) < 0:
+            raise ConfigError("pattern values must be >= 0")
+        self.pattern = [float(x) for x in pattern]
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        reps = horizon // len(self.pattern) + 1
+        return np.tile(np.asarray(self.pattern, dtype=float), reps)[:horizon]
+
+    def __repr__(self) -> str:
+        return f"RepeatingPattern(len={len(self.pattern)})"

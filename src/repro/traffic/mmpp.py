@@ -1,0 +1,66 @@
+"""Markov-modulated Poisson process with an arbitrary number of states."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traffic.base import ArrivalProcess
+
+
+class MarkovModulatedPoisson(ArrivalProcess):
+    """Poisson arrivals whose rate follows a discrete-time Markov chain.
+
+    Args:
+        transition: row-stochastic ``(n, n)`` matrix of per-slot state
+            transition probabilities.
+        rates: length-``n`` Poisson rate per state.
+        start_state: initial chain state.
+    """
+
+    def __init__(
+        self,
+        transition: np.ndarray | list[list[float]],
+        rates: np.ndarray | list[float],
+        start_state: int = 0,
+    ):
+        self.transition = np.asarray(transition, dtype=float)
+        self.rates = np.asarray(rates, dtype=float)
+        n = len(self.rates)
+        if self.transition.shape != (n, n):
+            raise ConfigError(
+                f"transition must be ({n}, {n}), got {self.transition.shape}"
+            )
+        if (self.transition < 0).any() or not np.allclose(
+            self.transition.sum(axis=1), 1.0
+        ):
+            raise ConfigError("transition rows must be non-negative and sum to 1")
+        if (self.rates < 0).any():
+            raise ConfigError("rates must be >= 0")
+        if not 0 <= start_state < n:
+            raise ConfigError(f"start_state must be in [0, {n}), got {start_state}")
+        self.start_state = int(start_state)
+
+    @classmethod
+    def bursty(
+        cls, low: float, high: float, persistence: float = 0.95
+    ) -> "MarkovModulatedPoisson":
+        """Convenience two-state chain alternating low/high rates."""
+        p = float(persistence)
+        return cls([[p, 1 - p], [1 - p, p]], [low, high])
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        n = len(self.rates)
+        states = np.empty(horizon, dtype=int)
+        state = self.start_state
+        uniform = rng.random(horizon)
+        cumulative = np.cumsum(self.transition, axis=1)
+        for t in range(horizon):
+            states[t] = state
+            state = int(np.searchsorted(cumulative[state], uniform[t]))
+            if state >= n:
+                state = n - 1
+        return rng.poisson(self.rates[states]).astype(float)
+
+    def __repr__(self) -> str:
+        return f"MarkovModulatedPoisson(states={len(self.rates)})"

@@ -1,0 +1,149 @@
+"""Certificate-backed multi-session workloads (Section 3 scenarios).
+
+The offline adversary of the multi-session case assigns each session a
+piecewise-constant bandwidth with ``Σ_i b_i(t) <= B_O`` and serves every
+session within ``D_O``.  As in the single-session generator we draw that
+assignment first — session weights re-drawn per segment, so demand *shifts
+between sessions* over time, which is exactly what forces offline changes —
+and then synthesize arrivals each session's profile provably serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, FeasibilityError
+from repro.traffic.base import make_rng
+from repro.traffic.feasible import _release_early, profile_switch_count
+
+
+@dataclass(frozen=True)
+class MultiSessionWorkload:
+    """Arrivals ``(T, k)`` plus the per-session certificate profiles."""
+
+    arrivals: np.ndarray
+    profiles: np.ndarray
+    offline_bandwidth: float
+    offline_delay: int
+
+    @property
+    def horizon(self) -> int:
+        return self.arrivals.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.arrivals.shape[1]
+
+    @property
+    def profile_changes(self) -> int:
+        """Total interior switches across all per-session profiles
+        (the offline-change certificate upper bound)."""
+        return sum(
+            profile_switch_count(self.profiles[:, i]) for i in range(self.k)
+        )
+
+    def per_session_changes(self) -> list[int]:
+        return [profile_switch_count(self.profiles[:, i]) for i in range(self.k)]
+
+
+def generate_multi_feasible(
+    k: int,
+    offline_bandwidth: float,
+    offline_delay: int,
+    horizon: int,
+    segments: int = 6,
+    seed: int | np.random.Generator | None = None,
+    fill: float = 0.9,
+    concentration: float = 1.0,
+    fill_jitter: float = 0.2,
+    burstiness: str = "smooth",
+    min_segment: int | None = None,
+) -> MultiSessionWorkload:
+    """Generate a certified ``(B_O, D_O)``-feasible multi-session workload.
+
+    Args:
+        k: number of sessions.
+        offline_bandwidth: ``B_O`` shared by the offline assignment.
+        offline_delay: ``D_O``.
+        horizon: slots.
+        segments: how many times the session weight vector is re-drawn;
+            the certificate change count grows with ``segments * k``.
+        seed: RNG seed or Generator.
+        fill: fraction of ``B_O`` the offline assignment hands out.
+        concentration: Dirichlet concentration of the session weights
+            (< 1 = skewed toward few sessions, > 1 = near-equal).
+        fill_jitter: per-slot service-fill variation below the profile.
+        burstiness: arrival release mode (see
+            :func:`repro.traffic.feasible._release_early`).
+        min_segment: minimum segment length (default ``4 * D_O``).
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k!r}")
+    if not 0 < fill <= 1:
+        raise ConfigError(f"fill must be in (0,1], got {fill!r}")
+    if not 0 <= fill_jitter < 1:
+        raise ConfigError(f"fill_jitter must be in [0,1), got {fill_jitter!r}")
+    if concentration <= 0:
+        raise ConfigError(f"concentration must be > 0, got {concentration!r}")
+    from repro.analysis.feasibility import check_multi_against_profiles
+
+    rng = make_rng(seed)
+    floor = min_segment if min_segment is not None else 4 * offline_delay
+    if horizon < segments * floor:
+        raise ConfigError(
+            f"horizon {horizon} too short for {segments} segments of "
+            f">= {floor} slots"
+        )
+
+    slack = horizon - segments * floor
+    if segments > 1:
+        cuts = np.sort(rng.integers(0, slack + 1, size=segments - 1))
+        extras = np.diff(np.concatenate([[0], cuts, [slack]]))
+    else:
+        extras = np.asarray([slack])
+    lengths = [floor + int(extra) for extra in extras]
+
+    budget = fill * offline_bandwidth
+    profiles = np.zeros((horizon, k), dtype=float)
+    position = 0
+    for length in lengths:
+        weights = rng.dirichlet(np.full(k, concentration))
+        profiles[position : position + length, :] = budget * weights
+        position += length
+
+    arrivals = np.zeros_like(profiles)
+    for i in range(k):
+        fills = rng.uniform(1.0 - fill_jitter, 1.0, size=horizon)
+        served = fills * profiles[:, i]
+        arrivals[:, i] = _release_early(served, offline_delay, burstiness, rng)
+
+    report = check_multi_against_profiles(
+        arrivals, profiles, offline_bandwidth, offline_delay
+    )
+    if not report.feasible:
+        raise FeasibilityError(
+            f"generated multi-session workload failed verification: "
+            f"{report.detail}"
+        )
+    return MultiSessionWorkload(
+        arrivals=arrivals,
+        profiles=profiles,
+        offline_bandwidth=float(offline_bandwidth),
+        offline_delay=int(offline_delay),
+    )
+
+
+def independent_processes_workload(
+    processes: list,
+    horizon: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Materialize ``k`` independent arrival processes into ``(T, k)``.
+
+    No feasibility certificate — useful for stress tests and baselines.
+    """
+    rng = make_rng(seed)
+    columns = [process.materialize(horizon, rng) for process in processes]
+    return np.stack(columns, axis=1)

@@ -1,0 +1,65 @@
+"""Two-state Markov on/off bursts — the canonical bursty source."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traffic.base import ArrivalProcess
+
+
+class OnOffBursts(ArrivalProcess):
+    """Markov-modulated on/off source.
+
+    In the ON state the source emits ``on_rate`` bits per slot (optionally
+    jittered); in the OFF state ``off_rate`` (typically 0).  Mean sojourn
+    times are ``mean_on`` / ``mean_off`` slots (geometric).
+    """
+
+    def __init__(
+        self,
+        on_rate: float,
+        mean_on: float,
+        mean_off: float,
+        off_rate: float = 0.0,
+        jitter: float = 0.0,
+        start_on: bool = False,
+    ):
+        if on_rate < 0 or off_rate < 0:
+            raise ConfigError("rates must be >= 0")
+        if mean_on < 1 or mean_off < 1:
+            raise ConfigError("mean sojourn times must be >= 1 slot")
+        if not 0 <= jitter < 1:
+            raise ConfigError(f"jitter must be in [0, 1), got {jitter!r}")
+        self.on_rate = float(on_rate)
+        self.off_rate = float(off_rate)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+        self.jitter = float(jitter)
+        self.start_on = bool(start_on)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        p_leave_on = 1.0 / self.mean_on
+        p_leave_off = 1.0 / self.mean_off
+        arrivals = np.zeros(horizon, dtype=float)
+        on = self.start_on
+        flips = rng.random(horizon)
+        noise = (
+            1.0 + self.jitter * (2.0 * rng.random(horizon) - 1.0)
+            if self.jitter
+            else np.ones(horizon)
+        )
+        for t in range(horizon):
+            rate = self.on_rate if on else self.off_rate
+            arrivals[t] = max(0.0, rate * noise[t])
+            if on and flips[t] < p_leave_on:
+                on = False
+            elif not on and flips[t] < p_leave_off:
+                on = True
+        return arrivals
+
+    def __repr__(self) -> str:
+        return (
+            f"OnOffBursts(on_rate={self.on_rate}, mean_on={self.mean_on}, "
+            f"mean_off={self.mean_off})"
+        )

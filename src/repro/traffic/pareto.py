@@ -1,0 +1,61 @@
+"""Heavy-tailed burst sources (Pareto sizes, self-similar-ish aggregates)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traffic.base import ArrivalProcess
+
+
+class ParetoBursts(ArrivalProcess):
+    """Bursts with Pareto-distributed sizes.
+
+    A burst starts in any slot with probability ``burst_prob``; its size is
+    Pareto(``shape``) scaled to mean ``mean_burst`` and optionally spread
+    over ``spread`` consecutive slots (a crude train model).  With
+    ``shape`` close to 1 the size distribution is extremely heavy-tailed —
+    the adversarial regime for any allocation policy.
+    """
+
+    def __init__(
+        self,
+        burst_prob: float,
+        mean_burst: float,
+        shape: float = 1.5,
+        spread: int = 1,
+        cap: float | None = None,
+    ):
+        if not 0 <= burst_prob <= 1:
+            raise ConfigError(f"burst_prob must be in [0,1], got {burst_prob!r}")
+        if mean_burst <= 0:
+            raise ConfigError(f"mean_burst must be > 0, got {mean_burst!r}")
+        if shape <= 1:
+            raise ConfigError(f"shape must be > 1 for a finite mean, got {shape!r}")
+        if spread < 1:
+            raise ConfigError(f"spread must be >= 1, got {spread!r}")
+        self.burst_prob = float(burst_prob)
+        self.mean_burst = float(mean_burst)
+        self.shape = float(shape)
+        self.spread = int(spread)
+        self.cap = float(cap) if cap is not None else None
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        arrivals = np.zeros(horizon + self.spread, dtype=float)
+        starts = rng.random(horizon) < self.burst_prob
+        # numpy's pareto is the Lomax form with mean 1/(shape-1); rescale so
+        # burst sizes have the requested mean.
+        scale = self.mean_burst * (self.shape - 1.0)
+        for t in np.flatnonzero(starts):
+            size = float(rng.pareto(self.shape)) * scale
+            if self.cap is not None:
+                size = min(size, self.cap)
+            per_slot = size / self.spread
+            arrivals[t : t + self.spread] += per_slot
+        return arrivals[:horizon]
+
+    def __repr__(self) -> str:
+        return (
+            f"ParetoBursts(burst_prob={self.burst_prob}, "
+            f"mean_burst={self.mean_burst}, shape={self.shape})"
+        )

@@ -1,0 +1,59 @@
+"""Poisson-family arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traffic.base import ArrivalProcess
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Independent Poisson arrivals: ``bits[t] ~ Poisson(rate)``."""
+
+    def __init__(self, rate: float):
+        if rate < 0:
+            raise ConfigError(f"rate must be >= 0, got {rate!r}")
+        self.rate = float(rate)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.poisson(self.rate, size=horizon).astype(float)
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self.rate})"
+
+
+class CompoundPoisson(ArrivalProcess):
+    """Bursts arrive Poisson; each burst carries a geometric bit count.
+
+    ``burst_rate`` bursts per slot on average, each of mean size
+    ``mean_burst`` bits — a simple model of packetized traffic where the
+    per-slot volume is burstier than plain Poisson.
+    """
+
+    def __init__(self, burst_rate: float, mean_burst: float):
+        if burst_rate < 0:
+            raise ConfigError(f"burst_rate must be >= 0, got {burst_rate!r}")
+        if mean_burst <= 0:
+            raise ConfigError(f"mean_burst must be > 0, got {mean_burst!r}")
+        self.burst_rate = float(burst_rate)
+        self.mean_burst = float(mean_burst)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        counts = rng.poisson(self.burst_rate, size=horizon)
+        arrivals = np.zeros(horizon, dtype=float)
+        busy = counts > 0
+        if busy.any():
+            # Geometric sizes with mean `mean_burst` (support {1, 2, ...}).
+            p = min(1.0, 1.0 / self.mean_burst)
+            totals = [
+                float(rng.geometric(p, size=c).sum()) for c in counts[busy]
+            ]
+            arrivals[busy] = totals
+        return arrivals
+
+    def __repr__(self) -> str:
+        return (
+            f"CompoundPoisson(burst_rate={self.burst_rate}, "
+            f"mean_burst={self.mean_burst})"
+        )

@@ -1,0 +1,33 @@
+"""Token-bucket-shaped arrival processes.
+
+Wraps any :class:`~repro.traffic.base.ArrivalProcess` in a
+:class:`~repro.network.shaper.TokenBucket`, producing traffic that
+provably satisfies the paper's feasibility assumption: a conforming
+``(rate, burst)`` stream is ``(B_O, D_O)``-feasible for any
+``B_O >= rate`` with ``D_O >= burst / B_O``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.shaper import TokenBucket
+from repro.traffic.base import ArrivalProcess
+
+
+class Shaped(ArrivalProcess):
+    """Pass ``inner`` through a token bucket; output is conforming."""
+
+    def __init__(self, inner: ArrivalProcess, rate: float, burst: float):
+        self.inner = inner
+        self.rate = float(rate)
+        self.burst = float(burst)
+        TokenBucket(rate, burst)  # validate eagerly
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        raw = self.inner.generate(horizon, rng)
+        shaped = TokenBucket(self.rate, self.burst).shape(raw, drain=False)
+        return shaped[:horizon]
+
+    def __repr__(self) -> str:
+        return f"Shaped({self.inner!r}, rate={self.rate}, burst={self.burst})"

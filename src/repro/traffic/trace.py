@@ -1,0 +1,64 @@
+"""Trace replay and simple CSV/JSON persistence for arrival sequences."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traffic.base import ArrivalProcess
+
+
+class TraceReplay(ArrivalProcess):
+    """Replay a recorded arrival sequence.
+
+    Shorter horizons truncate the trace; longer horizons either pad with
+    zeros (default) or cycle the trace (``loop=True``).
+    """
+
+    def __init__(self, values: np.ndarray | list[float], loop: bool = False):
+        array = np.asarray(values, dtype=float)
+        if array.ndim != 1:
+            raise ConfigError(f"trace must be 1-D, got shape {array.shape}")
+        if array.size and float(array.min()) < 0:
+            raise ConfigError("trace values must be >= 0")
+        self.values = array
+        self.loop = bool(loop)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        n = len(self.values)
+        if horizon <= n:
+            return self.values[:horizon].copy()
+        if self.loop and n > 0:
+            reps = horizon // n + 1
+            return np.tile(self.values, reps)[:horizon]
+        return np.concatenate([self.values, np.zeros(horizon - n)])
+
+    def __repr__(self) -> str:
+        return f"TraceReplay(len={len(self.values)}, loop={self.loop})"
+
+
+def save_trace(path: str | Path, values: np.ndarray | list[float]) -> None:
+    """Write one arrival volume per line (CSV-compatible)."""
+    array = np.asarray(values, dtype=float)
+    Path(path).write_text("\n".join(f"{x:.9g}" for x in array) + "\n")
+
+
+def load_trace(path: str | Path) -> TraceReplay:
+    """Load a trace written by :func:`save_trace` (one value per line)."""
+    text = Path(path).read_text()
+    values = [float(line) for line in text.splitlines() if line.strip()]
+    return TraceReplay(values)
+
+
+def save_trace_json(path: str | Path, values: np.ndarray | list[float]) -> None:
+    """Write a trace as a JSON array."""
+    array = [float(x) for x in np.asarray(values, dtype=float)]
+    Path(path).write_text(json.dumps(array))
+
+
+def load_trace_json(path: str | Path) -> TraceReplay:
+    """Load a JSON-array trace."""
+    return TraceReplay(json.loads(Path(path).read_text()))

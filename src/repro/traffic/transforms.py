@@ -1,0 +1,94 @@
+"""Combinators over arrival processes: scale, shift, clip, superpose, jitter."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traffic.base import ArrivalProcess
+
+
+class Scaled(ArrivalProcess):
+    """Multiply another process's output by a constant factor."""
+
+    def __init__(self, inner: ArrivalProcess, factor: float):
+        if factor < 0:
+            raise ConfigError(f"factor must be >= 0, got {factor!r}")
+        self.inner = inner
+        self.factor = float(factor)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        return self.factor * self.inner.generate(horizon, rng)
+
+    def __repr__(self) -> str:
+        return f"Scaled({self.inner!r}, factor={self.factor})"
+
+
+class Shifted(ArrivalProcess):
+    """Delay another process by ``delay`` slots (zeros at the front)."""
+
+    def __init__(self, inner: ArrivalProcess, delay: int):
+        if delay < 0:
+            raise ConfigError(f"delay must be >= 0, got {delay!r}")
+        self.inner = inner
+        self.delay = int(delay)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        body = self.inner.generate(max(0, horizon - self.delay), rng)
+        return np.concatenate([np.zeros(min(self.delay, horizon)), body])
+
+    def __repr__(self) -> str:
+        return f"Shifted({self.inner!r}, delay={self.delay})"
+
+
+class ClipTo(ArrivalProcess):
+    """Cap another process's per-slot output at ``ceiling``."""
+
+    def __init__(self, inner: ArrivalProcess, ceiling: float):
+        if ceiling < 0:
+            raise ConfigError(f"ceiling must be >= 0, got {ceiling!r}")
+        self.inner = inner
+        self.ceiling = float(ceiling)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        return np.minimum(self.inner.generate(horizon, rng), self.ceiling)
+
+    def __repr__(self) -> str:
+        return f"ClipTo({self.inner!r}, ceiling={self.ceiling})"
+
+
+class Superpose(ArrivalProcess):
+    """Sum of several independent processes (traffic aggregation)."""
+
+    def __init__(self, parts: list[ArrivalProcess]):
+        if not parts:
+            raise ConfigError("parts must be non-empty")
+        self.parts = list(parts)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        total = np.zeros(horizon, dtype=float)
+        for part in self.parts:
+            total += part.generate(horizon, rng)
+        return total
+
+    def __repr__(self) -> str:
+        return f"Superpose(n={len(self.parts)})"
+
+
+class Jittered(ArrivalProcess):
+    """Multiply each slot by an independent lognormal factor."""
+
+    def __init__(self, inner: ArrivalProcess, sigma: float):
+        if sigma < 0:
+            raise ConfigError(f"sigma must be >= 0, got {sigma!r}")
+        self.inner = inner
+        self.sigma = float(sigma)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        base = self.inner.generate(horizon, rng)
+        if not self.sigma:
+            return base
+        return base * rng.lognormal(0.0, self.sigma, size=horizon)
+
+    def __repr__(self) -> str:
+        return f"Jittered({self.inner!r}, sigma={self.sigma})"

@@ -1,0 +1,82 @@
+"""MPEG-GOP-style variable-bit-rate video source.
+
+The paper's introduction singles out compressed video as the motivating
+workload whose bandwidth need varies unpredictably.  This source emits one
+frame every ``frame_interval`` slots following the classic
+I/B/B/P/B/B/P/... group-of-pictures pattern, with lognormal size noise and
+an optional slow scene-level rate drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.traffic.base import ArrivalProcess
+
+#: Relative frame weights of a 12-frame GOP (I much larger than P than B).
+DEFAULT_GOP = [8.0, 1.0, 1.0, 3.0, 1.0, 1.0, 3.0, 1.0, 1.0, 3.0, 1.0, 1.0]
+
+
+class MpegVbr(ArrivalProcess):
+    """GOP-patterned VBR video.
+
+    Args:
+        mean_rate: long-run average bits per slot.
+        frame_interval: slots between frames (>= 1).
+        gop: relative frame-size pattern (defaults to a 12-frame GOP).
+        noise_sigma: lognormal sigma of per-frame size noise.
+        scene_change_prob: per-frame probability of re-drawing the scene
+            activity multiplier.
+        scene_sigma: lognormal sigma of the scene multiplier.
+    """
+
+    def __init__(
+        self,
+        mean_rate: float,
+        frame_interval: int = 3,
+        gop: list[float] | None = None,
+        noise_sigma: float = 0.2,
+        scene_change_prob: float = 0.02,
+        scene_sigma: float = 0.5,
+    ):
+        if mean_rate < 0:
+            raise ConfigError(f"mean_rate must be >= 0, got {mean_rate!r}")
+        if frame_interval < 1:
+            raise ConfigError(f"frame_interval must be >= 1, got {frame_interval!r}")
+        if noise_sigma < 0 or scene_sigma < 0:
+            raise ConfigError("sigmas must be >= 0")
+        if not 0 <= scene_change_prob <= 1:
+            raise ConfigError("scene_change_prob must be in [0, 1]")
+        self.mean_rate = float(mean_rate)
+        self.frame_interval = int(frame_interval)
+        self.gop = [float(x) for x in (gop or DEFAULT_GOP)]
+        if not self.gop or min(self.gop) < 0:
+            raise ConfigError("gop weights must be non-empty and >= 0")
+        self.noise_sigma = float(noise_sigma)
+        self.scene_change_prob = float(scene_change_prob)
+        self.scene_sigma = float(scene_sigma)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        arrivals = np.zeros(horizon, dtype=float)
+        gop = np.asarray(self.gop)
+        # Normalize so the long-run mean rate comes out right:
+        # one frame per `frame_interval` slots of average weight mean(gop).
+        frame_mean_bits = self.mean_rate * self.frame_interval
+        weights = gop / gop.mean()
+        scene = 1.0
+        frame_index = 0
+        for t in range(0, horizon, self.frame_interval):
+            if rng.random() < self.scene_change_prob:
+                scene = float(rng.lognormal(0.0, self.scene_sigma))
+            weight = weights[frame_index % len(weights)]
+            noise = float(rng.lognormal(0.0, self.noise_sigma)) if self.noise_sigma else 1.0
+            arrivals[t] = frame_mean_bits * weight * scene * noise
+            frame_index += 1
+        return arrivals
+
+    def __repr__(self) -> str:
+        return (
+            f"MpegVbr(mean_rate={self.mean_rate}, "
+            f"frame_interval={self.frame_interval})"
+        )

@@ -1,0 +1,36 @@
+"""Tests for the competitive-ratio bracketing."""
+
+import pytest
+
+from repro.analysis.competitive import CompetitiveReport, bracket
+from repro.errors import ConfigError
+
+
+class TestCompetitiveReport:
+    def test_ratios(self):
+        report = CompetitiveReport(online_changes=12, opt_lower=2, opt_upper=4)
+        assert report.ratio_vs_upper == 3.0
+        assert report.ratio_vs_lower == 6.0
+
+    def test_zero_denominators_clamped(self):
+        report = CompetitiveReport(online_changes=5, opt_lower=0, opt_upper=0)
+        assert report.ratio_vs_upper == 5.0
+        assert report.ratio_vs_lower == 5.0
+
+    def test_gross_inversion_rejected(self):
+        with pytest.raises(ConfigError):
+            CompetitiveReport(online_changes=1, opt_lower=10, opt_upper=2)
+
+    def test_as_row(self):
+        row = CompetitiveReport(3, 1, 2).as_row()
+        assert row == ["3", "1", "2", "1.50", "3.00"]
+
+
+class TestBracket:
+    def test_snaps_off_by_one(self):
+        report = bracket(online_changes=4, opt_lower=3, opt_upper=2)
+        assert report.opt_lower == 2
+
+    def test_passes_through_valid(self):
+        report = bracket(online_changes=4, opt_lower=1, opt_upper=3)
+        assert (report.opt_lower, report.opt_upper) == (1, 3)

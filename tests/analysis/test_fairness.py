@@ -1,0 +1,53 @@
+"""Tests for the fairness metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import delay_fairness, jain_index, service_fairness
+from repro.core.baselines import EqualSplitMultiSession
+from repro.errors import ConfigError
+from repro.sim.engine import run_multi_session
+
+
+class TestJainIndex:
+    def test_uniform_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_k(self):
+        assert jain_index([0.0, 0.0, 0.0, 12.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_one(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            jain_index([])
+        with pytest.raises(ConfigError):
+            jain_index([-1.0, 2.0])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=30)
+    )
+    def test_bounds(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+class TestTraceFairness:
+    def test_symmetric_load_is_fair(self):
+        policy = EqualSplitMultiSession(3, offline_bandwidth=4.0)
+        trace = run_multi_session(policy, np.full((100, 3), 2.0))
+        assert delay_fairness(trace) == pytest.approx(1.0)
+        assert service_fairness(trace) == pytest.approx(1.0)
+
+    def test_skewed_delays_reduce_fairness(self):
+        arrivals = np.zeros((60, 2))
+        arrivals[0, 0] = 40.0  # session 0 queues; session 1 idles
+        arrivals[:, 1] = 1.0
+        policy = EqualSplitMultiSession(2, offline_bandwidth=4.0)
+        trace = run_multi_session(policy, arrivals)
+        assert delay_fairness(trace) < 1.0
+        assert service_fairness(trace) == pytest.approx(1.0)  # all served

@@ -1,0 +1,68 @@
+"""Tests for the pricing model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pricing import CostBreakdown, PricingModel, cheapest
+from repro.core.baselines import PerSlotAllocator, StaticAllocator
+from repro.errors import ConfigError
+from repro.sim.engine import run_single_session
+
+
+class TestPricingModel:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PricingModel(bandwidth_price=-1)
+        with pytest.raises(ConfigError):
+            PricingModel(sla_price=1.0)  # no delay bound
+
+    def test_bandwidth_cost_counts_allocation_not_delivery(self):
+        # Static over-allocation pays for idle bandwidth.
+        trace = run_single_session(StaticAllocator(10.0), np.full(50, 2.0))
+        cost = PricingModel(bandwidth_price=2.0).cost_single(trace)
+        assert cost.bandwidth_cost == pytest.approx(2.0 * 10.0 * trace.slots)
+        assert cost.change_cost == 0.0
+        assert cost.total == cost.bandwidth_cost
+
+    def test_change_cost(self):
+        trace = run_single_session(
+            PerSlotAllocator(100.0), np.asarray([1.0, 5.0, 1.0, 5.0])
+        )
+        cost = PricingModel(bandwidth_price=0.0, change_price=3.0).cost_single(trace)
+        assert cost.change_cost == pytest.approx(3.0 * trace.change_count)
+
+    def test_sla_cost_counts_late_bits_only(self):
+        # 10 bits at 2/slot: bits finish at delays 0..4; bound 2 -> bits
+        # served in slots 3 and 4 (4 bits) are late.
+        arrivals = np.zeros(8)
+        arrivals[0] = 10.0
+        trace = run_single_session(StaticAllocator(2.0), arrivals)
+        model = PricingModel(
+            bandwidth_price=0.0, sla_price=5.0, delay_bound=2
+        )
+        cost = model.cost_single(trace)
+        assert cost.sla_cost == pytest.approx(5.0 * 4.0)
+
+    def test_multi_prices_all_channels(self):
+        from repro.core.phased import PhasedMultiSession
+        from repro.sim.engine import run_multi_session
+
+        policy = PhasedMultiSession(2, offline_bandwidth=8, offline_delay=2)
+        trace = run_multi_session(policy, np.ones((40, 2)))
+        cost = PricingModel(bandwidth_price=1.0, change_price=1.0).cost_multi(trace)
+        assert cost.bandwidth_cost == pytest.approx(trace.total_allocation.sum())
+        assert cost.change_cost == pytest.approx(trace.change_count)
+
+
+class TestCheapest:
+    def test_picks_minimum(self):
+        costs = {
+            "a": CostBreakdown(10, 0, 0),
+            "b": CostBreakdown(1, 2, 3),
+            "c": CostBreakdown(0, 0, 7),
+        }
+        assert cheapest(costs) == "b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            cheapest({})

@@ -1,0 +1,60 @@
+"""Tests for table and sparkline rendering."""
+
+import pytest
+
+from repro.analysis.report import (
+    render_ascii_series,
+    render_markdown_table,
+    render_table,
+)
+from repro.errors import ConfigError
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a    bbb")
+        assert all(len(line) <= len(lines[0]) + 2 for line in lines)
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert text.splitlines()[1] == "="
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            render_table(["a"], [["1", "2"]])
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        text = render_markdown_table(["h1", "h2"], [["a", "b"]])
+        lines = text.splitlines()
+        assert lines[0] == "| h1 | h2 |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| a | b |"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            render_markdown_table(["a", "b"], [["1"]])
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert render_ascii_series([]) == "(empty series)"
+
+    def test_peak_in_label(self):
+        text = render_ascii_series([1.0, 5.0, 2.0], label="demo")
+        assert "demo" in text
+        assert "5.0" in text
+
+    def test_downsampling_keeps_spike(self):
+        values = [0.0] * 1000
+        values[500] = 99.0
+        text = render_ascii_series(values, width=50, height=5)
+        assert "#" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            render_ascii_series([1.0], width=0)

@@ -1,0 +1,56 @@
+"""Tests for the stage-breakdown analytics."""
+
+import numpy as np
+
+from repro.analysis.stages import stage_breakdown
+from repro.core.single_session import SingleSessionOnline
+from repro.network.link import BandwidthChange
+from repro.sim.engine import run_single_session
+
+
+def change(t):
+    return BandwidthChange(t=t, old=0.0, new=1.0)
+
+
+class TestStageBreakdown:
+    def test_empty(self):
+        breakdown = stage_breakdown([], [], [], total_slots=0)
+        assert breakdown.completed == 0
+        assert breakdown.max_changes == 0
+        assert breakdown.mean_changes == 0.0
+        assert breakdown.mean_duration == 0.0
+
+    def test_single_stage(self):
+        breakdown = stage_breakdown(
+            [0], [], [change(0), change(3)], total_slots=10
+        )
+        assert breakdown.changes_per_stage == (2,)
+        assert breakdown.durations == (10,)
+
+    def test_changes_charged_to_owning_stage(self):
+        # Stage 1 spans [0, 5), stage 2 spans [5, 12); the reset change at
+        # t=4 belongs to stage 1, the restart change at t=5 to stage 2.
+        breakdown = stage_breakdown(
+            stage_starts=[0, 5],
+            resets=[4],
+            changes=[change(1), change(4), change(5), change(9)],
+            total_slots=12,
+        )
+        assert breakdown.changes_per_stage == (2, 2)
+        assert breakdown.durations == (5, 7)
+        assert breakdown.completed == 1
+        assert breakdown.mean_changes == 2.0
+
+    def test_real_policy_consistency(self):
+        """The breakdown's total change count matches the trace's."""
+        arrivals = np.asarray(([1.0] * 40 + [256.0]) * 4 + [0.0] * 20)
+        policy = SingleSessionOnline(
+            max_bandwidth=64, offline_delay=4, offline_utilization=0.25, window=8
+        )
+        trace = run_single_session(policy, arrivals)
+        breakdown = stage_breakdown(
+            trace.stage_starts, trace.resets, trace.changes, trace.slots
+        )
+        assert sum(breakdown.changes_per_stage) == trace.change_count
+        assert breakdown.completed == trace.completed_stages
+        assert sum(breakdown.durations) == trace.slots - breakdown.starts[0]

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import OfflineConstraints
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def offline_small() -> OfflineConstraints:
+    """A compact constraint set used across algorithm tests."""
+    return OfflineConstraints(bandwidth=64, delay=4, utilization=0.25, window=8)
+
+
+@pytest.fixture
+def offline_delay_only() -> OfflineConstraints:
+    return OfflineConstraints(bandwidth=32, delay=4)
+
+
+@pytest.fixture
+def bursty_arrivals(rng: np.random.Generator) -> np.ndarray:
+    """A short bursty stream (not necessarily feasible for anything)."""
+    base = rng.poisson(3, size=400).astype(float)
+    base[50] += 40
+    base[200:210] += 10
+    return base

@@ -1,0 +1,116 @@
+"""Tests for the baseline policies (Figure 2 regimes + heuristics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    EqualSplitMultiSession,
+    EwmaAllocator,
+    PerSlotAllocator,
+    PeriodicRenegotiationAllocator,
+    StaticAllocator,
+    StoreAndForwardMultiSession,
+)
+from repro.errors import ConfigError
+from repro.sim.engine import run_multi_session, run_single_session
+
+
+class TestStaticAllocator:
+    def test_never_changes_after_setup(self):
+        trace = run_single_session(StaticAllocator(8.0), np.ones(100) * 4)
+        assert trace.change_count == 1  # the initial 0 -> 8 set only
+
+    def test_high_static_is_fast_but_wasteful(self):
+        arrivals = np.ones(100) * 2
+        trace = run_single_session(StaticAllocator(20.0), arrivals)
+        assert trace.max_delay == 0
+        assert trace.total_arrived / trace.allocation.sum() < 0.2
+
+    def test_low_static_queues(self):
+        arrivals = np.zeros(50)
+        arrivals[0] = 50.0
+        trace = run_single_session(StaticAllocator(2.0), arrivals)
+        assert trace.max_delay >= 20
+
+
+class TestPerSlotAllocator:
+    def test_tracks_demand_exactly(self):
+        rng = np.random.default_rng(0)
+        arrivals = rng.poisson(5, size=200).astype(float)
+        trace = run_single_session(PerSlotAllocator(max_bandwidth=1024.0), arrivals)
+        assert trace.max_delay == 0
+        # Changes nearly every slot that demand changed.
+        distinct = np.count_nonzero(np.diff(arrivals))
+        assert trace.change_count >= 0.8 * distinct
+
+    def test_respects_cap(self):
+        trace = run_single_session(PerSlotAllocator(max_bandwidth=4.0), [100.0])
+        assert trace.max_allocation <= 4.0
+
+
+class TestPeriodicRenegotiation:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PeriodicRenegotiationAllocator(8.0, period=0)
+        with pytest.raises(ConfigError):
+            PeriodicRenegotiationAllocator(8.0, period=4, percentile=1.5)
+
+    def test_changes_bounded_by_periods(self):
+        rng = np.random.default_rng(1)
+        arrivals = rng.poisson(5, size=400).astype(float)
+        policy = PeriodicRenegotiationAllocator(64.0, period=20)
+        trace = run_single_session(policy, arrivals)
+        assert trace.change_count <= trace.slots // 20 + 2
+
+    def test_drain_guard_prevents_runaway_queue(self):
+        arrivals = np.zeros(200)
+        arrivals[0] = 400.0
+        policy = PeriodicRenegotiationAllocator(64.0, period=10)
+        trace = run_single_session(policy, arrivals)
+        assert trace.backlog[-1] == 0.0
+
+
+class TestEwmaAllocator:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EwmaAllocator(8.0, alpha=0)
+        with pytest.raises(ConfigError):
+            EwmaAllocator(8.0, headroom=0.5)
+        with pytest.raises(ConfigError):
+            EwmaAllocator(8.0, theta=1.0)
+
+    def test_follows_demand_up_and_down(self):
+        arrivals = np.concatenate([np.full(100, 2.0), np.full(100, 20.0),
+                                   np.full(100, 2.0)])
+        policy = EwmaAllocator(64.0, alpha=0.3)
+        trace = run_single_session(policy, arrivals)
+        high_period = trace.allocation[150:200].mean()
+        low_period = trace.allocation[250:300].mean()
+        assert high_period > 2 * low_period
+        assert trace.backlog[-1] == 0.0
+
+
+class TestMultiSessionBaselines:
+    def test_equal_split_never_changes(self):
+        arrivals = np.ones((100, 3))
+        policy = EqualSplitMultiSession(3, offline_bandwidth=4.0)
+        trace = run_multi_session(policy, arrivals)
+        assert trace.local_change_count == 3  # initial setup only
+        assert trace.max_delay == 0
+        assert trace.max_total_allocation == 12.0
+
+    def test_store_and_forward_two_phase_delay(self):
+        rng = np.random.default_rng(2)
+        arrivals = rng.poisson(2, size=(200, 3)).astype(float)
+        policy = StoreAndForwardMultiSession(3, offline_delay=4)
+        trace = run_multi_session(policy, arrivals)
+        assert trace.max_delay <= 2 * 4
+        assert trace.total_delivered == pytest.approx(trace.total_arrived)
+
+    def test_store_and_forward_changes_every_phase(self):
+        rng = np.random.default_rng(3)
+        arrivals = (rng.poisson(2, size=(400, 2)) + 1).astype(float)
+        policy = StoreAndForwardMultiSession(2, offline_delay=4)
+        trace = run_multi_session(policy, arrivals)
+        phases = trace.slots // 4
+        assert trace.local_change_count >= phases  # the strawman's flaw

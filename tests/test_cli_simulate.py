@@ -1,0 +1,112 @@
+"""Tests for the ``simulate`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+
+
+class TestSimulate:
+    def test_default_single_session(self, capsys):
+        assert main(["simulate", "--horizon", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "completed stages" in out
+
+    @pytest.mark.parametrize(
+        "policy", ["fig3", "thm7", "static", "per-slot", "periodic", "ewma"]
+    )
+    def test_every_single_policy_runs(self, policy, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--policy",
+                    policy,
+                    "--traffic",
+                    "poisson",
+                    "--horizon",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        assert policy in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "traffic",
+        ["figure1", "onoff", "poisson", "vbr", "pareto", "selfsimilar", "feasible"],
+    )
+    def test_every_traffic_runs(self, traffic, capsys):
+        assert (
+            main(["simulate", "--traffic", traffic, "--horizon", "400"]) == 0
+        )
+        assert traffic in capsys.readouterr().out
+
+    @pytest.mark.parametrize("policy", ["phased", "continuous"])
+    def test_multi_session(self, policy, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--policy",
+                    policy,
+                    "--traffic",
+                    "multi-feasible",
+                    "--sessions",
+                    "3",
+                    "--horizon",
+                    "500",
+                ]
+            )
+            == 0
+        )
+        assert policy in capsys.readouterr().out
+
+    def test_mismatched_policy_traffic_rejected(self):
+        with pytest.raises(ConfigError, match="multi-session"):
+            main(["simulate", "--policy", "phased", "--traffic", "poisson"])
+
+    def test_save_trace(self, tmp_path, capsys):
+        path = tmp_path / "run.npz"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--horizon",
+                    "300",
+                    "--save-trace",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        from repro.sim.serialize import load_single_trace
+
+        trace = load_single_trace(path)
+        assert trace.horizon == 300
+
+    def test_save_multi_trace(self, tmp_path):
+        path = tmp_path / "multi.npz"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--policy",
+                    "continuous",
+                    "--traffic",
+                    "multi-feasible",
+                    "--sessions",
+                    "2",
+                    "--horizon",
+                    "400",
+                    "--save-trace",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        from repro.sim.serialize import load_multi_trace
+
+        assert load_multi_trace(path).k == 2

@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ExperimentError,
+    FeasibilityError,
+    InvariantViolation,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigError, ExperimentError, FeasibilityError, SimulationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(ConfigError, ValueError)
+
+    def test_simulation_error_is_runtime_error(self):
+        assert issubclass(SimulationError, RuntimeError)
+
+    def test_invariant_violation_carries_context(self):
+        error = InvariantViolation("claim2", 42, "queue outran allocation")
+        assert error.name == "claim2"
+        assert error.t == 42
+        assert "claim2" in str(error)
+        assert "t=42" in str(error)
+        assert isinstance(error, SimulationError)
+
+    def test_single_except_clause_catches_everything(self):
+        for exc in (ConfigError("x"), FeasibilityError("y"),
+                    InvariantViolation("n", 0, "d")):
+            with pytest.raises(ReproError):
+                raise exc

@@ -1,0 +1,88 @@
+"""Tests for the parameter dataclasses and slack conversions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import (
+    BANDWIDTH_SLACK_COMBINED_CONTINUOUS,
+    BANDWIDTH_SLACK_COMBINED_PHASED,
+    BANDWIDTH_SLACK_CONTINUOUS,
+    BANDWIDTH_SLACK_PHASED,
+    DELAY_SLACK,
+    UTILIZATION_SLACK,
+    OfflineConstraints,
+    combined_guarantees,
+    continuous_guarantees,
+    phased_guarantees,
+    single_session_guarantees,
+)
+
+
+class TestOfflineConstraints:
+    def test_valid(self):
+        c = OfflineConstraints(bandwidth=8, delay=2, utilization=0.5, window=4)
+        assert c.bandwidth == 8
+
+    def test_delay_only(self):
+        c = OfflineConstraints(bandwidth=8, delay=2)
+        assert c.utilization is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bandwidth=0, delay=2),
+            dict(bandwidth=8, delay=0),
+            dict(bandwidth=8, delay=2, utilization=1.5, window=4),
+            dict(bandwidth=8, delay=2, utilization=0.5),  # missing window
+            dict(bandwidth=8, delay=4, utilization=0.5, window=2),  # W < D_O
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            OfflineConstraints(**kwargs)
+
+    def test_with_bandwidth(self):
+        c = OfflineConstraints(bandwidth=8, delay=2)
+        assert c.with_bandwidth(16).bandwidth == 16
+        assert c.bandwidth == 8  # frozen original
+
+
+class TestGuaranteeConversions:
+    def test_single_session(self):
+        offline = OfflineConstraints(bandwidth=64, delay=4, utilization=0.3, window=8)
+        online = single_session_guarantees(offline)
+        assert online.max_bandwidth == 64
+        assert online.delay == DELAY_SLACK * 4
+        assert online.utilization == pytest.approx(0.3 / UTILIZATION_SLACK)
+        assert online.window == 8 + 5 * 4
+
+    def test_single_needs_utilization(self):
+        with pytest.raises(ConfigError):
+            single_session_guarantees(OfflineConstraints(bandwidth=8, delay=2))
+
+    def test_phased(self):
+        offline = OfflineConstraints(bandwidth=16, delay=4)
+        online = phased_guarantees(offline)
+        assert online.max_bandwidth == BANDWIDTH_SLACK_PHASED * 16
+        assert online.delay == 8
+        assert online.utilization is None
+
+    def test_continuous(self):
+        offline = OfflineConstraints(bandwidth=16, delay=4)
+        assert (
+            continuous_guarantees(offline).max_bandwidth
+            == BANDWIDTH_SLACK_CONTINUOUS * 16
+        )
+
+    def test_combined(self):
+        offline = OfflineConstraints(bandwidth=64, delay=4, utilization=0.3, window=8)
+        assert (
+            combined_guarantees(offline, "phased").max_bandwidth
+            == BANDWIDTH_SLACK_COMBINED_PHASED * 64
+        )
+        assert (
+            combined_guarantees(offline, "continuous").max_bandwidth
+            == BANDWIDTH_SLACK_COMBINED_CONTINUOUS * 64
+        )
+        with pytest.raises(ConfigError):
+            combined_guarantees(offline, "nope")

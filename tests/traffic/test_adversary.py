@@ -1,0 +1,99 @@
+"""Tests for the adversarial constructions of Remark §1.1."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.feasibility import is_delay_feasible, window_utilizations
+from repro.core.single_session import SingleSessionOnline
+from repro.errors import ConfigError
+from repro.sim.engine import run_single_session
+from repro.traffic.adversary import (
+    TightTrackingAllocator,
+    doubling_stream,
+    sawtooth_stream,
+)
+
+
+class TestSawtoothStream:
+    def test_structure(self):
+        stream = sawtooth_stream(
+            offline_bandwidth=16.0,
+            offline_delay=4,
+            utilization=0.25,
+            window=8,
+            cycles=3,
+        )
+        assert len(stream) == 3 * 9
+        assert stream.max() == 16.0 * 4
+
+    def test_feasible_for_constant_b_o(self):
+        """The adversary stays within what constant B_O can serve in D_O —
+        offline needs zero changes for delay."""
+        stream = sawtooth_stream(16.0, 4, 0.25, 8, cycles=10)
+        assert is_delay_feasible(stream, 16.0, 4)
+
+    def test_constant_b_o_keeps_utilization(self):
+        """Window utilization of constant B_O stays >= U_O on the trickle."""
+        stream = sawtooth_stream(16.0, 4, 0.25, 8, cycles=10)
+        allocation = np.full(len(stream), 16.0)
+        ratios = window_utilizations(stream, allocation, 8)
+        assert np.nanmin(ratios) >= 0.25
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sawtooth_stream(16.0, 4, 0.25, 8, cycles=0)
+        with pytest.raises(ConfigError):
+            sawtooth_stream(16.0, 4, 1.5, 8, cycles=1)
+
+
+class TestDoublingStream:
+    def test_reaches_top(self):
+        stream = doubling_stream(max_bandwidth=16.0, offline_delay=4)
+        assert stream.max() == 64.0  # B_A * D_O = 64, a power of two
+
+    def test_repeats(self):
+        one = doubling_stream(16.0, 4, gap=4, repeats=1)
+        two = doubling_stream(16.0, 4, gap=4, repeats=2)
+        assert len(two) == 2 * len(one)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            doubling_stream(16.0, 4, gap=0)
+        with pytest.raises(ConfigError):
+            doubling_stream(16.0, 4, repeats=0)
+
+
+class TestTightTracking:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TightTrackingAllocator(8.0, delay=0, utilization=0.5, window=4)
+        with pytest.raises(ConfigError):
+            TightTrackingAllocator(8.0, delay=2, utilization=0.0, window=4)
+
+    def test_changes_grow_with_cycles(self):
+        counts = []
+        for cycles in (10, 20, 40):
+            stream = sawtooth_stream(16.0, 4, 0.25, 8, cycles=cycles)
+            policy = TightTrackingAllocator(
+                16.0, delay=4, utilization=0.25, window=8
+            )
+            trace = run_single_session(policy, stream)
+            counts.append(trace.change_count)
+        assert counts[1] > counts[0]
+        assert counts[2] > counts[1]
+        assert counts[2] >= 40  # at least one change per cycle
+
+    def test_slacked_algorithm_stays_flat(self):
+        counts = []
+        for cycles in (10, 40):
+            stream = sawtooth_stream(16.0, 4, 0.25, 8, cycles=cycles)
+            policy = SingleSessionOnline(
+                max_bandwidth=16.0,
+                offline_delay=4,
+                offline_utilization=0.25,
+                window=8,
+            )
+            trace = run_single_session(policy, stream)
+            counts.append(trace.change_count)
+        # Quadrupling the stream length does not quadruple the changes.
+        assert counts[1] <= 2 * counts[0] + 2

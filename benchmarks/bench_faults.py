@@ -1,0 +1,10 @@
+"""Benchmark + regeneration of E-FAULT: guarantees under an unreliable substrate.
+
+Regenerates the fault-injection table via the experiment registry, times it,
+and asserts every check passed (including the zero-intensity == E-ROB gate
+and the same-seed determinism gate).
+"""
+
+
+def test_regenerate_e_fault(run_experiment):
+    run_experiment("E-FAULT")

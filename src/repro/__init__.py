@@ -42,10 +42,18 @@ from repro.errors import (
     FeasibilityError,
     InvariantViolation,
     ReproError,
+    SignalingError,
     SimulationError,
 )
+from repro.faults import (
+    FaultPlan,
+    HeadroomPolicy,
+    RetryPolicy,
+    UnreliableMultiSignaling,
+    UnreliableSignaling,
+)
 from repro.params import OfflineConstraints, OnlineGuarantees
-from repro.sim import run_multi_session, run_single_session
+from repro.sim import ViolationLog, run_multi_session, run_single_session
 from repro.version import __version__
 
 __all__ = [
@@ -56,7 +64,9 @@ __all__ = [
     "EqualSplitMultiSession",
     "EwmaAllocator",
     "ExperimentError",
+    "FaultPlan",
     "FeasibilityError",
+    "HeadroomPolicy",
     "InvariantViolation",
     "ModifiedSingleSessionOnline",
     "MultiSessionPolicy",
@@ -66,10 +76,15 @@ __all__ = [
     "PeriodicRenegotiationAllocator",
     "PhasedMultiSession",
     "ReproError",
+    "RetryPolicy",
+    "SignalingError",
     "SimulationError",
     "SingleSessionOnline",
     "StaticAllocator",
     "StoreAndForwardMultiSession",
+    "UnreliableMultiSignaling",
+    "UnreliableSignaling",
+    "ViolationLog",
     "__version__",
     "multi_stage_lower_bound",
     "run_multi_session",

@@ -25,7 +25,14 @@ from repro.core.continuous import ContinuousMultiSession
 from repro.core.modified_single import ModifiedSingleSessionOnline
 from repro.core.phased import PhasedMultiSession
 from repro.core.single_session import SingleSessionOnline
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
+from repro.faults import (
+    HeadroomPolicy,
+    RetryPolicy,
+    UnreliableMultiSignaling,
+    UnreliableSignaling,
+    standard_plan,
+)
 from repro.sim.engine import run_multi_session, run_single_session
 from repro.sim.serialize import save_multi_trace, save_single_trace
 from repro.traffic import (
@@ -86,6 +93,28 @@ def add_simulate_parser(sub: argparse._SubParsersAction) -> None:
         default=None,
         help="finite ingress buffer in bits (single-session only; "
         "default unbounded)",
+    )
+    parser.add_argument(
+        "--fault-intensity",
+        type=float,
+        default=0.0,
+        help="fault injection intensity in [0, 1] (0 = fault-free); "
+        "builds a seeded standard_plan of degradation episodes, signal "
+        "loss/delay/outage and ingress drops",
+    )
+    parser.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=4,
+        help="signaling retry attempts per transaction (1 = no retry; "
+        "only with --fault-intensity > 0)",
+    )
+    parser.add_argument(
+        "--headroom",
+        type=float,
+        default=1.0,
+        help="over-request factor >= 1 (single-session only): request "
+        "factor × the policy's decision to ride out faults",
     )
 
 
@@ -160,6 +189,18 @@ def run_simulate(args) -> int:
             "multi-session policies need --traffic multi-feasible and "
             "vice versa"
         )
+    if not 0.0 <= args.fault_intensity <= 1.0:
+        raise ConfigError(
+            f"--fault-intensity must be in [0, 1], got {args.fault_intensity!r}"
+        )
+    if args.headroom > 1.0 and multi_policy:
+        raise ConfigError("--headroom applies to single-session policies only")
+    plan = (
+        standard_plan(args.fault_intensity, args.horizon, seed=args.seed)
+        if args.fault_intensity > 0.0
+        else None
+    )
+    retry = RetryPolicy(max_attempts=args.retry_attempts)
     headers = [
         "policy",
         "max delay",
@@ -170,6 +211,23 @@ def run_simulate(args) -> int:
         "changes/kslot",
         "max alloc",
     ]
+    try:
+        return _simulate(args, multi_policy, plan, retry, headers)
+    except SimulationError as exc:
+        if plan is None:
+            raise
+        # Liveness lost under fault injection (e.g. bits stranded on a
+        # channel the algorithm closed after a degraded service window) —
+        # report the stall as an outcome instead of a traceback.
+        print(f"simulation stalled under fault injection: {exc}")
+        print(
+            "the policy lost liveness; rerun with a lower "
+            "--fault-intensity or more --retry-attempts"
+        )
+        return 1
+
+
+def _simulate(args, multi_policy, plan, retry, headers) -> int:
     if multi_policy:
         workload = generate_multi_feasible(
             args.sessions,
@@ -190,15 +248,21 @@ def run_simulate(args) -> int:
                 offline_bandwidth=args.bandwidth,
                 offline_delay=args.delay,
             )
-        trace = run_multi_session(policy, workload.arrivals)
+        if plan is not None:
+            policy = UnreliableMultiSignaling(policy, plan, retry)
+        trace = run_multi_session(policy, workload.arrivals, faults=plan)
         summary = summarize_multi(trace, args.policy, args.window)
         if args.save_trace:
             save_multi_trace(args.save_trace, trace)
     else:
         arrivals = _build_single_traffic(args)
         policy = _build_single_policy(args)
+        if args.headroom > 1.0:
+            policy = HeadroomPolicy(policy, args.headroom)
+        if plan is not None:
+            policy = UnreliableSignaling(policy, plan, retry)
         trace = run_single_session(
-            policy, arrivals, queue_capacity=args.queue_capacity
+            policy, arrivals, queue_capacity=args.queue_capacity, faults=plan
         )
         summary = summarize_single(trace, args.policy, args.window)
         if args.save_trace:
@@ -212,6 +276,13 @@ def run_simulate(args) -> int:
         )
     )
     print(f"completed stages: {trace.completed_stages}")
+    if plan is not None:
+        print(
+            f"signaling: {policy.requests} requests, {policy.drops} drops, "
+            f"{policy.retries} retries, {policy.give_ups} give-ups "
+            f"(intensity {args.fault_intensity}, "
+            f"{args.retry_attempts} attempts)"
+        )
     if not multi_policy and trace.total_dropped > 0:
         print(
             f"tail-dropped {trace.total_dropped:.0f} bits "

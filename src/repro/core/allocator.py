@@ -70,6 +70,17 @@ class BandwidthPolicy(ABC):
         return self.link.changes
 
     @property
+    def requested_bandwidth(self) -> float:
+        """The bandwidth most recently *requested* from the link.
+
+        Equal to the allocated bandwidth for a reliable link; under an
+        unreliable signaling plane (:mod:`repro.faults`) the request may
+        still be in flight, and wrappers override this to report their
+        intent.  Engines record it as the trace's ``requested`` series.
+        """
+        return self.link.target
+
+    @property
     def completed_stages(self) -> int:
         """Stages that *ended* (each forces >= 1 offline change; Lemma 1)."""
         return len(self.resets)
@@ -106,6 +117,22 @@ class MultiSessionPolicy(ABC):
         total = sum(s.channels.total_bandwidth for s in self.sessions)
         if self.extra_link is not None:
             total += self.extra_link.bandwidth
+        return total
+
+    @property
+    def total_requested(self) -> float:
+        """Total bandwidth currently *requested* across all channels.
+
+        Uses each link's ``target`` (== allocated for reliable links), so
+        under an unreliable signaling plane this is the algorithm's intent
+        while :attr:`total_allocated` is what the plane has granted.
+        """
+        total = sum(
+            s.channels.regular_link.target + s.channels.overflow_link.target
+            for s in self.sessions
+        )
+        if self.extra_link is not None:
+            total += self.extra_link.target
         return total
 
     @property

@@ -38,5 +38,14 @@ class InvariantViolation(SimulationError):
         super().__init__(f"invariant {name!r} violated at t={t}: {detail}")
 
 
+class SignalingError(ReproError, RuntimeError):
+    """An allocation request was abandoned by the signaling plane.
+
+    Raised only when a :class:`repro.faults.RetryPolicy` is configured with
+    ``give_up="raise"``; the default ``"hold"`` keeps the last applied
+    allocation and lets the policy re-request.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no results."""

@@ -1,0 +1,279 @@
+"""E-FAULT — which guarantees survive an unreliable network substrate?
+
+E-ROB asked what happens when the *input* breaks its contract; this
+experiment asks what happens when the *system underneath* breaks its
+contract: allocation requests are dropped and delayed (the signaling
+plane), the wire underdelivers during degradation episodes, and ingress
+loses bits.  The Figure 3 algorithm runs unmodified inside an
+:class:`~repro.faults.UnreliableSignaling` wrapper across the same
+uncertified workload zoo as E-ROB, sweeping fault intensity × signaling
+configuration:
+
+* ``no-retry`` — a dropped request is abandoned (the policy re-requests
+  next slot, so the plane sees one fresh transaction per slot of
+  disagreement);
+* ``retry`` — exponential backoff with seeded jitter, 4 attempts;
+* ``retry+headroom`` — retries plus a
+  :class:`~repro.faults.HeadroomPolicy` that over-requests by 1.5× to ride
+  out degradation and in-flight increases.
+
+Invariant monitors run in ``record`` mode: violations land in a
+:class:`~repro.sim.ViolationLog` instead of aborting, and the table
+reports which guarantees survived plus what the faults (and the
+mitigations) cost in delay, utilization and allocation changes.
+
+The zero-intensity row doubles as a regression gate: it must reproduce
+the fault-free E-ROB numbers *exactly* (checked trace-for-trace), and a
+repeated faulted run must be bit-identical (seeded determinism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import min_existential_window_utilization
+from repro.core.single_session import SingleSessionOnline
+from repro.errors import SimulationError
+from repro.experiments.common import ExperimentResult, fmt, scaled
+from repro.experiments.registry import register
+from repro.experiments.robustness import (
+    B_A,
+    D_O,
+    U_O,
+    W,
+    robustness_zoo,
+    zoo_arrivals,
+)
+from repro.faults import (
+    NO_RETRY,
+    HeadroomPolicy,
+    RetryPolicy,
+    UnreliableSignaling,
+    standard_plan,
+)
+from repro.sim.engine import run_single_session
+from repro.sim.invariants import Claim2Monitor, DelayMonitor, soften
+
+_INTENSITIES = (0.0, 0.3, 0.6)
+_RETRY = RetryPolicy(max_attempts=4, base_backoff=1, backoff_factor=2.0)
+
+
+def _signaling_configs():
+    """(name, retry policy, headroom factor) sweep axis."""
+    return (
+        ("no-retry", NO_RETRY, 1.0),
+        ("retry", _RETRY, 1.0),
+        ("retry+headroom", _RETRY, 1.5),
+    )
+
+
+def _build_policy(headroom: float):
+    policy = SingleSessionOnline(B_A, D_O, U_O, W)
+    if headroom > 1.0:
+        return HeadroomPolicy(policy, headroom)
+    return policy
+
+
+def _run_cell(name, arrivals, horizon, intensity, retry, headroom, seed):
+    """One (workload × intensity × signaling) run; returns a stats dict."""
+    plan = standard_plan(intensity, horizon, seed=seed)
+    inner = _build_policy(headroom)
+    policy = UnreliableSignaling(inner, plan, retry)
+    monitors = [Claim2Monitor(online_delay=2 * D_O), DelayMonitor(2 * D_O)]
+    log = soften(monitors)
+    try:
+        trace = run_single_session(
+            policy,
+            arrivals,
+            faults=plan,
+            monitors=monitors,
+            max_drain_slots=200_000,
+        )
+    except SimulationError:
+        # The plane starved the drain; report it as an outcome, not a crash.
+        return {
+            "stalled": True,
+            "delay_ok": False,
+            "util": 0.0,
+            "changes": policy.link.change_count,
+            "requested_changes": inner.change_count,
+            "retries": policy.retries,
+            "give_ups": policy.give_ups,
+            "violations": log,
+            "max_delay": -1,
+            "trace": None,
+        }
+    exist = min_existential_window_utilization(
+        trace.arrivals, trace.allocation, W + 5 * D_O
+    )
+    return {
+        "stalled": False,
+        "delay_ok": trace.max_delay <= 2 * D_O,
+        "util": exist,
+        "changes": trace.change_count,
+        "requested_changes": inner.change_count,
+        "retries": policy.retries,
+        "give_ups": policy.give_ups,
+        "violations": log,
+        "max_delay": trace.max_delay,
+        "trace": trace,
+    }
+
+
+@register("E-FAULT", "Fault injection: guarantees under an unreliable substrate")
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    horizon = scaled(4000, scale, minimum=600)
+    zoo = robustness_zoo()
+    streams = {
+        name: zoo_arrivals(process, horizon, seed)
+        for name, process in zoo.items()
+    }
+    rows = []
+    result = ExperimentResult(
+        experiment_id="E-FAULT",
+        title="Guarantee survival under signaling/link/ingress faults",
+        headers=[
+            "intensity",
+            "signaling",
+            "delay ok",
+            "worst delay",
+            "mean exist-util",
+            "applied chg",
+            "requested chg",
+            "retries",
+            "give-ups",
+            "violations",
+            "first viol t",
+        ],
+        rows=rows,
+    )
+
+    # Fault-free reference traces (these ARE the E-ROB conditions).
+    reference = {}
+    for name, arrivals in streams.items():
+        bare = SingleSessionOnline(B_A, D_O, U_O, W)
+        reference[name] = run_single_session(
+            bare, arrivals, max_drain_slots=200_000
+        )
+
+    zero_matches_reference = True
+    positive_violations = 0
+    cost = {}  # config name -> aggregate signaling cost at max intensity
+    for intensity in _INTENSITIES:
+        for config_name, retry, headroom in _signaling_configs():
+            survived = 0
+            worst_delay = 0
+            utils = []
+            changes = requested_changes = retries = give_ups = 0
+            violations = 0
+            first_violation = None
+            stalled = 0
+            for name, arrivals in streams.items():
+                cell = _run_cell(
+                    name, arrivals, horizon, intensity, retry, headroom, seed
+                )
+                if intensity == 0.0 and headroom == 1.0:
+                    trace = cell["trace"]
+                    ref = reference[name]
+                    zero_matches_reference &= (
+                        trace is not None
+                        and np.array_equal(trace.allocation, ref.allocation)
+                        and np.array_equal(trace.delivered, ref.delivered)
+                        and trace.max_delay == ref.max_delay
+                        and trace.change_count == ref.change_count
+                    )
+                stalled += cell["stalled"]
+                survived += cell["delay_ok"]
+                worst_delay = max(worst_delay, cell["max_delay"])
+                if not cell["stalled"]:
+                    utils.append(cell["util"])
+                changes += cell["changes"]
+                requested_changes += cell["requested_changes"]
+                retries += cell["retries"]
+                give_ups += cell["give_ups"]
+                log = cell["violations"]
+                violations += len(log)
+                t0 = log.first_time()
+                if t0 is not None:
+                    first_violation = (
+                        t0 if first_violation is None else min(first_violation, t0)
+                    )
+            if intensity == _INTENSITIES[-1]:
+                cost[config_name] = {
+                    "survived": survived,
+                    "retries": retries,
+                    "give_ups": give_ups,
+                    "violations": violations,
+                }
+            rows.append(
+                [
+                    fmt(intensity, 1),
+                    config_name,
+                    f"{survived}/{len(streams)}"
+                    + (f" ({stalled} stalled)" if stalled else ""),
+                    str(worst_delay),
+                    fmt(float(np.mean(utils)) if utils else 0.0, 3),
+                    str(changes),
+                    str(requested_changes),
+                    str(retries),
+                    str(give_ups),
+                    str(violations),
+                    "-" if first_violation is None else str(first_violation),
+                ]
+            )
+            if intensity > 0.0:
+                positive_violations += violations
+
+    # Determinism: the same seed must yield a bit-identical faulted run.
+    probe = streams["onoff"]
+    first = _run_cell("onoff", probe, horizon, 0.6, _RETRY, 1.0, seed)
+    second = _run_cell("onoff", probe, horizon, 0.6, _RETRY, 1.0, seed)
+    deterministic = (
+        first["stalled"] == second["stalled"]
+        and first["max_delay"] == second["max_delay"]
+        and first["retries"] == second["retries"]
+        and len(first["violations"]) == len(second["violations"])
+        and (
+            first["trace"] is None
+            or np.array_equal(
+                first["trace"].allocation, second["trace"].allocation
+            )
+        )
+    )
+
+    result.check(
+        "zero intensity reproduces E-ROB exactly",
+        zero_matches_reference,
+        "at intensity 0 the wrapped run is trace-identical to the bare "
+        "fault-free run on every zoo workload",
+    )
+    result.check(
+        "faults bite and are soft-recorded",
+        positive_violations > 0,
+        f"{positive_violations} invariant violations at positive intensity "
+        "landed in the ViolationLog (record mode) instead of aborting the run",
+    )
+    result.check(
+        "same seed, same faults, same result",
+        deterministic,
+        "re-running the worst faulted cell with the same seed is "
+        "bit-identical (allocation, retries, violations)",
+    )
+    retry_cost = cost.get("retry", {})
+    no_retry_cost = cost.get("no-retry", {})
+    result.check(
+        "retries reduce abandoned transactions",
+        retry_cost.get("give_ups", 0) <= no_retry_cost.get("give_ups", 1),
+        f"at intensity {_INTENSITIES[-1]}: "
+        f"{retry_cost.get('give_ups', 0)} give-ups with backoff retries vs "
+        f"{no_retry_cost.get('give_ups', 0)} without",
+    )
+    result.notes.append(
+        "Claim 2 and the 2·D_O delay bound are proved for an ideal "
+        "substrate; under signaling faults the granted allocation lags the "
+        "algorithm's intent, so violations concentrate right after "
+        "degradation episodes and outage windows.  Headroom trades "
+        "utilization for delay survival; retries trade extra signaling "
+        "traffic for fewer abandoned reservations."
+    )
+    return result

@@ -59,6 +59,7 @@ def _ensure_loaded() -> None:
     import repro.experiments.ablations  # noqa: F401
     import repro.experiments.buffers  # noqa: F401
     import repro.experiments.combined_sweep  # noqa: F401
+    import repro.experiments.faults_exp  # noqa: F401
     import repro.experiments.figure1  # noqa: F401
     import repro.experiments.figure2  # noqa: F401
     import repro.experiments.invariants_exp  # noqa: F401

@@ -41,13 +41,19 @@ from repro.traffic import (
 from repro.traffic.diurnal import staggered_diurnal_sessions
 from repro.traffic.multi import independent_processes_workload
 
-_B_A = 256.0
-_D_O = 8
-_U_O = 0.25
-_W = 16
+#: The shared robustness contract (E-ROB and E-FAULT must agree on these
+#: so the E-FAULT zero-intensity column reproduces E-ROB exactly).
+B_A = 256.0
+D_O = 8
+U_O = 0.25
+W = 16
+
+# Backwards-compatible private aliases.
+_B_A, _D_O, _U_O, _W = B_A, D_O, U_O, W
 
 
-def _zoo() -> dict:
+def robustness_zoo() -> dict:
+    """The uncertified workload zoo shared by E-ROB and E-FAULT."""
     return {
         "poisson": PoissonArrivals(8.0),
         "compound": CompoundPoisson(burst_rate=0.3, mean_burst=20.0),
@@ -57,6 +63,15 @@ def _zoo() -> dict:
         "pareto": ParetoBursts(0.05, 60.0, shape=1.5, cap=_B_A * _D_O),
         "selfsimilar": SelfSimilarAggregate(sources=16, rate_per_source=1.5),
     }
+
+
+def zoo_arrivals(process, horizon: int, seed: int):
+    """Materialize a zoo stream, clipped to single-slot feasibility.
+
+    A single slot can carry at most ``(1 + D_O) · B_A`` bits (Claim 9 with
+    Δ=1); both robustness experiments apply the same clip.
+    """
+    return np.minimum(process.materialize(horizon, seed), _B_A * (1 + _D_O))
 
 
 @register("E-ROB", "Robustness: guarantees on uncertified (raw) workloads")
@@ -78,10 +93,8 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         rows=rows,
     )
     claim2_always = True
-    for name, process in _zoo().items():
-        arrivals = np.minimum(
-            process.materialize(horizon, seed), _B_A * (1 + _D_O)
-        )
+    for name, process in robustness_zoo().items():
+        arrivals = zoo_arrivals(process, horizon, seed)
         policy = SingleSessionOnline(_B_A, _D_O, _U_O, _W)
         claim2 = Claim2Monitor(online_delay=2 * _D_O)
         try:

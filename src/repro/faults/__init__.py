@@ -1,0 +1,58 @@
+"""Fault injection: unreliable signaling, degraded links, ingress loss.
+
+The paper's model assumes every allocation change takes effect instantly
+and every arriving bit reaches the queue.  This package drops those
+assumptions so the degradation of each guarantee can be *measured*:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded deterministic
+  schedule of fault events composed from primitives
+  (:class:`LinkDegradation`, :class:`SignalLoss`, :class:`SignalDelay`,
+  :class:`SignalOutage`, :class:`IngressDrop`).
+* :mod:`repro.faults.signaling` — the unreliable signaling plane:
+  :class:`UnreliableLink` (requests may be dropped or applied late, with
+  :class:`RetryPolicy` backoff), the :class:`UnreliableSignaling` /
+  :class:`UnreliableMultiSignaling` policy wrappers, and
+  :class:`HeadroomPolicy` (over-request to absorb signaling latency).
+
+Soft invariant monitoring (:class:`~repro.sim.invariants.ViolationLog`,
+``monitor.soften()``) lives in :mod:`repro.sim.invariants` and is
+re-exported here for convenience.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    IngressDrop,
+    LinkDegradation,
+    SignalDelay,
+    SignalLoss,
+    SignalOutage,
+    standard_plan,
+)
+from repro.faults.signaling import (
+    NO_RETRY,
+    HeadroomPolicy,
+    RetryPolicy,
+    UnreliableLink,
+    UnreliableMultiSignaling,
+    UnreliableSignaling,
+)
+from repro.sim.invariants import Violation, ViolationLog, soften
+
+__all__ = [
+    "FaultPlan",
+    "HeadroomPolicy",
+    "IngressDrop",
+    "LinkDegradation",
+    "NO_RETRY",
+    "RetryPolicy",
+    "SignalDelay",
+    "SignalLoss",
+    "SignalOutage",
+    "UnreliableLink",
+    "UnreliableMultiSignaling",
+    "UnreliableSignaling",
+    "Violation",
+    "ViolationLog",
+    "soften",
+    "standard_plan",
+]

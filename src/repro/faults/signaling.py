@@ -1,0 +1,391 @@
+"""The unreliable signaling plane: lossy/laggy allocation requests.
+
+In the paper an allocation change is costly but *instant and reliable*.
+Real reservation signaling (RSVP-style setup messages, ATM renegotiation)
+is neither: requests are dropped and delayed.  This module models that
+plane at the link level and wraps any existing policy on top of it:
+
+* :class:`UnreliableLink` — a :class:`~repro.network.link.Link` whose
+  ``set`` issues a *request* through a :class:`~repro.faults.plan.FaultPlan`
+  instead of applying immediately.  A request may be lost (retried per the
+  :class:`RetryPolicy`, with exponential backoff and seeded jitter) or
+  applied ``d`` slots late.  Change accounting on the link counts *applied*
+  changes; the request/drop/retry/give-up counters quantify signaling cost.
+
+* :class:`UnreliableSignaling` — wraps a single-session
+  :class:`~repro.core.allocator.BandwidthPolicy`; its ``decide`` output
+  becomes a request, and the wrapper returns whatever allocation the plane
+  has actually granted so far.
+
+* :class:`UnreliableMultiSignaling` — wraps a
+  :class:`~repro.core.allocator.MultiSessionPolicy` by replacing every
+  per-session (and extra) link with an :class:`UnreliableLink`, so the
+  inner algorithm's own ``link.set`` calls route through the plane without
+  the algorithm knowing.
+
+* :class:`HeadroomPolicy` — graceful degradation: request ``factor ×`` the
+  inner decision (capped) so the granted allocation still covers demand
+  while requests are in flight or the wire is degraded.
+
+Semantics chosen to match real reservation planes:
+
+* **latest-wins** — a link carries at most one outstanding request; a new
+  request supersedes (cancels) a pending one;
+* **idempotent** — requesting the current target is free (no transaction);
+* **revert cancels** — requesting the currently-applied value cancels any
+  pending request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.allocator import BandwidthPolicy, MultiSessionPolicy
+from repro.errors import ConfigError, SignalingError
+from repro.faults.plan import FaultPlan
+from repro.network.link import CHANGE_EPSILON, Link
+from repro.network.queue import ServeResult
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a dropped allocation request is retried.
+
+    Args:
+        max_attempts: total tries per transaction (1 = never retry).
+        base_backoff: slots before the first retry.
+        backoff_factor: multiplier per further retry (exponential backoff).
+        max_backoff: cap on the backoff in slots.
+        jitter: adds a seeded uniform integer in ``[0, jitter]`` slots.
+        give_up: after ``max_attempts`` drops, ``"hold"`` abandons the
+            transaction (the last applied allocation stays; the policy may
+            re-request next slot) or ``"raise"`` raises
+            :class:`~repro.errors.SignalingError`.
+    """
+
+    max_attempts: int = 4
+    base_backoff: int = 1
+    backoff_factor: float = 2.0
+    max_backoff: int = 64
+    jitter: int = 1
+    give_up: str = "hold"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.base_backoff < 1:
+            raise ConfigError(
+                f"base_backoff must be >= 1, got {self.base_backoff!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if self.max_backoff < 1:
+            raise ConfigError(
+                f"max_backoff must be >= 1, got {self.max_backoff!r}"
+            )
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter!r}")
+        if self.give_up not in ("hold", "raise"):
+            raise ConfigError(
+                f'give_up must be "hold" or "raise", got {self.give_up!r}'
+            )
+
+    def backoff(self, attempt: int, jitter_draw: float) -> int:
+        """Slots to wait before retry number ``attempt`` (1-based)."""
+        base = self.base_backoff * self.backoff_factor ** (attempt - 1)
+        slots = int(min(float(self.max_backoff), base))
+        return slots + int(jitter_draw * (self.jitter + 1))
+
+
+#: No signaling retries: a dropped request is simply abandoned.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class _Pending:
+    """One in-flight signaling transaction (latest-wins, one per link)."""
+
+    __slots__ = ("value", "due", "in_flight", "attempts")
+
+    def __init__(self, value: float):
+        self.value = value
+        self.due = -1  # slot at which the next transition happens
+        self.in_flight = False  # True = accepted, applying at `due`
+        self.attempts = 0  # requests sent so far for this transaction
+
+
+class UnreliableLink(Link):
+    """A link whose ``set`` goes through the unreliable signaling plane.
+
+    ``set(t, bandwidth)`` issues a request; the return value reports
+    whether the allocation *changed this slot* (it did only if the plane
+    accepted the request with zero delay).  ``tick(t)`` must be called once
+    per slot (the policy wrappers do) to deliver due requests and issue due
+    retries.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        plan: FaultPlan,
+        retry: RetryPolicy = RetryPolicy(),
+        channel: int = 0,
+        bandwidth: float = 0.0,
+    ):
+        super().__init__(name, bandwidth)
+        self.plan = plan
+        self.retry = retry
+        self.channel = int(channel)
+        self._pending: _Pending | None = None
+        #: Signaling transactions opened (change requests issued).
+        self.requests = 0
+        #: Individual request messages lost by the plane.
+        self.drops = 0
+        #: Retry messages sent after a loss.
+        self.retries = 0
+        #: Transactions abandoned after ``max_attempts`` losses.
+        self.give_ups = 0
+
+    @property
+    def target(self) -> float:
+        """The most recently requested value (pending if in transit)."""
+        if self._pending is not None:
+            return self._pending.value
+        return self.bandwidth
+
+    def set(self, t: int, bandwidth: float) -> bool:
+        if bandwidth < 0:
+            raise ConfigError(f"bandwidth must be >= 0, got {bandwidth!r}")
+        if abs(bandwidth - self.bandwidth) <= CHANGE_EPSILON:
+            # Requesting the applied value: cancel any pending transaction.
+            self._pending = None
+            return False
+        if (
+            self._pending is not None
+            and abs(bandwidth - self._pending.value) <= CHANGE_EPSILON
+        ):
+            return False  # already in flight — idempotent
+        self._pending = _Pending(float(bandwidth))
+        self.requests += 1
+        return self._attempt(t)
+
+    def tick(self, t: int) -> None:
+        """Deliver a due in-flight request or issue a due retry."""
+        pending = self._pending
+        if pending is None or pending.due > t:
+            return
+        if pending.in_flight:
+            self._pending = None
+            super().set(t, pending.value)
+        else:
+            self.retries += 1
+            self._attempt(t)
+
+    def _attempt(self, t: int) -> bool:
+        """Send one request message at slot ``t``; returns True iff the
+        allocation was applied immediately."""
+        pending = self._pending
+        attempt = pending.attempts
+        pending.attempts += 1
+        if self.plan.drop_request(t, channel=self.channel, attempt=attempt):
+            self.drops += 1
+            if pending.attempts >= self.retry.max_attempts:
+                self.give_ups += 1
+                self._pending = None
+                if self.retry.give_up == "raise":
+                    raise SignalingError(
+                        f"link {self.name!r}: request for "
+                        f"{pending.value:.6f} abandoned after "
+                        f"{pending.attempts} attempts at t={t}"
+                    )
+                return False
+            jitter = self.plan.jitter(t, self.channel, pending.attempts)
+            pending.due = t + self.retry.backoff(pending.attempts, jitter)
+            return False
+        delay = self.plan.request_delay(t, channel=self.channel)
+        if delay <= 0:
+            self._pending = None
+            return super().set(t, pending.value)
+        pending.in_flight = True
+        pending.due = t + delay
+        return False
+
+
+class UnreliableSignaling(BandwidthPolicy):
+    """Run a single-session policy through the unreliable signaling plane.
+
+    Each slot the inner policy's ``decide`` output becomes the *requested*
+    bandwidth; the wrapper returns the *granted* (applied) bandwidth, which
+    is what the engine serves with.  The inner policy keeps its own
+    (reliable) link, so ``inner.change_count`` counts requested changes
+    while ``self.change_count`` counts applied ones.
+
+    Stage accounting (``stage_starts``/``resets``) aliases the inner
+    policy's lists so competitive accounting still reflects the algorithm's
+    decisions.
+    """
+
+    def __init__(
+        self,
+        inner: BandwidthPolicy,
+        plan: FaultPlan,
+        retry: RetryPolicy = RetryPolicy(),
+        channel: int = 0,
+    ):
+        super().__init__(
+            name=f"unreliable({inner.link.name})",
+            max_bandwidth=inner.max_bandwidth,
+        )
+        self.inner = inner
+        self.link = UnreliableLink(
+            self.link.name, plan, retry, channel=channel
+        )
+        # Alias (not copy): the inner policy appends in place.
+        self.stage_starts = inner.stage_starts
+        self.resets = inner.resets
+        self._last_requested = 0.0
+
+    @property
+    def requested_bandwidth(self) -> float:
+        """What the inner policy asked for this slot."""
+        return self._last_requested
+
+    def decide(self, t: int, arrivals: float, backlog: float) -> float:
+        self.link.tick(t)
+        desired = self.inner.decide(t, arrivals, backlog)
+        self._last_requested = desired
+        self.link.set(t, desired)
+        return self.link.bandwidth
+
+    # -- signaling cost ----------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self.link.requests
+
+    @property
+    def drops(self) -> int:
+        return self.link.drops
+
+    @property
+    def retries(self) -> int:
+        return self.link.retries
+
+    @property
+    def give_ups(self) -> int:
+        return self.link.give_ups
+
+
+class UnreliableMultiSignaling(MultiSessionPolicy):
+    """Run a multi-session policy through the unreliable signaling plane.
+
+    Every per-session regular/overflow link (and the extra global link, if
+    present) is replaced by an :class:`UnreliableLink`; the inner
+    algorithm's own ``link.set`` calls then route through the plane
+    transparently.  Sessions, queues and stage accounting are shared with
+    the inner policy, so traces and change accounting work unmodified.
+
+    Wrap the policy *before* the first ``step`` — links are captured at
+    construction time.
+    """
+
+    def __init__(
+        self,
+        inner: MultiSessionPolicy,
+        plan: FaultPlan,
+        retry: RetryPolicy = RetryPolicy(),
+    ):
+        # Deliberately no super().__init__: this wrapper shares the inner
+        # policy's sessions and accounting lists instead of owning its own.
+        self.inner = inner
+        self.k = inner.k
+        self.fifo = inner.fifo
+        self.sessions = inner.sessions
+        self.stage_starts = inner.stage_starts
+        self.resets = inner.resets
+        self.plan = plan
+        self.retry = retry
+        self.links: list[UnreliableLink] = []
+        for session in inner.sessions:
+            channels = session.channels
+            channels.regular_link = self._wrap(channels.regular_link)
+            channels.overflow_link = self._wrap(channels.overflow_link)
+        if inner.extra_link is not None:
+            inner.extra_link = self._wrap(inner.extra_link)
+        self.extra_link = inner.extra_link
+
+    def _wrap(self, link: Link) -> UnreliableLink:
+        wrapped = UnreliableLink(
+            link.name,
+            self.plan,
+            self.retry,
+            channel=len(self.links),
+            bandwidth=link.bandwidth,
+        )
+        self.links.append(wrapped)
+        return wrapped
+
+    def step(self, t: int, arrivals: Sequence[float]) -> list[ServeResult]:
+        for link in self.links:
+            link.tick(t)
+        return self.inner.step(t, arrivals)
+
+    # -- signaling cost ----------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return sum(link.requests for link in self.links)
+
+    @property
+    def drops(self) -> int:
+        return sum(link.drops for link in self.links)
+
+    @property
+    def retries(self) -> int:
+        return sum(link.retries for link in self.links)
+
+    @property
+    def give_ups(self) -> int:
+        return sum(link.give_ups for link in self.links)
+
+
+class HeadroomPolicy(BandwidthPolicy):
+    """Over-request by ``factor`` to absorb signaling faults gracefully.
+
+    Requests ``min(cap, factor × inner decision)``.  Under a degraded link
+    serving at fraction ``1/factor`` of the allocation, the effective
+    bandwidth still covers the inner policy's intent; under signaling
+    delay, the standing surplus absorbs queue growth while an increase is
+    in flight.  The cost is utilization (and, if ``cap`` is raised above
+    the inner ``B_A``, the max-bandwidth guarantee).
+
+    Compose inside the signaling wrapper::
+
+        UnreliableSignaling(HeadroomPolicy(policy, 2.0), plan, retry)
+    """
+
+    def __init__(
+        self,
+        inner: BandwidthPolicy,
+        factor: float,
+        cap: float | None = None,
+    ):
+        if factor < 1.0:
+            raise ConfigError(f"headroom factor must be >= 1, got {factor!r}")
+        cap = inner.max_bandwidth if cap is None else float(cap)
+        super().__init__(
+            name=f"headroom({inner.link.name})", max_bandwidth=cap
+        )
+        self.inner = inner
+        self.factor = float(factor)
+        self.stage_starts = inner.stage_starts
+        self.resets = inner.resets
+
+    def decide(self, t: int, arrivals: float, backlog: float) -> float:
+        desired = self.inner.decide(t, arrivals, backlog)
+        self.link.set(t, min(self.max_bandwidth, desired * self.factor))
+        return self.link.bandwidth

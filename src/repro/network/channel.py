@@ -28,6 +28,11 @@ class SessionChannels:
         self.overflow_queue = BitQueue(f"s{index}.overflow.q")
         self.regular_link = Link(f"s{index}.regular")
         self.overflow_link = Link(f"s{index}.overflow")
+        #: Effective-capacity multiplier for this slot (fault injection).
+        #: The engine sets it from the active FaultPlan; 1.0 = healthy link.
+        #: Allocation (and its change accounting) is unaffected — only the
+        #: bits actually served this slot are scaled.
+        self.capacity_factor = 1.0
 
     def __repr__(self) -> str:
         return (
@@ -67,14 +72,19 @@ class SessionChannels:
 
     def serve(self, t: int, fifo: bool = False) -> ServeResult:
         """Serve one slot; return the merged delivery record."""
+        factor = self.capacity_factor
         if fifo:
-            capacity = self.total_bandwidth
+            capacity = self.total_bandwidth * factor
             first = self.overflow_queue.serve(t, capacity)
             # Guard against float dust pushing the remainder below zero.
             second = self.regular_queue.serve(t, max(0.0, capacity - first.bits))
         else:
-            first = self.overflow_queue.serve(t, self.overflow_link.bandwidth)
-            second = self.regular_queue.serve(t, self.regular_link.bandwidth)
+            first = self.overflow_queue.serve(
+                t, self.overflow_link.bandwidth * factor
+            )
+            second = self.regular_queue.serve(
+                t, self.regular_link.bandwidth * factor
+            )
         merged = ServeResult(
             bits=first.bits + second.bits,
             deliveries=first.deliveries + second.deliveries,

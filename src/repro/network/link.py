@@ -45,9 +45,35 @@ class Link:
         return self._bandwidth
 
     @property
+    def target(self) -> float:
+        """The value the controller most recently requested.
+
+        For a reliable link this *is* the allocated bandwidth; an
+        unreliable signaling plane (:class:`repro.faults.UnreliableLink`)
+        overrides it to report the in-flight request, letting callers
+        distinguish requested from granted without knowing the link type.
+        """
+        return self._bandwidth
+
+    @property
     def change_count(self) -> int:
         """Number of genuine allocation changes so far."""
         return len(self.changes)
+
+    @property
+    def last_change_t(self) -> int | None:
+        """Slot of the most recent genuine change (None before the first)."""
+        if not self.changes:
+            return None
+        return self.changes[-1].t
+
+    def tick(self, t: int) -> None:
+        """Advance link-internal state to slot ``t``.
+
+        A no-op for a reliable link; unreliable links deliver due in-flight
+        requests here.  Engines and policy wrappers may call it
+        unconditionally once per slot.
+        """
 
     def set(self, t: int, bandwidth: float) -> bool:
         """Set the allocation at slot ``t``; return True if it changed."""

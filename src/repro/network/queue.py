@@ -136,7 +136,11 @@ class BitQueue:
                 self._chunks.popleft()
             else:
                 self._chunks[0][1] = bits - take
-        if self._size < EPSILON:
+        # Popping a chunk may leave up to EPSILON of untracked size behind
+        # (take can undershoot bits by EPSILON); once no chunks remain the
+        # accumulated dust MUST be zeroed or the queue reports non-empty
+        # forever and drain loops stall.
+        if not self._chunks or self._size < EPSILON:
             self._size = 0.0
             self._chunks.clear()
         return result

@@ -9,8 +9,12 @@ from repro.sim.invariants import (
     DelayMonitor,
     MaxBandwidthMonitor,
     Monitor,
+    MonitorSummary,
     OverflowBoundMonitor,
     RegularBoundMonitor,
+    Violation,
+    ViolationLog,
+    soften,
 )
 from repro.sim.serialize import (
     load_multi_trace,
@@ -33,12 +37,16 @@ __all__ = [
     "EventQueue",
     "MaxBandwidthMonitor",
     "Monitor",
+    "MonitorSummary",
     "MultiSessionRecorder",
     "MultiSessionTrace",
     "OverflowBoundMonitor",
     "RegularBoundMonitor",
     "SingleSessionRecorder",
     "SingleSessionTrace",
+    "Violation",
+    "ViolationLog",
+    "soften",
     "run_multi_session",
     "run_single_session",
     "load_multi_trace",

@@ -13,11 +13,26 @@ Both loops optionally *drain*: after the arrival horizon they keep stepping
 with zero arrivals until all queues empty, so every bit's delay is measured.
 A policy that fails to drain (allocates nothing forever) trips a hard cap
 and raises :class:`~repro.errors.SimulationError` instead of spinning.
+
+Both loops accept ``faults=``, a :class:`~repro.faults.plan.FaultPlan`:
+
+* **link degradation** — serving uses the *effective* bandwidth
+  ``granted × capacity_factor(t)``; the allocation (and its change
+  accounting) is untouched, only the wire underdelivers;
+* **ingress drops** — a faulted fraction of each slot's arrivals never
+  reaches the queue and is accounted in the trace's ``dropped`` series;
+* **requested vs granted** — the traces record the policy's *requested*
+  bandwidth alongside the granted (applied) one, which differ under an
+  :class:`~repro.faults.signaling.UnreliableSignaling` wrapper.
+
+Passing ``faults=None`` (or an empty plan) reproduces the fault-free
+simulation bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import math
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -32,13 +47,20 @@ from repro.sim.recorder import (
     SingleSessionTrace,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.plan import FaultPlan
+
 
 def _as_array(arrivals: Sequence[float] | np.ndarray, ndim: int) -> np.ndarray:
     array = np.asarray(arrivals, dtype=float)
     if array.ndim != ndim:
         raise ConfigError(f"arrivals must be {ndim}-dimensional, got {array.ndim}")
-    if array.size and float(array.min()) < 0:
-        raise ConfigError("arrivals must be non-negative")
+    if array.size:
+        # isfinite first: NaN slips through a plain `min() < 0` comparison.
+        if not np.isfinite(array).all():
+            raise ConfigError("arrivals must be finite (no NaN/inf values)")
+        if float(array.min()) < 0:
+            raise ConfigError("arrivals must be non-negative")
     return array
 
 
@@ -50,6 +72,7 @@ def run_single_session(
     max_drain_slots: int | None = None,
     monitors: Iterable[Monitor] = (),
     queue_capacity: float | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> SingleSessionTrace:
     """Simulate one session under ``policy``; return the finalized trace.
 
@@ -63,6 +86,8 @@ def run_single_session(
         queue_capacity: finite ingress buffer in bits (None = the paper's
             unbounded-queue model); overflow is tail-dropped and recorded
             in the trace's ``dropped`` series.
+        faults: a :class:`~repro.faults.plan.FaultPlan` injecting link
+            degradation and ingress drops (None = fault-free).
     """
     array = _as_array(arrivals, ndim=1)
     horizon = len(array)
@@ -70,6 +95,7 @@ def run_single_session(
     queue = BitQueue("session", capacity=queue_capacity)
     recorder = SingleSessionRecorder()
     monitor_list = list(monitors)
+    plan = faults if faults is not None and not faults.is_null else None
 
     t = 0
     while t < horizon or (drain and not queue.is_empty):
@@ -78,16 +104,45 @@ def run_single_session(
                 f"queue failed to drain within {cap} extra slots "
                 f"(backlog {queue.size:.3f})"
             )
-        slot_arrivals = float(array[t]) if t < horizon else 0.0
+        offered = float(array[t]) if t < horizon else 0.0
+        slot_arrivals = offered
+        fault_dropped = 0.0
+        if plan is not None and slot_arrivals > 0.0:
+            keep = plan.ingress_factor(t)
+            if keep < 1.0:
+                fault_dropped = slot_arrivals * (1.0 - keep)
+                slot_arrivals -= fault_dropped
         backlog = queue.size
         lost = queue.push(t, slot_arrivals)
         bandwidth = policy.decide(t, slot_arrivals, backlog)
+        if not math.isfinite(bandwidth):
+            raise SimulationError(
+                f"policy returned non-finite bandwidth {bandwidth!r} at t={t}"
+            )
         if bandwidth < 0:
             raise SimulationError(f"policy returned negative bandwidth at t={t}")
+        if plan is None:
+            requested = None
+            effective = bandwidth
+            record_effective = None
+        else:
+            requested = getattr(policy, "requested_bandwidth", bandwidth)
+            effective = bandwidth * plan.capacity_factor(t)
+            record_effective = effective
         queue_before = queue.size
-        result = queue.serve(t, bandwidth)
+        result = queue.serve(t, effective)
+        # The trace records the *offered* load; ``dropped`` holds both
+        # ingress-fault losses and finite-buffer tail drops, so
+        # delivered + final backlog + dropped == offered.
         recorder.record(
-            t, slot_arrivals, bandwidth, result, queue.size, dropped=lost
+            t,
+            offered,
+            bandwidth,
+            result,
+            queue.size,
+            dropped=lost + fault_dropped,
+            requested=requested,
+            effective=record_effective,
         )
         if monitor_list:
             view = SingleSlotView(
@@ -117,6 +172,7 @@ def run_multi_session(
     drain: bool = True,
     max_drain_slots: int | None = None,
     monitors: Iterable[Monitor] = (),
+    faults: "FaultPlan | None" = None,
 ) -> MultiSessionTrace:
     """Simulate ``k`` sessions under ``policy``; return the finalized trace.
 
@@ -126,6 +182,11 @@ def run_multi_session(
         drain: keep stepping with zero arrivals until all queues empty.
         max_drain_slots: hard cap on extra drain slots.
         monitors: invariant monitors to run each slot.
+        faults: a :class:`~repro.faults.plan.FaultPlan`; link degradation
+            scales each session's effective serving capacity, ingress drops
+            remove arriving bits before they reach the policy.  (The
+            combined algorithm's global channel is served inside the policy
+            and is not degraded.)
     """
     array = _as_array(arrivals, ndim=2)
     horizon, k = array.shape
@@ -135,6 +196,7 @@ def run_multi_session(
     recorder = MultiSessionRecorder(k)
     monitor_list = list(monitors)
     zero = [0.0] * k
+    plan = faults if faults is not None and not faults.is_null else None
 
     t = 0
     while t < horizon or (drain and policy.total_backlog > 0):
@@ -143,7 +205,17 @@ def run_multi_session(
                 f"queues failed to drain within {cap} extra slots "
                 f"(backlog {policy.total_backlog:.3f})"
             )
-        slot_arrivals = [float(x) for x in array[t]] if t < horizon else zero
+        offered = [float(x) for x in array[t]] if t < horizon else zero
+        slot_arrivals = offered
+        fault_dropped = 0.0
+        if plan is not None:
+            factor = plan.capacity_factor(t)
+            for session in policy.sessions:
+                session.channels.capacity_factor = factor
+            keep = plan.ingress_factor(t)
+            if keep < 1.0 and t < horizon:
+                slot_arrivals = [x * keep for x in offered]
+                fault_dropped = sum(offered) - sum(slot_arrivals)
         results = policy.step(t, slot_arrivals)
         if len(results) != k:
             raise SimulationError(
@@ -152,9 +224,24 @@ def run_multi_session(
         regular = [s.channels.regular_link.bandwidth for s in policy.sessions]
         overflow = [s.channels.overflow_link.bandwidth for s in policy.sessions]
         extra = policy.extra_link.bandwidth if policy.extra_link is not None else 0.0
+        for value in (*regular, *overflow, extra):
+            if not math.isfinite(value):
+                raise SimulationError(
+                    f"policy produced non-finite bandwidth {value!r} at t={t}"
+                )
         backlogs = [s.backlog for s in policy.sessions]
         recorder.record(
-            t, slot_arrivals, regular, overflow, results, backlogs, extra
+            t,
+            offered,
+            regular,
+            overflow,
+            results,
+            backlogs,
+            extra,
+            requested_total=(
+                policy.total_requested if plan is not None else None
+            ),
+            dropped=fault_dropped,
         )
         if monitor_list:
             view = MultiSlotView(
@@ -169,6 +256,10 @@ def run_multi_session(
             for monitor in monitor_list:
                 monitor.on_multi_slot(view)
         t += 1
+
+    if plan is not None:
+        for session in policy.sessions:
+            session.channels.capacity_factor = 1.0
 
     local_changes = []
     for session in policy.sessions:

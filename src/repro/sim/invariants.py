@@ -1,10 +1,17 @@
 """Runtime monitors for the paper's proved invariants.
 
-A monitor observes every simulated slot and raises
-:class:`~repro.errors.InvariantViolation` the moment a theorem invariant
-breaks, pinpointing the slot — far more diagnostic than a failed
-end-of-run assertion.  Monitors also track their observed worst-case
-*margin* so experiments can report how tight each bound runs in practice.
+A monitor observes every simulated slot and — in the default
+``mode="raise"`` — raises :class:`~repro.errors.InvariantViolation` the
+moment a theorem invariant breaks, pinpointing the slot — far more
+diagnostic than a failed end-of-run assertion.  Monitors also track their
+observed worst-case *margin* so experiments can report how tight each
+bound runs in practice.
+
+Under fault injection (:mod:`repro.faults`) violations are the *measured
+outcome*, not a bug: switching a monitor to ``mode="record"`` (see
+:meth:`Monitor.soften` / :func:`soften`) collects every violation into a
+structured :class:`ViolationLog` — first-violation slot, count, maximum
+severity per monitor — instead of aborting the run.
 
 Implemented invariants:
 
@@ -22,11 +29,118 @@ Implemented invariants:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
-from repro.errors import InvariantViolation
+from repro.errors import ConfigError, InvariantViolation
 from repro.network.queue import ServeResult
 
 _EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded invariant violation (soft monitoring)."""
+
+    monitor: str
+    t: int
+    detail: str
+    #: Monitor-specific magnitude of the breach (bits, slots, ...); larger
+    #: is worse, 0 means unquantified.
+    severity: float = 0.0
+
+
+@dataclass(frozen=True)
+class MonitorSummary:
+    """Per-monitor aggregate of a :class:`ViolationLog`."""
+
+    monitor: str
+    first_t: int
+    count: int
+    max_severity: float
+
+
+class ViolationLog:
+    """Structured collection of soft-monitored invariant violations.
+
+    One log is typically shared by every monitor of a run (see
+    :func:`soften`), so the whole run's failures land in one place.
+    """
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __bool__(self) -> bool:
+        return bool(self.violations)
+
+    def __iter__(self):
+        return iter(self.violations)
+
+    def __repr__(self) -> str:
+        return f"ViolationLog({len(self.violations)} violations)"
+
+    def record(
+        self, monitor: str, t: int, detail: str, severity: float = 0.0
+    ) -> None:
+        self.violations.append(
+            Violation(monitor=monitor, t=int(t), detail=detail,
+                      severity=float(severity))
+        )
+
+    def count(self, monitor: str | None = None) -> int:
+        if monitor is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.monitor == monitor)
+
+    def first_time(self, monitor: str | None = None) -> int | None:
+        """Slot of the earliest violation (None when clean)."""
+        times = [
+            v.t
+            for v in self.violations
+            if monitor is None or v.monitor == monitor
+        ]
+        return min(times, default=None)
+
+    def max_severity(self, monitor: str | None = None) -> float:
+        return max(
+            (
+                v.severity
+                for v in self.violations
+                if monitor is None or v.monitor == monitor
+            ),
+            default=0.0,
+        )
+
+    def summary(self) -> dict[str, MonitorSummary]:
+        """Per-monitor aggregates, keyed by monitor name."""
+        out: dict[str, MonitorSummary] = {}
+        for name in sorted({v.monitor for v in self.violations}):
+            out[name] = MonitorSummary(
+                monitor=name,
+                first_t=self.first_time(name),
+                count=self.count(name),
+                max_severity=self.max_severity(name),
+            )
+        return out
+
+    def merge(self, other: "ViolationLog") -> None:
+        """Fold another log's violations into this one."""
+        self.violations.extend(other.violations)
+
+
+def soften(
+    monitors: Iterable["Monitor"], log: ViolationLog | None = None
+) -> ViolationLog:
+    """Switch every monitor to ``mode="record"`` sharing one log.
+
+    Returns the (possibly newly created) shared log.
+    """
+    log = log if log is not None else ViolationLog()
+    for monitor in monitors:
+        monitor.soften(log)
+    return log
 
 
 @dataclass
@@ -55,9 +169,27 @@ class MultiSlotView:
 
 
 class Monitor:
-    """Base monitor; override the hooks you need."""
+    """Base monitor; override the hooks you need.
+
+    ``mode`` is ``"raise"`` (default: abort on first violation) or
+    ``"record"`` (collect into :attr:`violations` and keep running — the
+    right setting under fault injection, where violations are data).
+    """
 
     name = "monitor"
+    #: "raise" | "record" — class default is strict; soften() flips it.
+    mode = "raise"
+    #: Shared log written to in record mode (lazily created if absent).
+    violations: ViolationLog | None = None
+
+    def soften(self, log: ViolationLog | None = None) -> "Monitor":
+        """Switch to record mode, optionally sharing ``log``; returns self."""
+        self.mode = "record"
+        if log is not None:
+            self.violations = log
+        elif self.violations is None:
+            self.violations = ViolationLog()
+        return self
 
     def on_single_slot(self, view: SingleSlotView) -> None:  # pragma: no cover
         """Observe one single-session slot."""
@@ -65,7 +197,16 @@ class Monitor:
     def on_multi_slot(self, view: MultiSlotView) -> None:  # pragma: no cover
         """Observe one multi-session slot."""
 
-    def _fail(self, t: int, detail: str) -> None:
+    def _fail(self, t: int, detail: str, severity: float = 0.0) -> None:
+        if self.mode == "record":
+            if self.violations is None:
+                self.violations = ViolationLog()
+            self.violations.record(self.name, t, detail, severity=severity)
+            return
+        if self.mode != "raise":
+            raise ConfigError(
+                f'monitor mode must be "raise" or "record", got {self.mode!r}'
+            )
         raise InvariantViolation(self.name, t, detail)
 
 
@@ -93,6 +234,7 @@ class Claim2Monitor(Monitor):
                 view.t,
                 f"B_on={view.allocation:.6f} < q/D_A="
                 f"{view.queue_before_serve / self.online_delay:.6f}",
+                severity=-margin,
             )
 
 
@@ -110,7 +252,9 @@ class MaxBandwidthMonitor(Monitor):
             self.max_seen = total
         if total > self.max_bandwidth * (1 + _EPS) + _EPS:
             self._fail(
-                t, f"allocated {total:.6f} > B_A={self.max_bandwidth:.6f}"
+                t,
+                f"allocated {total:.6f} > B_A={self.max_bandwidth:.6f}",
+                severity=total - self.max_bandwidth,
             )
 
     def on_single_slot(self, view: SingleSlotView) -> None:
@@ -156,6 +300,7 @@ class Claim9Monitor(Monitor):
                 t,
                 "arrivals exceed the Claim 9 feasibility envelope "
                 f"(excess {excess:.6f} bits)",
+                severity=excess,
             )
         if g < self._min_g:
             self._min_g = g
@@ -182,7 +327,9 @@ class OverflowBoundMonitor(Monitor):
             self.max_seen = total
         if total > self.bound * (1 + _EPS) + _EPS:
             self._fail(
-                view.t, f"overflow bandwidth {total:.6f} > {self.bound:.6f}"
+                view.t,
+                f"overflow bandwidth {total:.6f} > {self.bound:.6f}",
+                severity=total - self.bound,
             )
 
 
@@ -201,7 +348,9 @@ class RegularBoundMonitor(Monitor):
             self.max_seen = total
         if total > self.bound * (1 + _EPS) + _EPS:
             self._fail(
-                view.t, f"regular bandwidth {total:.6f} > {self.bound:.6f}"
+                view.t,
+                f"regular bandwidth {total:.6f} > {self.bound:.6f}",
+                severity=total - self.bound,
             )
 
 
@@ -225,6 +374,11 @@ class DelayMonitor(Monitor):
                         t,
                         f"bit delay {delivery.delay} > D_A="
                         f"{self.online_delay} (+{self.slack_slots} slack)",
+                        severity=float(
+                            delivery.delay
+                            - self.online_delay
+                            - self.slack_slots
+                        ),
                     )
 
     def on_single_slot(self, view: SingleSlotView) -> None:

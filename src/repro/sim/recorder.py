@@ -58,10 +58,21 @@ class SingleSessionTrace:
     resets: list[int]
     horizon: int
     dropped: np.ndarray = None  # set in __post_init__ when omitted
+    #: Bandwidth the policy *requested* each slot.  Differs from
+    #: ``allocation`` (granted) only under an unreliable signaling plane;
+    #: defaults to a copy of ``allocation``.
+    requested: np.ndarray = None
+    #: Bandwidth the wire actually served with (granted × degradation);
+    #: defaults to a copy of ``allocation``.
+    effective: np.ndarray = None
 
     def __post_init__(self) -> None:
         if self.dropped is None:
             self.dropped = np.zeros_like(self.arrivals)
+        if self.requested is None:
+            self.requested = self.allocation.copy()
+        if self.effective is None:
+            self.effective = self.allocation.copy()
 
     @property
     def slots(self) -> int:
@@ -132,6 +143,17 @@ class MultiSessionTrace:
     stage_starts: list[int]
     resets: list[int]
     horizon: int
+    #: Per-slot total bandwidth the policy *requested* across all channels;
+    #: differs from ``total_allocation`` only under unreliable signaling.
+    requested_total: np.ndarray = None
+    #: Per-slot bits removed by ingress faults before reaching the queues.
+    dropped: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.requested_total is None:
+            self.requested_total = self.total_allocation.copy()
+        if self.dropped is None:
+            self.dropped = np.zeros(self.arrivals.shape[0], dtype=float)
 
     @property
     def slots(self) -> int:
@@ -198,6 +220,8 @@ class SingleSessionRecorder:
         self._delivered: list[float] = []
         self._backlog: list[float] = []
         self._dropped: list[float] = []
+        self._requested: list[float] = []
+        self._effective: list[float] = []
         self._histogram: dict[int, float] = {}
 
     def record(
@@ -208,12 +232,16 @@ class SingleSessionRecorder:
         result: ServeResult,
         backlog_after: float,
         dropped: float = 0.0,
+        requested: float | None = None,
+        effective: float | None = None,
     ) -> None:
         self._arrivals.append(arrivals)
         self._allocation.append(allocation)
         self._delivered.append(result.bits)
         self._backlog.append(backlog_after)
         self._dropped.append(dropped)
+        self._requested.append(allocation if requested is None else requested)
+        self._effective.append(allocation if effective is None else effective)
         for delivery in result.deliveries:
             self._histogram[delivery.delay] = (
                 self._histogram.get(delivery.delay, 0.0) + delivery.bits
@@ -237,6 +265,8 @@ class SingleSessionRecorder:
             resets=list(resets),
             horizon=horizon,
             dropped=np.asarray(self._dropped, dtype=float),
+            requested=np.asarray(self._requested, dtype=float),
+            effective=np.asarray(self._effective, dtype=float),
         )
 
 
@@ -251,6 +281,8 @@ class MultiSessionRecorder:
         self._delivered: list[list[float]] = []
         self._backlog: list[list[float]] = []
         self._extra: list[float] = []
+        self._requested: list[float] = []
+        self._dropped: list[float] = []
         self._histograms: list[dict[int, float]] = [dict() for _ in range(k)]
 
     def record(
@@ -262,6 +294,8 @@ class MultiSessionRecorder:
         results: list[ServeResult],
         backlogs: list[float],
         extra_allocation: float,
+        requested_total: float | None = None,
+        dropped: float = 0.0,
     ) -> None:
         self._arrivals.append(list(arrivals))
         self._regular.append(list(regular))
@@ -269,6 +303,10 @@ class MultiSessionRecorder:
         self._delivered.append([r.bits for r in results])
         self._backlog.append(list(backlogs))
         self._extra.append(extra_allocation)
+        if requested_total is None:
+            requested_total = sum(regular) + sum(overflow) + extra_allocation
+        self._requested.append(requested_total)
+        self._dropped.append(dropped)
         for i, result in enumerate(results):
             histogram = self._histograms[i]
             for delivery in result.deliveries:
@@ -298,4 +336,6 @@ class MultiSessionRecorder:
             stage_starts=list(stage_starts),
             resets=list(resets),
             horizon=horizon,
+            requested_total=np.asarray(self._requested, dtype=float),
+            dropped=np.asarray(self._dropped, dtype=float),
         )

@@ -50,6 +50,8 @@ def save_single_trace(path: str | Path, trace: SingleSessionTrace) -> None:
         delivered=trace.delivered,
         backlog=trace.backlog,
         dropped=trace.dropped,
+        requested=trace.requested,
+        effective=trace.effective,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
     )
 
@@ -71,6 +73,8 @@ def load_single_trace(path: str | Path) -> SingleSessionTrace:
             resets=list(meta["resets"]),
             horizon=int(meta["horizon"]),
             dropped=data["dropped"] if "dropped" in data.files else None,
+            requested=data["requested"] if "requested" in data.files else None,
+            effective=data["effective"] if "effective" in data.files else None,
         )
 
 
@@ -98,6 +102,8 @@ def save_multi_trace(path: str | Path, trace: MultiSessionTrace) -> None:
         delivered=trace.delivered,
         backlog=trace.backlog,
         extra_allocation=trace.extra_allocation,
+        requested_total=trace.requested_total,
+        dropped=trace.dropped,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
     )
 
@@ -131,4 +137,10 @@ def load_multi_trace(path: str | Path) -> MultiSessionTrace:
             stage_starts=list(meta["stage_starts"]),
             resets=list(meta["resets"]),
             horizon=int(meta["horizon"]),
+            requested_total=(
+                data["requested_total"]
+                if "requested_total" in data.files
+                else None
+            ),
+            dropped=data["dropped"] if "dropped" in data.files else None,
         )

@@ -38,6 +38,7 @@ def test_describe_has_descriptions():
         "E-F1", "E-F2", "E-T6", "E-T7", "E-T14", "E-T17", "E-C", "E-LB",
         "E-INV", "E-ABL-QUANT", "E-ABL-HEADROOM", "E-ABL-WINDOW",
         "E-ABL-FIFO", "E-ABL-GLOBAL", "E-PRICE", "E-BUF", "E-ROB",
+        "E-FAULT",
     ]
 ))
 def test_experiment_runs_and_passes(experiment_id):

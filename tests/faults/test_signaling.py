@@ -1,0 +1,206 @@
+"""Unreliable signaling plane: link semantics, retries, policy wrappers."""
+
+import pytest
+
+from repro.core.baselines import StaticAllocator
+from repro.core.phased import PhasedMultiSession
+from repro.core.single_session import SingleSessionOnline
+from repro.errors import ConfigError, SignalingError
+from repro.faults import (
+    NO_RETRY,
+    FaultPlan,
+    HeadroomPolicy,
+    RetryPolicy,
+    SignalDelay,
+    SignalOutage,
+    UnreliableLink,
+    UnreliableMultiSignaling,
+    UnreliableSignaling,
+)
+
+NULL = FaultPlan((), seed=0)
+OUTAGE = FaultPlan((SignalOutage(0, 1000),), seed=0)  # every request lost
+DELAY2 = FaultPlan((SignalDelay(delay=2),), seed=0)  # every request 2 late
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(give_up="explode")
+
+    def test_exponential_backoff_with_cap(self):
+        retry = RetryPolicy(
+            base_backoff=2, backoff_factor=2.0, max_backoff=5, jitter=0
+        )
+        assert retry.backoff(1, 0.0) == 2
+        assert retry.backoff(2, 0.0) == 4
+        assert retry.backoff(3, 0.0) == 5  # capped
+
+    def test_jitter_adds_seeded_slots(self):
+        retry = RetryPolicy(base_backoff=1, backoff_factor=1.0, jitter=3)
+        assert retry.backoff(1, 0.0) == 1
+        assert retry.backoff(1, 0.999) == 1 + 3
+
+
+class TestUnreliableLink:
+    def test_reliable_under_null_plan(self):
+        link = UnreliableLink("l", NULL)
+        assert link.set(0, 5.0)
+        assert link.bandwidth == 5.0
+        assert link.change_count == 1
+
+    def test_idempotent_set_opens_no_transaction(self):
+        link = UnreliableLink("l", NULL)
+        link.set(0, 5.0)
+        assert not link.set(1, 5.0)
+        assert link.requests == 1
+
+    def test_latest_wins_supersedes_pending(self):
+        link = UnreliableLink("l", DELAY2)
+        link.set(0, 5.0)  # in flight, applies at t=2
+        link.set(1, 7.0)  # supersedes, applies at t=3
+        link.tick(2)
+        assert link.bandwidth == 0.0
+        link.tick(3)
+        assert link.bandwidth == 7.0
+        assert link.change_count == 1  # one applied change only
+
+    def test_revert_cancels_pending(self):
+        link = UnreliableLink("l", DELAY2)
+        link.set(0, 5.0)
+        link.set(1, 0.0)  # back to applied value: transaction cancelled
+        for t in range(2, 6):
+            link.tick(t)
+        assert link.bandwidth == 0.0
+        assert link.change_count == 0
+
+    def test_delayed_application(self):
+        link = UnreliableLink("l", DELAY2)
+        assert not link.set(0, 5.0)  # accepted but not applied yet
+        assert link.target == 5.0
+        assert link.bandwidth == 0.0
+        link.tick(1)
+        assert link.bandwidth == 0.0
+        link.tick(2)
+        assert link.bandwidth == 5.0
+
+    def test_give_up_hold_keeps_old_value(self):
+        link = UnreliableLink("l", OUTAGE, NO_RETRY)
+        assert not link.set(0, 5.0)
+        assert link.bandwidth == 0.0
+        assert link.give_ups == 1
+        assert link.drops == 1
+        assert link.target == 0.0  # transaction abandoned
+
+    def test_give_up_raise(self):
+        retry = RetryPolicy(max_attempts=1, give_up="raise")
+        link = UnreliableLink("l", OUTAGE, retry)
+        with pytest.raises(SignalingError):
+            link.set(0, 5.0)
+
+    def test_retries_follow_backoff(self):
+        retry = RetryPolicy(
+            max_attempts=3, base_backoff=2, backoff_factor=2.0, jitter=0
+        )
+        link = UnreliableLink("l", OUTAGE, retry)
+        link.set(0, 5.0)  # attempt 1 dropped, retry due t=2
+        link.tick(1)
+        assert link.retries == 0
+        link.tick(2)  # attempt 2 dropped, retry due t=6
+        assert link.retries == 1
+        for t in range(3, 6):
+            link.tick(t)
+        assert link.retries == 1
+        link.tick(6)  # attempt 3 dropped -> give up
+        assert link.retries == 2
+        assert link.give_ups == 1
+
+    def test_negative_bandwidth_rejected(self):
+        link = UnreliableLink("l", NULL)
+        with pytest.raises(ConfigError):
+            link.set(0, -1.0)
+
+
+class TestUnreliableSignaling:
+    def test_null_plan_is_transparent(self):
+        inner = StaticAllocator(4.0)
+        policy = UnreliableSignaling(inner, NULL)
+        assert policy.decide(0, 1.0, 0.0) == 4.0
+        assert policy.requested_bandwidth == 4.0
+
+    def test_grant_lags_request_under_delay(self):
+        inner = StaticAllocator(4.0)
+        policy = UnreliableSignaling(inner, DELAY2)
+        assert policy.decide(0, 1.0, 0.0) == 0.0  # request in flight
+        assert policy.requested_bandwidth == 4.0
+        policy.decide(1, 0.0, 1.0)
+        assert policy.decide(2, 0.0, 1.0) == 4.0  # applied by tick(2)
+
+    def test_stage_accounting_aliases_inner(self):
+        inner = SingleSessionOnline(64.0, 8, 0.25, 16)
+        policy = UnreliableSignaling(inner, NULL)
+        policy.decide(0, 10.0, 0.0)  # empty backlog: a stage opens
+        for t in range(1, 30):
+            policy.decide(t, 10.0, 10.0)
+        assert policy.stage_starts is inner.stage_starts
+        assert len(policy.stage_starts) > 0
+
+    def test_counters_surface_link_totals(self):
+        inner = StaticAllocator(4.0)
+        policy = UnreliableSignaling(inner, OUTAGE, NO_RETRY)
+        policy.decide(0, 1.0, 0.0)
+        assert policy.requests == 1
+        assert policy.drops == 1
+        assert policy.give_ups == 1
+
+
+class TestHeadroomPolicy:
+    def test_over_requests_up_to_cap(self):
+        policy = HeadroomPolicy(StaticAllocator(10.0), 1.5, cap=12.0)
+        assert policy.decide(0, 0.0, 0.0) == 12.0  # 15 capped at 12
+
+    def test_cap_defaults_to_inner_max(self):
+        policy = HeadroomPolicy(StaticAllocator(10.0), 1.5)
+        assert policy.decide(0, 0.0, 0.0) == 10.0
+
+    def test_factor_validated(self):
+        with pytest.raises(ConfigError):
+            HeadroomPolicy(StaticAllocator(1.0), 0.5)
+
+
+class TestUnreliableMultiSignaling:
+    def test_wraps_every_link(self):
+        inner = PhasedMultiSession(3, offline_bandwidth=32.0, offline_delay=8)
+        wrapped = UnreliableMultiSignaling(inner, NULL)
+        for session in inner.sessions:
+            assert isinstance(session.channels.regular_link, UnreliableLink)
+            assert isinstance(session.channels.overflow_link, UnreliableLink)
+        channels = [link.channel for link in wrapped.links]
+        assert channels == sorted(set(channels))  # distinct fault channels
+
+    def test_null_plan_matches_bare_policy(self):
+        arrivals = [[4.0, 2.0], [0.0, 6.0], [3.0, 3.0], [0.0, 0.0]] * 40
+        bare = PhasedMultiSession(2, offline_bandwidth=16.0, offline_delay=4)
+        wrapped_inner = PhasedMultiSession(
+            2, offline_bandwidth=16.0, offline_delay=4
+        )
+        wrapped = UnreliableMultiSignaling(wrapped_inner, NULL)
+        for t, slot in enumerate(arrivals):
+            bare.step(t, slot)
+            wrapped.step(t, slot)
+        bare_bw = [s.channels.total_bandwidth for s in bare.sessions]
+        wrapped_bw = [s.channels.total_bandwidth for s in wrapped.sessions]
+        assert bare_bw == wrapped_bw
+        assert wrapped.change_count == bare.change_count
+
+    def test_outage_freezes_allocations(self):
+        inner = PhasedMultiSession(2, offline_bandwidth=16.0, offline_delay=4)
+        wrapped = UnreliableMultiSignaling(inner, OUTAGE, NO_RETRY)
+        for t in range(20):
+            wrapped.step(t, [8.0, 8.0])
+        assert all(link.bandwidth == 0.0 for link in wrapped.links)
+        assert wrapped.give_ups > 0

@@ -124,3 +124,18 @@ def test_conservation_property(slots):
             last_arrival_served = delivery.arrival
             assert delivery.delay >= 0
     assert total_in == pytest.approx(total_out + q.size, rel=1e-9, abs=1e-6)
+
+
+def test_chunk_pop_dust_does_not_stall_drain():
+    """Regression: serving just under a chunk's size pops it while leaving
+    up to EPSILON of untracked ``_size`` behind; enough pops used to
+    accumulate dust above EPSILON with no chunks left, so ``is_empty``
+    stayed False forever and drain loops span until their hard cap."""
+    q = BitQueue()
+    dust = EPSILON / 2
+    for t in range(4):
+        q.push(t, 1.0)
+        q.serve(t, 1.0 - dust)  # pops the chunk, strands `dust` bits
+    assert not q.peek_chunks()
+    assert q.is_empty
+    assert q.size == 0.0

@@ -83,3 +83,54 @@ class TestMultiSessionEngine:
         trace = run_multi_session(policy, arrivals)
         assert trace.session_max_delay(0) == 2
         assert trace.session_max_delay(1) == 0
+
+
+class _NonFinitePolicy(StaticAllocator):
+    """Returns NaN from the third slot on (a buggy policy)."""
+
+    def decide(self, t, arrivals, backlog):
+        if t >= 2:
+            return float("nan")
+        return super().decide(t, arrivals, backlog)
+
+
+class TestNonFiniteInputs:
+    """Regressions: NaN/inf must be rejected loudly, not simulated."""
+
+    def test_nan_arrivals_rejected(self):
+        with pytest.raises(ConfigError, match="finite"):
+            run_single_session(StaticAllocator(1.0), [1.0, float("nan")])
+
+    def test_inf_arrivals_rejected(self):
+        with pytest.raises(ConfigError, match="finite"):
+            run_single_session(StaticAllocator(1.0), [float("inf"), 1.0])
+
+    def test_nan_multi_arrivals_rejected(self):
+        policy = EqualSplitMultiSession(2, offline_bandwidth=1.0)
+        with pytest.raises(ConfigError, match="finite"):
+            run_multi_session(policy, [[1.0, float("nan")], [0.0, 0.0]])
+
+    def test_negative_still_rejected_alongside_nan_check(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            run_single_session(StaticAllocator(1.0), [1.0, -2.0])
+
+    def test_non_finite_policy_output_rejected(self):
+        with pytest.raises(SimulationError, match="non-finite"):
+            run_single_session(
+                _NonFinitePolicy(4.0), [1.0, 1.0, 1.0, 1.0]
+            )
+
+    def test_non_finite_multi_policy_output_rejected(self):
+        class Broken(EqualSplitMultiSession):
+            def step(self, t, arrivals):
+                results = super().step(t, arrivals)
+                if t >= 1:
+                    self.sessions[0].channels.regular_link._bandwidth = float(
+                        "inf"
+                    )
+                return results
+
+        with pytest.raises(SimulationError, match="non-finite"):
+            run_multi_session(
+                Broken(2, offline_bandwidth=2.0), np.ones((4, 2))
+            )

@@ -122,3 +122,61 @@ class TestDelayMonitor:
         )
         with pytest.raises(InvariantViolation):
             monitor.on_single_slot(single_view(t=4, result=late))
+
+
+class TestSoftMonitoring:
+    def test_record_mode_collects_instead_of_raising(self):
+        from repro.sim.invariants import ViolationLog
+
+        monitor = Claim2Monitor(online_delay=2)
+        log = monitor.soften().violations
+        assert isinstance(log, ViolationLog)
+        monitor.on_single_slot(single_view(allocation=1.0, before=10.0))
+        assert len(log) == 1
+        violation = log.violations[0]
+        assert violation.monitor == "claim2"
+        assert violation.severity > 0
+
+    def test_soften_shares_one_log_across_monitors(self):
+        from repro.sim.invariants import soften
+
+        claim2 = Claim2Monitor(online_delay=2)
+        maxbw = MaxBandwidthMonitor(max_bandwidth=2.0)
+        log = soften([claim2, maxbw])
+        claim2.on_single_slot(single_view(allocation=1.0, before=10.0))
+        maxbw.on_single_slot(single_view(allocation=5.0))
+        assert log.count() == 2
+        assert log.count("claim2") == 1
+        assert log.count("max-bandwidth") == 1
+
+    def test_first_time_and_max_severity(self):
+        from repro.sim.invariants import soften
+
+        monitor = Claim2Monitor(online_delay=2)
+        log = soften([monitor])
+        monitor.on_single_slot(single_view(t=5, allocation=1.0, before=10.0))
+        monitor.on_single_slot(single_view(t=9, allocation=0.0, before=50.0))
+        assert log.first_time() == 5
+        assert log.max_severity() == pytest.approx(50.0)
+        summary = log.summary()["claim2"]
+        assert summary.count == 2
+        assert summary.first_t == 5
+
+    def test_merge_folds_logs(self):
+        from repro.sim.invariants import ViolationLog, soften
+
+        a = Claim2Monitor(online_delay=2)
+        log_a = soften([a])
+        a.on_single_slot(single_view(t=1, allocation=0.0, before=1.0))
+        b = Claim2Monitor(online_delay=2)
+        log_b = soften([b])
+        b.on_single_slot(single_view(t=2, allocation=0.0, before=1.0))
+        merged = ViolationLog()
+        merged.merge(log_a)
+        merged.merge(log_b)
+        assert len(merged) == 2
+
+    def test_raise_mode_unchanged_by_default(self):
+        monitor = Claim2Monitor(online_delay=2)
+        with pytest.raises(InvariantViolation):
+            monitor.on_single_slot(single_view(allocation=1.0, before=10.0))

@@ -86,3 +86,22 @@ class TestMultiRoundTrip:
         save_single_trace(path, single_trace)
         with pytest.raises(ConfigError, match="multi-session"):
             load_multi_trace(path)
+
+
+class TestFaultSeriesRoundTrip:
+    def test_requested_and_effective_preserved(self, tmp_path):
+        from repro.core.baselines import StaticAllocator
+        from repro.faults import FaultPlan, LinkDegradation
+        from repro.sim.engine import run_single_session
+
+        plan = FaultPlan((LinkDegradation(0, 5, factor=0.5),), seed=0)
+        trace = run_single_session(
+            StaticAllocator(4.0), [2.0] * 8, faults=plan
+        )
+        path = tmp_path / "faulted.npz"
+        save_single_trace(path, trace)
+        loaded = load_single_trace(path)
+        np.testing.assert_array_equal(loaded.requested, trace.requested)
+        np.testing.assert_array_equal(loaded.effective, trace.effective)
+        np.testing.assert_array_equal(loaded.dropped, trace.dropped)
+        assert not np.array_equal(loaded.effective, loaded.allocation)

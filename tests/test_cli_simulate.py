@@ -110,3 +110,71 @@ class TestSimulate:
         from repro.sim.serialize import load_multi_trace
 
         assert load_multi_trace(path).k == 2
+
+
+class TestSimulateFaults:
+    def test_fault_flags_print_signaling_stats(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--traffic",
+                    "onoff",
+                    "--horizon",
+                    "600",
+                    "--fault-intensity",
+                    "0.4",
+                    "--retry-attempts",
+                    "4",
+                    "--headroom",
+                    "1.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "signaling:" in out
+        assert "requests" in out
+
+    def test_zero_intensity_omits_signaling_stats(self, capsys):
+        assert main(["simulate", "--horizon", "300"]) == 0
+        assert "signaling:" not in capsys.readouterr().out
+
+    def test_intensity_validated(self):
+        with pytest.raises(ConfigError, match="fault-intensity"):
+            main(["simulate", "--fault-intensity", "1.5"])
+
+    def test_headroom_rejected_for_multi(self):
+        with pytest.raises(ConfigError, match="headroom"):
+            main(
+                [
+                    "simulate",
+                    "--policy",
+                    "phased",
+                    "--traffic",
+                    "multi-feasible",
+                    "--headroom",
+                    "1.5",
+                ]
+            )
+
+    def test_multi_session_stall_reported_not_raised(self, capsys):
+        # Intensity 0.3 strands overflow bits (the phased algorithm closes
+        # the overflow channel open-loop); the CLI reports the stall.
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "phased",
+                "--traffic",
+                "multi-feasible",
+                "--sessions",
+                "4",
+                "--horizon",
+                "1500",
+                "--fault-intensity",
+                "0.3",
+            ]
+        )
+        assert code == 1
+        assert "stalled" in capsys.readouterr().out

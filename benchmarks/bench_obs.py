@@ -1,0 +1,49 @@
+"""Observability overhead benchmarks: the engine with telemetry off vs on.
+
+The acceptance bar for the obs subsystem is < 5% slots/sec regression
+with telemetry enabled (and bit-identical traces either way — asserted in
+tests/obs/).  These two benchmark groups put the comparison in
+BENCH_OBS.json on every bench run so the overhead stays visible:
+
+* group ``obs-off`` — the run loop under the process-default DISABLED
+  telemetry (the no-op registry/tracer/timer path);
+* group ``obs-on`` — the same run inside a live telemetry session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.single_session import SingleSessionOnline
+from repro.obs import DISABLED, Telemetry, telemetry_session
+from repro.sim.engine import run_single_session
+
+RNG = np.random.default_rng(7)
+STREAM = RNG.poisson(5, size=20_000).astype(float)
+
+
+def _run():
+    policy = SingleSessionOnline(
+        max_bandwidth=64, offline_delay=8, offline_utilization=0.25, window=16
+    )
+    return run_single_session(policy, STREAM).total_delivered
+
+
+@pytest.mark.benchmark(group="obs-off")
+def test_engine_telemetry_off(benchmark):
+    # The bench session installs a live telemetry (see conftest); force the
+    # disabled path so this group times the true no-op mode.
+    with telemetry_session(DISABLED):
+        assert benchmark(_run) > 0
+
+
+@pytest.mark.benchmark(group="obs-on")
+def test_engine_telemetry_on(benchmark):
+    def run_instrumented():
+        # A fresh telemetry per round keeps registry dicts small so the
+        # timing reflects steady-state emission, not unbounded growth.
+        with telemetry_session(Telemetry()):
+            return _run()
+
+    assert benchmark(run_instrumented) > 0

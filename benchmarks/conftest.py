@@ -8,13 +8,49 @@ tables/figures and regression-tests their conclusions.
 Experiments run once per round (they are seconds-scale, not
 microseconds-scale); the kernel benchmarks in ``bench_kernel.py`` use
 normal multi-round timing.
+
+The whole bench session runs inside one :mod:`repro.obs` telemetry
+session, and ``pytest_sessionfinish`` aggregates everything machine-
+readable into ``BENCH_OBS.json`` at the repo root: per-benchmark wall
+timings, the engines' profiling records (slots/sec throughput), and the
+session's metric counters.  That file is the repo's perf trajectory —
+compare it across commits to catch hot-path regressions.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
+import time
+
 import pytest
 
 from repro.experiments import registry
+from repro.obs import Telemetry, set_telemetry
+from repro.obs.manifest import git_revision
+from repro.version import __version__
+
+#: Schema version of BENCH_OBS.json (bump on breaking layout changes).
+BENCH_OBS_SCHEMA = 1
+
+_session_telemetry = Telemetry()
+_experiment_timings: list[dict] = []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_session():
+    """Run every benchmark under one live telemetry session.
+
+    Benchmarks therefore time the *instrumented* engine — the mode the
+    acceptance criteria bound at < 5% overhead — and the profiling hooks'
+    slots/sec records land in BENCH_OBS.json for free.
+    """
+    set_telemetry(_session_telemetry)
+    try:
+        yield _session_telemetry
+    finally:
+        set_telemetry(None)
 
 
 @pytest.fixture
@@ -22,6 +58,7 @@ def run_experiment(benchmark):
     """Time one experiment and assert all its guarantee checks pass."""
 
     def _run(experiment_id: str, scale: float = 0.5):
+        started = time.perf_counter()
         result = benchmark.pedantic(
             registry.run,
             args=(experiment_id,),
@@ -29,9 +66,61 @@ def run_experiment(benchmark):
             rounds=1,
             iterations=1,
         )
+        _experiment_timings.append(
+            {
+                "experiment": experiment_id,
+                "scale": scale,
+                "seconds": time.perf_counter() - started,
+            }
+        )
         assert result.rows, f"{experiment_id} produced no rows"
         failed = [check.render() for check in result.checks if not check.passed]
         assert not failed, f"{experiment_id} checks failed: {failed}"
         return result
 
     return _run
+
+
+def _benchmark_rows(session) -> list[dict]:
+    """Per-benchmark stats from pytest-benchmark's session (best effort)."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return []
+    rows = []
+    for bench in getattr(bench_session, "benchmarks", []):
+        try:
+            stats = bench.stats
+            rows.append(
+                {
+                    "name": bench.name,
+                    "group": bench.group,
+                    "mean_s": stats.mean,
+                    "min_s": stats.min,
+                    "max_s": stats.max,
+                    "rounds": stats.rounds,
+                }
+            )
+        except (AttributeError, TypeError):
+            continue
+    return rows
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the BENCH_OBS.json perf snapshot at the repo root."""
+    payload = {
+        "schema": BENCH_OBS_SCHEMA,
+        "version": __version__,
+        "git_rev": git_revision(session.config.rootpath),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "exitstatus": int(exitstatus),
+        "benchmarks": _benchmark_rows(session),
+        "experiments": list(_experiment_timings),
+        "profiles": _session_telemetry.profile_summary(),
+        "counters": _session_telemetry.registry.snapshot()["counters"],
+    }
+    out = session.config.rootpath / "BENCH_OBS.json"
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {out} ({len(payload['profiles'])} profile records)")

@@ -10,6 +10,8 @@ Subcommands:
   (see :mod:`repro.cli_simulate`).
 * ``report`` — run everything and write EXPERIMENTS.md
   (see :mod:`repro.cli_report`).
+* ``trace`` — summarize a telemetry export written by ``simulate
+  --telemetry`` / ``run --telemetry`` (see :mod:`repro.cli_trace`).
 """
 
 from __future__ import annotations
@@ -17,10 +19,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 
 from repro.cli_report import add_report_parser, run_report
 from repro.cli_simulate import add_simulate_parser, run_simulate
+from repro.cli_trace import add_trace_parser, run_trace
 from repro.experiments import registry
+from repro.obs import export_run, telemetry_session
 from repro.version import __version__
 
 
@@ -52,9 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true", help="emit markdown blocks"
     )
     run_parser.add_argument("--out", type=str, default=None, help="output file")
+    run_parser.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="capture metrics/spans/profiling across the experiments and "
+        "write DIR/spans.jsonl + DIR/manifest.json (inspect with 'trace')",
+    )
 
     add_simulate_parser(sub)
     add_report_parser(sub)
+    add_trace_parser(sub)
     return parser
 
 
@@ -68,18 +82,35 @@ def main(argv: list[str] | None = None) -> int:
         return run_simulate(args)
     if args.command == "report":
         return run_report(args)
+    if args.command == "trace":
+        return run_trace(args)
 
     ids = registry.all_ids() if args.ids == ["all"] else args.ids
     blocks: list[str] = []
     failed = False
-    for experiment_id in ids:
-        started = time.perf_counter()
-        result = registry.run(experiment_id, seed=args.seed, scale=args.scale)
-        elapsed = time.perf_counter() - started
-        block = result.to_markdown() if args.markdown else result.render()
-        blocks.append(block + f"\n\n(ran in {elapsed:.1f}s)")
-        if not result.all_passed:
-            failed = True
+    context = (
+        telemetry_session() if args.telemetry is not None else nullcontext()
+    )
+    with context as tele:
+        for experiment_id in ids:
+            started = time.perf_counter()
+            result = registry.run(
+                experiment_id, seed=args.seed, scale=args.scale
+            )
+            elapsed = time.perf_counter() - started
+            block = result.to_markdown() if args.markdown else result.render()
+            blocks.append(block + f"\n\n(ran in {elapsed:.1f}s)")
+            if not result.all_passed:
+                failed = True
+        if tele is not None:
+            spans_path, manifest_path = export_run(
+                args.telemetry,
+                tele,
+                label="run:" + ",".join(ids),
+                config={"ids": ids, "seed": args.seed, "scale": args.scale},
+                seed=args.seed,
+            )
+            print(f"telemetry written to {spans_path} and {manifest_path}")
     output = ("\n\n" + "=" * 78 + "\n\n").join(blocks)
     if args.out:
         with open(args.out, "w") as handle:

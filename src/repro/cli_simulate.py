@@ -12,6 +12,7 @@ Lets a user exercise the library without writing Python::
 from __future__ import annotations
 
 import argparse
+from contextlib import nullcontext
 
 from repro.analysis.metrics import summarize_multi, summarize_single
 from repro.analysis.report import render_table
@@ -33,6 +34,7 @@ from repro.faults import (
     UnreliableSignaling,
     standard_plan,
 )
+from repro.obs import export_run, telemetry_session
 from repro.sim.engine import run_multi_session, run_single_session
 from repro.sim.serialize import save_multi_trace, save_single_trace
 from repro.traffic import (
@@ -115,6 +117,14 @@ def add_simulate_parser(sub: argparse._SubParsersAction) -> None:
         default=1.0,
         help="over-request factor >= 1 (single-session only): request "
         "factor × the policy's decision to ride out faults",
+    )
+    parser.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="capture metrics/spans/profiling for this run and write "
+        "DIR/spans.jsonl + DIR/manifest.json (inspect with 'trace')",
     )
 
 
@@ -211,20 +221,40 @@ def run_simulate(args) -> int:
         "changes/kslot",
         "max alloc",
     ]
-    try:
-        return _simulate(args, multi_policy, plan, retry, headers)
-    except SimulationError as exc:
-        if plan is None:
-            raise
-        # Liveness lost under fault injection (e.g. bits stranded on a
-        # channel the algorithm closed after a degraded service window) —
-        # report the stall as an outcome instead of a traceback.
-        print(f"simulation stalled under fault injection: {exc}")
-        print(
-            "the policy lost liveness; rerun with a lower "
-            "--fault-intensity or more --retry-attempts"
-        )
-        return 1
+    telemetry_dir = args.telemetry
+    context = (
+        telemetry_session() if telemetry_dir is not None else nullcontext()
+    )
+    with context as tele:
+        try:
+            code = _simulate(args, multi_policy, plan, retry, headers)
+        except SimulationError as exc:
+            if plan is None:
+                raise
+            # Liveness lost under fault injection (e.g. bits stranded on a
+            # channel the algorithm closed after a degraded service window) —
+            # report the stall as an outcome instead of a traceback.
+            print(f"simulation stalled under fault injection: {exc}")
+            print(
+                "the policy lost liveness; rerun with a lower "
+                "--fault-intensity or more --retry-attempts"
+            )
+            code = 1
+        if tele is not None:
+            config = {
+                key: value
+                for key, value in sorted(vars(args).items())
+                if key not in ("command", "telemetry")
+            }
+            spans_path, manifest_path = export_run(
+                telemetry_dir,
+                tele,
+                label="simulate",
+                config=config,
+                seed=args.seed,
+            )
+            print(f"telemetry written to {spans_path} and {manifest_path}")
+    return code
 
 
 def _simulate(args, multi_policy, plan, retry, headers) -> int:

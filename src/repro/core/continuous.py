@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.core.allocator import MultiSessionPolicy
 from repro.errors import ConfigError
 from repro.network.queue import EPSILON, ServeResult
+from repro.obs.runtime import count as obs_count
 from repro.sim.events import EventQueue
 
 
@@ -67,12 +68,15 @@ class ContinuousMultiSession(MultiSessionPolicy):
             session.channels.regular_link.set(t, self.quantum)
         if not initial:
             self.resets.append(t)
+            obs_count("core.continuous.resets")
         self.stage_starts.append(t)
+        obs_count("core.continuous.stage_starts")
 
     def _raise_overflow(self, t: int, index: int, amount: float) -> None:
         """Add overflow bandwidth and schedule its REDUCE after D_O slots."""
         if amount <= EPSILON:
             return
+        obs_count("core.continuous.overflow_raises")
         link = self.sessions[index].channels.overflow_link
         link.set(t, link.bandwidth + amount)
         self._events.schedule_after(

@@ -32,6 +32,7 @@ from typing import Sequence
 from repro.core.allocator import MultiSessionPolicy
 from repro.errors import ConfigError
 from repro.network.queue import EPSILON, ServeResult
+from repro.obs.runtime import count as obs_count
 
 
 class PhasedMultiSession(MultiSessionPolicy):
@@ -79,7 +80,9 @@ class PhasedMultiSession(MultiSessionPolicy):
             session.channels.regular_link.set(t, self.quantum)
         if not initial:
             self.resets.append(t)
+            obs_count("core.phased.resets")
         self.stage_starts.append(t)
+        obs_count("core.phased.stage_starts")
         self._next_boundary = t + self.offline_delay
 
     def _flush_all_to_overflow(self, t: int) -> None:
@@ -94,6 +97,7 @@ class PhasedMultiSession(MultiSessionPolicy):
     def _phase_end(self, t: int) -> None:
         """Figure 4's PHASE block, run at the start of a boundary slot."""
         self.phase_boundaries.append(t)
+        obs_count("core.phased.phase_ends")
         total_regular = 0.0
         for session in self.sessions:
             channels = session.channels

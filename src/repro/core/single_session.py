@@ -31,6 +31,7 @@ from repro.core.envelope import HighTracker, LowTracker
 from repro.core.powers import PowerOfTwoQuantizer, Quantizer
 from repro.errors import ConfigError
 from repro.network.queue import EPSILON
+from repro.obs.runtime import count as obs_count
 
 
 class SingleSessionOnline(BandwidthPolicy):
@@ -101,10 +102,12 @@ class SingleSessionOnline(BandwidthPolicy):
             self.stage_change_counts.append(self._changes_this_stage)
         self.stage_starts.append(t)
         self._changes_this_stage = 0
+        obs_count("core." + self.link.name + ".stage_starts")
 
     def _end_stage(self, t: int) -> None:
         self._in_stage = False
         self.resets.append(t)
+        obs_count("core." + self.link.name + ".resets")
 
     def _set(self, t: int, bandwidth: float) -> None:
         if self.link.set(t, bandwidth):

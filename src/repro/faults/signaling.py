@@ -46,6 +46,7 @@ from repro.errors import ConfigError, SignalingError
 from repro.faults.plan import FaultPlan
 from repro.network.link import CHANGE_EPSILON, Link
 from repro.network.queue import ServeResult
+from repro.obs.runtime import count as obs_count, get_telemetry
 
 
 @dataclass(frozen=True)
@@ -109,13 +110,14 @@ NO_RETRY = RetryPolicy(max_attempts=1)
 class _Pending:
     """One in-flight signaling transaction (latest-wins, one per link)."""
 
-    __slots__ = ("value", "due", "in_flight", "attempts")
+    __slots__ = ("value", "due", "in_flight", "attempts", "t0")
 
-    def __init__(self, value: float):
+    def __init__(self, value: float, t0: int = 0):
         self.value = value
         self.due = -1  # slot at which the next transition happens
         self.in_flight = False  # True = accepted, applying at `due`
         self.attempts = 0  # requests sent so far for this transaction
+        self.t0 = t0  # slot the transaction was opened (telemetry spans)
 
 
 class UnreliableLink(Link):
@@ -162,15 +164,20 @@ class UnreliableLink(Link):
             raise ConfigError(f"bandwidth must be >= 0, got {bandwidth!r}")
         if abs(bandwidth - self.bandwidth) <= CHANGE_EPSILON:
             # Requesting the applied value: cancel any pending transaction.
-            self._pending = None
+            if self._pending is not None:
+                self._conclude(t, self._pending, "cancelled")
+                self._pending = None
             return False
         if (
             self._pending is not None
             and abs(bandwidth - self._pending.value) <= CHANGE_EPSILON
         ):
             return False  # already in flight — idempotent
-        self._pending = _Pending(float(bandwidth))
+        if self._pending is not None:
+            self._conclude(t, self._pending, "superseded")
+        self._pending = _Pending(float(bandwidth), t0=t)
         self.requests += 1
+        obs_count("faults.signaling.requests")
         return self._attempt(t)
 
     def tick(self, t: int) -> None:
@@ -180,9 +187,11 @@ class UnreliableLink(Link):
             return
         if pending.in_flight:
             self._pending = None
+            self._conclude(t, pending, "applied")
             super().set(t, pending.value)
         else:
             self.retries += 1
+            obs_count("faults.signaling.retries")
             self._attempt(t)
 
     def _attempt(self, t: int) -> bool:
@@ -193,9 +202,12 @@ class UnreliableLink(Link):
         pending.attempts += 1
         if self.plan.drop_request(t, channel=self.channel, attempt=attempt):
             self.drops += 1
+            obs_count("faults.signaling.drops")
             if pending.attempts >= self.retry.max_attempts:
                 self.give_ups += 1
+                obs_count("faults.signaling.give_ups")
                 self._pending = None
+                self._conclude(t, pending, "gave_up")
                 if self.retry.give_up == "raise":
                     raise SignalingError(
                         f"link {self.name!r}: request for "
@@ -209,10 +221,27 @@ class UnreliableLink(Link):
         delay = self.plan.request_delay(t, channel=self.channel)
         if delay <= 0:
             self._pending = None
+            self._conclude(t, pending, "applied")
             return super().set(t, pending.value)
         pending.in_flight = True
         pending.due = t + delay
         return False
+
+    def _conclude(self, t: int, pending: _Pending, outcome: str) -> None:
+        """Emit the transaction's telemetry span when a session is live."""
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.tracer.span(
+                "signaling",
+                pending.t0,
+                t,
+                kind="signaling",
+                link=self.name,
+                channel=self.channel,
+                value=pending.value,
+                attempts=pending.attempts,
+                outcome=outcome,
+            )
 
 
 class UnreliableSignaling(BandwidthPolicy):

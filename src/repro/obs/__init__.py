@@ -1,0 +1,80 @@
+"""Observability: metrics, span tracing, profiling, and run manifests.
+
+The subsystem is off by default and near-zero-cost when off; enable it
+around any simulation with::
+
+    from repro.obs import telemetry_session
+
+    with telemetry_session() as tele:
+        trace = run_single_session(policy, arrivals)
+
+    tele.registry.snapshot()     # counters / gauges / histograms
+    tele.tracer.spans            # stage, phase, signaling-transaction spans
+    tele.profiles                # wall-clock slots/sec of the run loops
+
+See docs/OBSERVABILITY.md for the registry API, span schema, and manifest
+format, and the ``repro trace`` CLI subcommand for reading exports back.
+"""
+
+from repro.obs.manifest import (
+    RunManifest,
+    build_manifest,
+    config_hash,
+    export_run,
+    git_revision,
+    load_manifest,
+    write_manifest,
+)
+from repro.obs.profiling import ProfileRecord, ProfileTimer
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.runtime import (
+    DISABLED,
+    Telemetry,
+    count,
+    get_telemetry,
+    observe,
+    set_telemetry,
+    telemetry_session,
+)
+from repro.obs.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    export_spans_jsonl,
+    load_spans_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "ProfileRecord",
+    "ProfileTimer",
+    "RunManifest",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "build_manifest",
+    "config_hash",
+    "count",
+    "export_run",
+    "export_spans_jsonl",
+    "get_telemetry",
+    "git_revision",
+    "load_manifest",
+    "load_spans_jsonl",
+    "observe",
+    "set_telemetry",
+    "telemetry_session",
+    "write_manifest",
+]

@@ -1,0 +1,88 @@
+"""Wall-clock profiling hooks for the hot serve/allocate loops.
+
+A :class:`ProfileTimer` wraps one run loop::
+
+    with telemetry.profile("engine.run_single_session") as prof:
+        while ...:
+            ...
+        prof.slots = t          # processed work, for slots/sec
+
+On exit it appends a :class:`ProfileRecord` (name, seconds, slots,
+slots/sec) to the owning telemetry's profile list; manifests and
+``BENCH_OBS.json`` serialize these records, which is how the repo's perf
+trajectory is seeded.  When telemetry is off :data:`NULL_TIMER` is used
+instead — entering/exiting it does nothing, so the run loop pays two
+no-op calls per *run*, not per slot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One completed timing of a profiled section."""
+
+    name: str
+    seconds: float
+    slots: int
+
+    @property
+    def slots_per_sec(self) -> float:
+        """Throughput (0 when no slots were attributed or time was ~0)."""
+        if self.slots <= 0 or self.seconds <= 0.0:
+            return 0.0
+        return self.slots / self.seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "slots": self.slots,
+            "slots_per_sec": self.slots_per_sec,
+        }
+
+
+class ProfileTimer:
+    """Context manager timing one section; set ``.slots`` before exit."""
+
+    __slots__ = ("name", "slots", "_sink", "_start", "record")
+
+    def __init__(self, name: str, sink: list[ProfileRecord]):
+        self.name = name
+        self.slots = 0
+        self._sink = sink
+        self._start = 0.0
+        self.record: ProfileRecord | None = None
+
+    def __enter__(self) -> "ProfileTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self.record = ProfileRecord(
+            name=self.name, seconds=elapsed, slots=int(self.slots)
+        )
+        self._sink.append(self.record)
+
+
+class NullProfileTimer:
+    """The telemetry-off timer: enter/exit are no-ops."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self) -> None:
+        self.slots = 0
+
+    def __enter__(self) -> "NullProfileTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: The shared telemetry-off timer (``slots`` writes are discarded state).
+NULL_TIMER = NullProfileTimer()

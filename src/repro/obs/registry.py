@@ -1,0 +1,234 @@
+"""The metrics registry: counters, gauges, and value histograms.
+
+The registry is the single sink for everything the instrumented layers
+emit — engine run loops, the core algorithms' stage/phase machinery, the
+fault signaling plane, and the soft invariant monitors.  Instruments are
+get-or-created by name (``registry.counter("engine.single.slots")``), so
+emitters never coordinate and a snapshot is one dict.
+
+Two implementations share the interface:
+
+* :class:`MetricsRegistry` — the live registry (``enabled = True``).
+* :class:`NullRegistry` — the default when telemetry is off: every lookup
+  returns a shared do-nothing instrument, so instrumented code costs one
+  attribute check (or nothing at all, when the emitter hoists the
+  ``enabled`` flag out of its hot loop).
+
+Histograms bucket by powers of two — the same quantization the paper's
+allocator uses — so a queue-depth histogram reads directly against the
+allocation ladder.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value:g})"
+
+
+class Gauge:
+    """A last-value instrument that also tracks its observed range."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.updates += 1
+
+
+class Histogram:
+    """A value distribution with power-of-two buckets.
+
+    ``observe(v)`` files ``v`` under the smallest power of two that is at
+    least ``v`` (non-positive values land in bucket ``0``), and keeps the
+    count/sum/min/max needed for means and ranges.  Time-series use: call
+    ``observe`` once per slot with the sampled quantity (queue depth,
+    allocation) and the buckets describe how the run spent its time.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[float, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        bucket = 2.0 ** math.ceil(math.log2(value)) if value > 0.0 else 0.0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (buckets keyed by their upper bound)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                f"{bound:g}": hits
+                for bound, hits in sorted(self.buckets.items())
+            },
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    min = 0.0
+    max = 0.0
+    updates = 0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,
+                "max": 0.0, "buckets": {}}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms, created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: {
+                    "value": g.value,
+                    "min": g.min if g.updates else 0.0,
+                    "max": g.max if g.updates else 0.0,
+                    "updates": g.updates,
+                }
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+class NullRegistry:
+    """The telemetry-off registry: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counter_value(self, name: str) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The shared telemetry-off registry.
+NULL_REGISTRY = NullRegistry()

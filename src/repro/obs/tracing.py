@@ -1,0 +1,138 @@
+"""Structured span tracing over simulation time.
+
+A :class:`Span` covers a half-open slot interval ``[t0, t1)`` of one run:
+an allocator stage, a phased-algorithm phase, a signaling transaction, or
+the whole run.  Spans are cheap records, not context managers — the
+emitters (engine, fault plane) know both endpoints when they emit, either
+because the event concluded (a signaling transaction applied or gave up)
+or because the engine synthesizes stage/phase spans from the policy's
+event lists after the loop, at zero per-slot cost.
+
+Spans serialize one-per-line as JSON (JSONL), the format the ``repro
+trace`` CLI subcommand reads back::
+
+    {"name": "stage", "kind": "stage", "t0": 0, "t1": 412, "attrs": {"index": 0}}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Span:
+    """One traced interval of simulation time (slots)."""
+
+    name: str
+    kind: str
+    t0: int
+    t1: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        """Span length in slots (0 while still open)."""
+        return 0 if self.t1 is None else self.t1 - self.t0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects spans in emission order."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def span(
+        self,
+        name: str,
+        t0: int,
+        t1: int | None = None,
+        kind: str = "span",
+        **attrs,
+    ) -> Span:
+        """Record (and return) one span."""
+        recorded = Span(name=name, kind=kind, t0=int(t0),
+                        t1=None if t1 is None else int(t1), attrs=attrs)
+        self.spans.append(recorded)
+        return recorded
+
+
+_NULL_SPAN = Span(name="null", kind="null", t0=0, t1=0)
+
+
+class NullTracer:
+    """The telemetry-off tracer: records nothing."""
+
+    enabled = False
+    spans: list[Span] = []
+
+    def __len__(self) -> int:
+        return 0
+
+    def span(
+        self,
+        name: str,
+        t0: int,
+        t1: int | None = None,
+        kind: str = "span",
+        **attrs,
+    ) -> Span:
+        return _NULL_SPAN
+
+
+#: The shared telemetry-off tracer.
+NULL_TRACER = NullTracer()
+
+
+def export_spans_jsonl(path, spans: list[Span]) -> int:
+    """Write spans one-JSON-object-per-line; returns the span count."""
+    with open(path, "w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+    return len(spans)
+
+
+def load_spans_jsonl(path) -> list[Span]:
+    """Read a JSONL span file back into :class:`Span` objects."""
+    spans: list[Span] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{line_number}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(raw, dict) or "name" not in raw or "t0" not in raw:
+                raise ConfigError(
+                    f"{path}:{line_number}: not a span record: {line[:80]!r}"
+                )
+            spans.append(
+                Span(
+                    name=str(raw["name"]),
+                    kind=str(raw.get("kind", "span")),
+                    t0=int(raw["t0"]),
+                    t1=None if raw.get("t1") is None else int(raw["t1"]),
+                    attrs=dict(raw.get("attrs", {})),
+                )
+            )
+    return spans

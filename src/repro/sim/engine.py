@@ -27,6 +27,14 @@ Both loops accept ``faults=``, a :class:`~repro.faults.plan.FaultPlan`:
 
 Passing ``faults=None`` (or an empty plan) reproduces the fault-free
 simulation bit-for-bit.
+
+Both loops are instrumented for :mod:`repro.obs`: when a telemetry session
+is active they sample queue depth and allocation into registry histograms
+each slot, count slots/changes/stages/drops, time themselves with a
+profiling hook (slots/sec), and synthesize stage/phase spans from the
+policy's event lists after the loop.  Telemetry never feeds back into the
+simulation, so traces are bit-identical whether it is on or off, and with
+it off (the default) the loops pay one hoisted boolean check per slot.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ import numpy as np
 from repro.core.allocator import BandwidthPolicy, MultiSessionPolicy
 from repro.errors import ConfigError, SimulationError
 from repro.network.queue import BitQueue
+from repro.obs.runtime import Telemetry, get_telemetry
 from repro.sim.invariants import Monitor, MultiSlotView, SingleSlotView
 from repro.sim.recorder import (
     MultiSessionRecorder,
@@ -97,72 +106,100 @@ def run_single_session(
     monitor_list = list(monitors)
     plan = faults if faults is not None and not faults.is_null else None
 
-    t = 0
-    while t < horizon or (drain and not queue.is_empty):
-        if t >= horizon + cap:
-            raise SimulationError(
-                f"queue failed to drain within {cap} extra slots "
-                f"(backlog {queue.size:.3f})"
-            )
-        offered = float(array[t]) if t < horizon else 0.0
-        slot_arrivals = offered
-        fault_dropped = 0.0
-        if plan is not None and slot_arrivals > 0.0:
-            keep = plan.ingress_factor(t)
-            if keep < 1.0:
-                fault_dropped = slot_arrivals * (1.0 - keep)
-                slot_arrivals -= fault_dropped
-        backlog = queue.size
-        lost = queue.push(t, slot_arrivals)
-        bandwidth = policy.decide(t, slot_arrivals, backlog)
-        if not math.isfinite(bandwidth):
-            raise SimulationError(
-                f"policy returned non-finite bandwidth {bandwidth!r} at t={t}"
-            )
-        if bandwidth < 0:
-            raise SimulationError(f"policy returned negative bandwidth at t={t}")
-        if plan is None:
-            requested = None
-            effective = bandwidth
-            record_effective = None
-        else:
-            requested = getattr(policy, "requested_bandwidth", bandwidth)
-            effective = bandwidth * plan.capacity_factor(t)
-            record_effective = effective
-        queue_before = queue.size
-        result = queue.serve(t, effective)
-        # The trace records the *offered* load; ``dropped`` holds both
-        # ingress-fault losses and finite-buffer tail drops, so
-        # delivered + final backlog + dropped == offered.
-        recorder.record(
-            t,
-            offered,
-            bandwidth,
-            result,
-            queue.size,
-            dropped=lost + fault_dropped,
-            requested=requested,
-            effective=record_effective,
-        )
-        if monitor_list:
-            view = SingleSlotView(
-                t=t,
-                arrivals=slot_arrivals,
-                allocation=bandwidth,
-                queue_before_serve=queue_before,
-                queue_after_serve=queue.size,
-                result=result,
-            )
-            for monitor in monitor_list:
-                monitor.on_single_slot(view)
-        t += 1
+    tele = get_telemetry()
+    obs_on = tele.enabled
+    if obs_on:
+        depth_hist = tele.registry.histogram("engine.single.queue_depth")
+        alloc_hist = tele.registry.histogram("engine.single.allocation")
+    timer = tele.profile("engine.run_single_session")
 
-    return recorder.finalize(
+    t = 0
+    with timer:
+        while t < horizon or (drain and not queue.is_empty):
+            if t >= horizon + cap:
+                raise SimulationError(
+                    f"queue failed to drain within {cap} extra slots "
+                    f"(backlog {queue.size:.3f})"
+                )
+            offered = float(array[t]) if t < horizon else 0.0
+            slot_arrivals = offered
+            fault_dropped = 0.0
+            if plan is not None and slot_arrivals > 0.0:
+                keep = plan.ingress_factor(t)
+                if keep < 1.0:
+                    fault_dropped = slot_arrivals * (1.0 - keep)
+                    slot_arrivals -= fault_dropped
+            backlog = queue.size
+            lost = queue.push(t, slot_arrivals)
+            bandwidth = policy.decide(t, slot_arrivals, backlog)
+            if not math.isfinite(bandwidth):
+                raise SimulationError(
+                    f"policy returned non-finite bandwidth {bandwidth!r} at t={t}"
+                )
+            if bandwidth < 0:
+                raise SimulationError(
+                    f"policy returned negative bandwidth at t={t}"
+                )
+            if plan is None:
+                requested = None
+                effective = bandwidth
+                record_effective = None
+            else:
+                requested = getattr(policy, "requested_bandwidth", bandwidth)
+                effective = bandwidth * plan.capacity_factor(t)
+                record_effective = effective
+            queue_before = queue.size
+            result = queue.serve(t, effective)
+            # The trace records the *offered* load; ``dropped`` holds both
+            # ingress-fault losses and finite-buffer tail drops, so
+            # delivered + final backlog + dropped == offered.
+            recorder.record(
+                t,
+                offered,
+                bandwidth,
+                result,
+                queue.size,
+                dropped=lost + fault_dropped,
+                requested=requested,
+                effective=record_effective,
+            )
+            if monitor_list:
+                view = SingleSlotView(
+                    t=t,
+                    arrivals=slot_arrivals,
+                    allocation=bandwidth,
+                    queue_before_serve=queue_before,
+                    queue_after_serve=queue.size,
+                    result=result,
+                )
+                for monitor in monitor_list:
+                    monitor.on_single_slot(view)
+            if obs_on:
+                depth_hist.observe(queue.size)
+                alloc_hist.observe(bandwidth)
+            t += 1
+        timer.slots = t
+
+    trace = recorder.finalize(
         changes=policy.changes,
         stage_starts=policy.stage_starts,
         resets=policy.resets,
         horizon=horizon,
     )
+    if obs_on:
+        _emit_run_telemetry(
+            tele,
+            prefix="engine.single",
+            run_name="run_single_session",
+            slots=trace.slots,
+            horizon=horizon,
+            changes=trace.change_count,
+            stage_starts=trace.stage_starts,
+            resets=trace.resets,
+            dropped=trace.total_dropped,
+            max_backlog=trace.max_backlog,
+        )
+    return trace
 
 
 def run_multi_session(
@@ -198,64 +235,76 @@ def run_multi_session(
     zero = [0.0] * k
     plan = faults if faults is not None and not faults.is_null else None
 
+    tele = get_telemetry()
+    obs_on = tele.enabled
+    if obs_on:
+        depth_hist = tele.registry.histogram("engine.multi.queue_depth")
+        alloc_hist = tele.registry.histogram("engine.multi.allocation")
+    timer = tele.profile("engine.run_multi_session")
+
     t = 0
-    while t < horizon or (drain and policy.total_backlog > 0):
-        if t >= horizon + cap:
-            raise SimulationError(
-                f"queues failed to drain within {cap} extra slots "
-                f"(backlog {policy.total_backlog:.3f})"
-            )
-        offered = [float(x) for x in array[t]] if t < horizon else zero
-        slot_arrivals = offered
-        fault_dropped = 0.0
-        if plan is not None:
-            factor = plan.capacity_factor(t)
-            for session in policy.sessions:
-                session.channels.capacity_factor = factor
-            keep = plan.ingress_factor(t)
-            if keep < 1.0 and t < horizon:
-                slot_arrivals = [x * keep for x in offered]
-                fault_dropped = sum(offered) - sum(slot_arrivals)
-        results = policy.step(t, slot_arrivals)
-        if len(results) != k:
-            raise SimulationError(
-                f"policy returned {len(results)} results for k={k} at t={t}"
-            )
-        regular = [s.channels.regular_link.bandwidth for s in policy.sessions]
-        overflow = [s.channels.overflow_link.bandwidth for s in policy.sessions]
-        extra = policy.extra_link.bandwidth if policy.extra_link is not None else 0.0
-        for value in (*regular, *overflow, extra):
-            if not math.isfinite(value):
+    with timer:
+        while t < horizon or (drain and policy.total_backlog > 0):
+            if t >= horizon + cap:
                 raise SimulationError(
-                    f"policy produced non-finite bandwidth {value!r} at t={t}"
+                    f"queues failed to drain within {cap} extra slots "
+                    f"(backlog {policy.total_backlog:.3f})"
                 )
-        backlogs = [s.backlog for s in policy.sessions]
-        recorder.record(
-            t,
-            offered,
-            regular,
-            overflow,
-            results,
-            backlogs,
-            extra,
-            requested_total=(
-                policy.total_requested if plan is not None else None
-            ),
-            dropped=fault_dropped,
-        )
-        if monitor_list:
-            view = MultiSlotView(
-                t=t,
-                arrivals=slot_arrivals,
-                regular=regular,
-                overflow=overflow,
-                extra=extra,
-                backlogs=backlogs,
-                results=results,
+            offered = [float(x) for x in array[t]] if t < horizon else zero
+            slot_arrivals = offered
+            fault_dropped = 0.0
+            if plan is not None:
+                factor = plan.capacity_factor(t)
+                for session in policy.sessions:
+                    session.channels.capacity_factor = factor
+                keep = plan.ingress_factor(t)
+                if keep < 1.0 and t < horizon:
+                    slot_arrivals = [x * keep for x in offered]
+                    fault_dropped = sum(offered) - sum(slot_arrivals)
+            results = policy.step(t, slot_arrivals)
+            if len(results) != k:
+                raise SimulationError(
+                    f"policy returned {len(results)} results for k={k} at t={t}"
+                )
+            regular = [s.channels.regular_link.bandwidth for s in policy.sessions]
+            overflow = [s.channels.overflow_link.bandwidth for s in policy.sessions]
+            extra = policy.extra_link.bandwidth if policy.extra_link is not None else 0.0
+            for value in (*regular, *overflow, extra):
+                if not math.isfinite(value):
+                    raise SimulationError(
+                        f"policy produced non-finite bandwidth {value!r} at t={t}"
+                    )
+            backlogs = [s.backlog for s in policy.sessions]
+            recorder.record(
+                t,
+                offered,
+                regular,
+                overflow,
+                results,
+                backlogs,
+                extra,
+                requested_total=(
+                    policy.total_requested if plan is not None else None
+                ),
+                dropped=fault_dropped,
             )
-            for monitor in monitor_list:
-                monitor.on_multi_slot(view)
-        t += 1
+            if monitor_list:
+                view = MultiSlotView(
+                    t=t,
+                    arrivals=slot_arrivals,
+                    regular=regular,
+                    overflow=overflow,
+                    extra=extra,
+                    backlogs=backlogs,
+                    results=results,
+                )
+                for monitor in monitor_list:
+                    monitor.on_multi_slot(view)
+            if obs_on:
+                depth_hist.observe(sum(backlogs))
+                alloc_hist.observe(sum(regular) + sum(overflow) + extra)
+            t += 1
+        timer.slots = t
 
     if plan is not None:
         for session in policy.sessions:
@@ -273,10 +322,75 @@ def run_multi_session(
         list(policy.extra_link.changes) if policy.extra_link is not None else []
     )
 
-    return recorder.finalize(
+    trace = recorder.finalize(
         local_changes=local_changes,
         extra_changes=extra_changes,
         stage_starts=policy.stage_starts,
         resets=policy.resets,
         horizon=horizon,
     )
+    if obs_on:
+        _emit_run_telemetry(
+            tele,
+            prefix="engine.multi",
+            run_name="run_multi_session",
+            slots=trace.slots,
+            horizon=horizon,
+            changes=trace.change_count,
+            stage_starts=trace.stage_starts,
+            resets=trace.resets,
+            dropped=float(trace.dropped.sum()),
+            max_backlog=float(trace.backlog.sum(axis=1).max(initial=0.0)),
+            phase_boundaries=getattr(policy, "phase_boundaries", None),
+            k=k,
+        )
+    return trace
+
+
+def _emit_run_telemetry(
+    tele: Telemetry,
+    *,
+    prefix: str,
+    run_name: str,
+    slots: int,
+    horizon: int,
+    changes: int,
+    stage_starts: Sequence[int],
+    resets: Sequence[int],
+    dropped: float,
+    max_backlog: float,
+    phase_boundaries: Sequence[int] | None = None,
+    k: int | None = None,
+) -> None:
+    """Post-run summary metrics and stage/phase spans for one finished run.
+
+    Runs after the loop so the hot path stays untouched: stage and phase
+    spans are synthesized from the policy's (already maintained) event
+    lists instead of being tracked slot by slot.
+    """
+    registry = tele.registry
+    registry.counter(prefix + ".runs").inc()
+    registry.counter(prefix + ".slots").inc(slots)
+    registry.counter(prefix + ".changes").inc(changes)
+    registry.counter(prefix + ".stage_starts").inc(len(stage_starts))
+    registry.counter(prefix + ".resets").inc(len(resets))
+    registry.counter(prefix + ".dropped_bits").inc(dropped)
+    registry.gauge(prefix + ".max_backlog").set(max_backlog)
+
+    run_attrs = {"horizon": horizon}
+    if k is not None:
+        run_attrs["k"] = k
+    tele.tracer.span(run_name, 0, slots, kind="run", **run_attrs)
+    starts = list(stage_starts)
+    for index, start in enumerate(starts):
+        end = starts[index + 1] if index + 1 < len(starts) else slots
+        tele.tracer.span("stage", start, end, kind="stage", index=index)
+    if phase_boundaries:
+        boundaries = list(phase_boundaries)
+        for index, start in enumerate(boundaries):
+            end = (
+                boundaries[index + 1]
+                if index + 1 < len(boundaries)
+                else slots
+            )
+            tele.tracer.span("phase", start, end, kind="phase", index=index)

@@ -33,6 +33,7 @@ from typing import Iterable
 
 from repro.errors import ConfigError, InvariantViolation
 from repro.network.queue import ServeResult
+from repro.obs.runtime import get_telemetry
 
 _EPS = 1e-6
 
@@ -88,6 +89,14 @@ class ViolationLog:
             Violation(monitor=monitor, t=int(t), detail=detail,
                       severity=float(severity))
         )
+        # Mirror every soft violation into the metrics registry so traces
+        # and manifests expose per-invariant violation rates without
+        # anyone parsing the log.
+        tele = get_telemetry()
+        if tele.enabled:
+            tele.registry.counter(
+                "invariants.violations." + monitor
+            ).inc()
 
     def count(self, monitor: str | None = None) -> int:
         if monitor is None:

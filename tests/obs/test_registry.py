@@ -1,0 +1,113 @@
+"""Tests for the metrics registry instruments."""
+
+import math
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_counter_value_lookup(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("missing") == 0.0
+        registry.counter("hit").inc(4)
+        assert registry.counter_value("hit") == 4.0
+
+
+class TestGauge:
+    def test_tracks_range(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(5.0)
+        gauge.set(-1.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+        assert gauge.min == -1.0
+        assert gauge.max == 5.0
+        assert gauge.updates == 3
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        histogram = Histogram("h")
+        for value in (0.0, 0.5, 1.0, 3.0, 4.0, 100.0):
+            histogram.observe(value)
+        # 0 -> 0; 0.5 -> 0.5; 1 -> 1; 3 -> 4; 4 -> 4; 100 -> 128.
+        assert histogram.buckets == {0.0: 1, 0.5: 1, 1.0: 1, 4.0: 2, 128.0: 1}
+        assert histogram.count == 6
+        assert histogram.max == 100.0
+        assert histogram.mean == sum((0.0, 0.5, 1.0, 3.0, 4.0, 100.0)) / 6
+
+    def test_empty_histogram_dict(self):
+        data = Histogram("h").as_dict()
+        assert data["count"] == 0
+        assert data["min"] == 0.0 and data["max"] == 0.0
+        assert data["buckets"] == {}
+
+    def test_as_dict_buckets_sorted_and_stringified(self):
+        histogram = Histogram("h")
+        histogram.observe(100.0)
+        histogram.observe(0.5)
+        assert list(histogram.as_dict()["buckets"]) == ["0.5", "128"]
+
+
+class TestSnapshot:
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(8.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["gauges"]["g"]["max"] == 1.0
+        json.dumps(snap)  # must serialize cleanly
+
+    def test_untouched_gauge_snapshot_is_finite(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        snap = registry.snapshot()["gauges"]["g"]
+        assert math.isfinite(snap["min"]) and math.isfinite(snap["max"])
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_instruments_are_shared_no_ops(self):
+        registry = NullRegistry()
+        counter = registry.counter("anything")
+        assert counter is registry.counter("something-else")
+        counter.inc(1000)
+        assert counter.value == 0.0
+        registry.gauge("g").set(5.0)
+        registry.histogram("h").observe(5.0)
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert registry.counter_value("anything") == 0.0
+
+    def test_module_singleton(self):
+        assert NULL_REGISTRY.counter("x") is NullRegistry().counter("y")

@@ -1,0 +1,67 @@
+"""Tests for span tracing and the JSONL round trip."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    export_spans_jsonl,
+    load_spans_jsonl,
+)
+
+
+class TestTracer:
+    def test_span_recorded_in_order(self):
+        tracer = Tracer()
+        tracer.span("stage", 0, 10, kind="stage", index=0)
+        tracer.span("stage", 10, 25, kind="stage", index=1)
+        assert len(tracer) == 2
+        assert [s.t0 for s in tracer.spans] == [0, 10]
+        assert tracer.spans[1].attrs == {"index": 1}
+
+    def test_duration(self):
+        assert Span("s", "stage", 5, 12).duration == 7
+        assert Span("s", "stage", 5, None).duration == 0
+
+    def test_null_tracer_records_nothing(self):
+        span = NULL_TRACER.span("stage", 0, 10)
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.spans == []
+        assert span.kind == "null"
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        tracer = Tracer()
+        tracer.span("run", 0, 100, kind="run", horizon=100)
+        tracer.span("signaling", 3, 7, kind="signaling",
+                    outcome="applied", value=4.0)
+        path = tmp_path / "spans.jsonl"
+        assert export_spans_jsonl(path, tracer.spans) == 2
+        loaded = load_spans_jsonl(path)
+        assert loaded == tracer.spans
+
+    def test_open_span_round_trips_none_end(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        export_spans_jsonl(path, [Span("s", "stage", 4)])
+        assert load_spans_jsonl(path)[0].t1 is None
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        export_spans_jsonl(path, [Span("s", "stage", 0, 1)])
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_spans_jsonl(path)) == 1
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_spans_jsonl(path)
+
+    def test_non_span_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"foo": 1}\n')
+        with pytest.raises(ConfigError, match="not a span record"):
+            load_spans_jsonl(path)

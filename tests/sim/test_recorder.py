@@ -19,9 +19,28 @@ class TestHistogramHelpers:
         merged = merge_histograms([{0: 1.0, 2: 3.0}, {2: 1.0, 5: 2.0}])
         assert merged == {0: 1.0, 2: 4.0, 5: 2.0}
 
+    def test_merge_empty_list(self):
+        assert merge_histograms([]) == {}
+
+    def test_merge_empty_operands(self):
+        assert merge_histograms([{}, {}]) == {}
+        assert merge_histograms([{}, {1: 2.0}, {}]) == {1: 2.0}
+
+    def test_merge_fully_overlapping(self):
+        merged = merge_histograms([{4: 1.5, 9: 0.5}] * 3)
+        assert merged == {4: 4.5, 9: 1.5}
+
+    def test_merge_does_not_mutate_inputs(self):
+        first, second = {2: 1.0}, {2: 3.0}
+        merge_histograms([first, second])
+        assert first == {2: 1.0} and second == {2: 3.0}
+
     def test_max_delay(self):
         assert histogram_max_delay({}) == 0
         assert histogram_max_delay({3: 1.0, 7: 0.5}) == 7
+
+    def test_max_delay_of_merged_empties(self):
+        assert histogram_max_delay(merge_histograms([{}, {}])) == 0
 
     def test_quantile(self):
         histogram = {0: 90.0, 10: 9.0, 50: 1.0}

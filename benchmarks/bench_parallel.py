@@ -1,0 +1,166 @@
+"""Batch-runner benchmark: parallel fan-out and cache reuse vs inline.
+
+Not a paper artifact — this measures the ``repro.runner`` execution layer
+itself.  Three full ``repro report`` passes over the same experiment set:
+
+1. ``jobs=1``, no cache — the sequential baseline;
+2. ``jobs=N``, cold cache — process-parallel fan-out, populating the
+   content-addressed cache as a side effect;
+3. ``jobs=N``, warm cache — everything served from finished-result
+   entries.
+
+Every pass must produce **byte-identical** report output (asserted via
+sha256) — the runner's core guarantee — and the timings land in
+``BENCH_PERF.json`` at the repo root together with the host's CPU count,
+so speedup numbers are always read in context (parallel speedup is
+capped by available cores; cache-warm speedup is not).
+
+Run directly (``python benchmarks/bench_parallel.py --scale 0.3``) or let
+CI invoke it; ``validate()`` checks the output schema and is what the CI
+perf-smoke job calls after the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cli_report import render_report
+from repro.experiments import registry
+from repro.runner import run_batch, use_cache
+from repro.version import __version__
+
+#: Bump on breaking changes to the BENCH_PERF.json layout.
+PERF_SCHEMA = 1
+
+REQUIRED_RUN_KEYS = {"name", "jobs", "cache", "seconds", "sha256"}
+
+
+def _timed_pass(name, ids, seed, scale, jobs, cache_dir):
+    use_cache(cache_dir)
+    try:
+        started = time.perf_counter()
+        batch = run_batch(ids, seed=seed, scale=scale, jobs=jobs)
+        seconds = time.perf_counter() - started
+    finally:
+        use_cache(None)
+    payload = render_report(batch.results, seed=seed)
+    return {
+        "name": name,
+        "jobs": jobs,
+        "cache": "off" if cache_dir is None else name.split("_")[-1],
+        "seconds": round(seconds, 4),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "result_cache_hits": batch.result_cache_hits,
+        "shard_cache_hits": batch.shard_cache_hits,
+        "shard_jobs": batch.shard_jobs,
+    }
+
+
+def run_bench(seed: int, scale: float, jobs: int, out: Path) -> dict:
+    ids = registry.all_ids()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        runs = [
+            _timed_pass("jobs1_nocache", ids, seed, scale, 1, None),
+            _timed_pass(f"jobs{jobs}_cold", ids, seed, scale, jobs, cache_dir),
+            _timed_pass(f"jobs{jobs}_warm", ids, seed, scale, jobs, cache_dir),
+        ]
+    digests = {run["sha256"] for run in runs}
+    identical = len(digests) == 1
+    baseline = runs[0]["seconds"]
+    report = {
+        "schema": PERF_SCHEMA,
+        "version": __version__,
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "seed": seed,
+            "scale": scale,
+            "jobs": jobs,
+            "experiments": len(ids),
+        },
+        "runs": runs,
+        "speedups": {
+            "parallel_cold": round(baseline / max(runs[1]["seconds"], 1e-9), 2),
+            "cache_warm": round(baseline / max(runs[2]["seconds"], 1e-9), 2),
+        },
+        "output_identical": identical,
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def validate(path: str | Path) -> list[str]:
+    """Schema-check a BENCH_PERF.json; returns a list of problems."""
+    problems: list[str] = []
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    if raw.get("schema") != PERF_SCHEMA:
+        problems.append(f"schema must be {PERF_SCHEMA}, got {raw.get('schema')!r}")
+    for field in ("version", "host", "config", "runs", "speedups"):
+        if field not in raw:
+            problems.append(f"missing field {field!r}")
+    if not isinstance(raw.get("host", {}).get("cpu_count"), int):
+        problems.append("host.cpu_count must be an int")
+    runs = raw.get("runs", [])
+    if len(runs) < 3:
+        problems.append("expected at least 3 timed runs")
+    for run in runs:
+        missing = REQUIRED_RUN_KEYS - set(run)
+        if missing:
+            problems.append(f"run {run.get('name')!r} missing {sorted(missing)}")
+    if raw.get("output_identical") is not True:
+        problems.append("output_identical must be true — runner determinism broke")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_PERF.json"))
+    parser.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="schema-check an existing --out file and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.validate_only:
+        problems = validate(args.out)
+        for problem in problems:
+            print(f"BENCH_PERF schema: {problem}", file=sys.stderr)
+        print(f"{args.out}: {'OK' if not problems else 'INVALID'}")
+        return 1 if problems else 0
+
+    report = run_bench(args.seed, args.scale, args.jobs, args.out)
+    cpu = report["host"]["cpu_count"]
+    for run in report["runs"]:
+        print(f"{run['name']:>16}: {run['seconds']:.2f}s  sha256={run['sha256'][:12]}")
+    print(
+        f"speedups (host has {cpu} cpu): "
+        f"parallel x{report['speedups']['parallel_cold']}, "
+        f"cache-warm x{report['speedups']['cache_warm']}"
+    )
+    print(f"output identical across runs: {report['output_identical']}")
+    if not report["output_identical"]:
+        print("FATAL: report bytes differ between runs", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

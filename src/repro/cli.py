@@ -8,10 +8,12 @@ Subcommands:
   file, ``--scale`` shrinks horizons for a quick look.
 * ``simulate`` — run one policy on one workload and print the QoS row
   (see :mod:`repro.cli_simulate`).
-* ``report`` — run everything and write EXPERIMENTS.md
-  (see :mod:`repro.cli_report`).
+* ``report`` — run everything and write EXPERIMENTS.md; ``--jobs N``
+  fans out across worker processes (see :mod:`repro.cli_report`).
 * ``trace`` — summarize a telemetry export written by ``simulate
   --telemetry`` / ``run --telemetry`` (see :mod:`repro.cli_trace`).
+* ``cache`` — inspect or clear the content-addressed workload/result
+  cache (see :mod:`repro.cli_cache`).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import sys
 import time
 from contextlib import nullcontext
 
+from repro.cli_cache import add_cache_parser, run_cache
 from repro.cli_report import add_report_parser, run_report
 from repro.cli_simulate import add_simulate_parser, run_simulate
 from repro.cli_trace import add_trace_parser, run_trace
@@ -69,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_simulate_parser(sub)
     add_report_parser(sub)
     add_trace_parser(sub)
+    add_cache_parser(sub)
     return parser
 
 
@@ -84,6 +88,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_report(args)
     if args.command == "trace":
         return run_trace(args)
+    if args.command == "cache":
+        return run_cache(args)
 
     ids = registry.all_ids() if args.ids == ["all"] else args.ids
     blocks: list[str] = []

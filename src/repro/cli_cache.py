@@ -1,0 +1,48 @@
+"""The ``cache`` CLI subcommand: inspect and clear the content cache.
+
+* ``repro cache info`` — entry counts and byte totals per section.
+* ``repro cache clear`` — delete every entry.
+
+The cache directory is ``--cache-dir`` if given, else ``REPRO_CACHE_DIR``.
+Entries never go stale (the content address covers every input plus the
+code version), so ``clear`` only reclaims disk — it can never change a
+result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.runner.cache import CACHE_ENV, ContentCache
+
+
+def add_cache_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``cache`` subcommand."""
+    parser = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed cache"
+    )
+    parser.add_argument("action", choices=["info", "clear"])
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=f"cache root (default: ${CACHE_ENV})",
+    )
+
+
+def run_cache(args) -> int:
+    """Execute the subcommand; returns the process exit code."""
+    root = args.cache_dir or os.environ.get(CACHE_ENV)
+    if not root:
+        print(f"no cache directory: pass --cache-dir or set {CACHE_ENV}")
+        return 2
+    cache = ContentCache(root)
+    if args.action == "info":
+        print(json.dumps(cache.info(), indent=2, sort_keys=True))
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} entries from {cache.root}")
+    return 0

@@ -37,6 +37,7 @@ from repro.faults import (
 from repro.obs import export_run, telemetry_session
 from repro.sim.engine import run_multi_session, run_single_session
 from repro.sim.serialize import save_multi_trace, save_single_trace
+from repro.runner.cache import cached_feasible_stream, cached_multi_feasible
 from repro.traffic import (
     MpegVbr,
     OnOffBursts,
@@ -44,8 +45,6 @@ from repro.traffic import (
     PoissonArrivals,
     SelfSimilarAggregate,
     figure1_demand,
-    generate_feasible_stream,
-    generate_multi_feasible,
 )
 from repro.params import OfflineConstraints
 
@@ -156,7 +155,7 @@ def _build_single_traffic(args):
             utilization=args.utilization,
             window=args.window,
         )
-        return generate_feasible_stream(
+        return cached_feasible_stream(
             offline, args.horizon, seed=args.seed
         ).arrivals
     raise ConfigError(f"unknown traffic {args.traffic!r}")
@@ -259,7 +258,7 @@ def run_simulate(args) -> int:
 
 def _simulate(args, multi_policy, plan, retry, headers) -> int:
     if multi_policy:
-        workload = generate_multi_feasible(
+        workload = cached_multi_feasible(
             args.sessions,
             offline_bandwidth=args.bandwidth,
             offline_delay=args.delay,

@@ -11,7 +11,13 @@ from repro.core.baselines import (
 )
 from repro.core.combined import CombinedMultiSession
 from repro.core.continuous import ContinuousMultiSession
-from repro.core.envelope import HighTracker, LowTracker, NaiveLowTracker
+from repro.core.envelope import (
+    EnvelopePair,
+    HighTracker,
+    LowTracker,
+    NaiveLowTracker,
+    StageArrivals,
+)
 from repro.core.hull import MaxSlopeHull
 from repro.core.modified_single import ModifiedSingleSessionOnline
 from repro.core.offline_greedy import (
@@ -62,6 +68,7 @@ __all__ = [
     "min_changes_bruteforce_multi",
     "CombinedMultiSession",
     "ContinuousMultiSession",
+    "EnvelopePair",
     "EqualSplitMultiSession",
     "EwmaAllocator",
     "FractionalPowerOfTwoQuantizer",
@@ -79,6 +86,7 @@ __all__ = [
     "PhasedMultiSession",
     "PowerOfTwoQuantizer",
     "SingleSessionOnline",
+    "StageArrivals",
     "StageCertificate",
     "StaticAllocator",
     "StoreAndForwardMultiSession",

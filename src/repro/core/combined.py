@@ -37,7 +37,7 @@ from typing import Sequence
 
 from repro.core.allocator import MultiSessionPolicy
 from repro.core.continuous import ContinuousMultiSession
-from repro.core.envelope import HighTracker, LowTracker
+from repro.core.envelope import EnvelopePair
 from repro.core.phased import PhasedMultiSession
 from repro.core.powers import PowerOfTwoQuantizer, Quantizer
 from repro.errors import ConfigError
@@ -103,9 +103,11 @@ class CombinedMultiSession(MultiSessionPolicy):
         self.max_bandwidth = bandwidth_slack * self.offline_bandwidth
         self.online_delay = 2 * self.offline_delay
 
-        self._low = LowTracker(self.offline_delay)
-        self._high = HighTracker(
-            self.offline_utilization, self.window, self.offline_bandwidth
+        self._envelope = EnvelopePair(
+            self.offline_delay,
+            self.offline_utilization,
+            self.window,
+            self.offline_bandwidth,
         )
         #: Virtual counter of *global* bandwidth moves (``B_glob`` changes).
         self.global_link = Link("global")
@@ -119,7 +121,7 @@ class CombinedMultiSession(MultiSessionPolicy):
     # -- global machinery ------------------------------------------------------
 
     def _global_target(self) -> float:
-        return max(1.0, self.quantizer(self._low.low))
+        return max(1.0, self.quantizer(self._envelope.low))
 
     def _global_reset(self, t: int, arrivals_total: float) -> None:
         """GLOBAL RESET: steal all queues into the global overflow channel
@@ -130,10 +132,8 @@ class CombinedMultiSession(MultiSessionPolicy):
             channels.overflow_queue.drain_to(global_queue)
             channels.regular_queue.drain_to(global_queue)
         self.inner.cancel_overflow(t)
-        self._low.reset()
-        self._high.reset()
-        self._low.push(arrivals_total)
-        self._high.push(arrivals_total)
+        self._envelope.reset()
+        self._envelope.push(arrivals_total)
         self.stage_starts.append(t)
         target = self._global_target()
         self.global_link.set(t, target)
@@ -167,8 +167,7 @@ class CombinedMultiSession(MultiSessionPolicy):
             # initial start; drop it from the inner stage accounting.
             if self.inner.resets:
                 self.inner.resets.pop()
-        low = self._low.push(total_arrivals)
-        high = self._high.push(total_arrivals)
+        low, high = self._envelope.push(total_arrivals)
         if high < low:
             self._global_reset(t, total_arrivals)
         else:

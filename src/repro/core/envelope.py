@@ -24,13 +24,62 @@ changed its allocation at least once during the stage (Lemma 1).
 Both trackers are incremental: ``push`` one slot's arrivals, get the new
 bound.  ``LowTracker`` uses the convex-hull max-slope structure
 (O(log n) per slot); ``NaiveLowTracker`` is the O(n)-per-slot reference.
+
+Both bounds are functions of the *same* stage-relative arrival prefix sums,
+so the trackers read them from one shared :class:`StageArrivals` stream
+instead of each maintaining a private accumulator.  A policy that needs
+both bounds (Figure 3, the combined algorithm, the offline certifiers)
+should use :class:`EnvelopePair`: one ``push`` per slot feeds the shared
+stream and advances both trackers, and the utilization window sum is a
+prefix-sum difference rather than a sliding-deque recomputation.
+Standalone construction (``LowTracker(delay)``) keeps the old one-tracker
+``push`` API by owning a private stream.
 """
 
 from __future__ import annotations
 
 from repro.core.hull import MaxSlopeHull
-from repro.core.windows import SlidingWindowSum
 from repro.errors import ConfigError
+
+
+class StageArrivals:
+    """Stage-relative arrival prefix sums shared by the envelope trackers.
+
+    ``sums[r]`` is the total arrivals over the first ``r`` slots of the
+    stage; one ``push`` per slot appends the next cumulative value with a
+    single addition, and every consumer reads window sums as differences.
+    """
+
+    __slots__ = ("_sums",)
+
+    def __init__(self) -> None:
+        self._sums: list[float] = [0.0]
+
+    @property
+    def slots(self) -> int:
+        """Slots pushed since the last reset."""
+        return len(self._sums) - 1
+
+    @property
+    def total(self) -> float:
+        """Total arrivals this stage."""
+        return self._sums[-1]
+
+    def cumulative(self, n: int) -> float:
+        """Total arrivals over the first ``n`` slots of the stage."""
+        return self._sums[n]
+
+    def push(self, arrivals: float) -> float:
+        """Append one slot's arrivals; return the new stage total."""
+        if arrivals < 0:
+            raise ConfigError(f"arrivals must be >= 0, got {arrivals!r}")
+        total = self._sums[-1] + arrivals
+        self._sums.append(total)
+        return total
+
+    def reset(self) -> None:
+        """Start a new stage."""
+        del self._sums[1:]
 
 
 class LowTracker:
@@ -39,14 +88,19 @@ class LowTracker:
     Slot indices are stage-relative: the ``r``-th ``push`` (``r = 0, 1, ...``)
     corresponds to absolute slot ``ts + r``.  ``low`` is monotone
     non-decreasing within a stage.
+
+    With ``arrivals=`` the tracker reads a shared :class:`StageArrivals`
+    stream (the caller pushes the stream, then calls :meth:`advance`);
+    without it the tracker owns a private stream and ``push`` does both.
     """
 
-    def __init__(self, offline_delay: int):
+    def __init__(self, offline_delay: int, arrivals: StageArrivals | None = None):
         if offline_delay < 1:
             raise ConfigError(f"offline_delay must be >= 1, got {offline_delay!r}")
         self.offline_delay = int(offline_delay)
+        self._shared = arrivals is not None
+        self._arrivals = arrivals if arrivals is not None else StageArrivals()
         self._hull = MaxSlopeHull()
-        self._cumulative = 0.0
         self._slot = 0
         self._low = 0.0
 
@@ -57,30 +111,45 @@ class LowTracker:
 
     @property
     def slots_seen(self) -> int:
-        """Number of slots pushed since the last reset."""
+        """Number of slots consumed since the last reset."""
         return self._slot
 
     def reset(self) -> None:
-        """Start a new stage."""
+        """Start a new stage (a private arrival stream resets too)."""
+        if not self._shared:
+            self._arrivals.reset()
         self._hull.clear()
-        self._cumulative = 0.0
         self._slot = 0
         self._low = 0.0
 
     def push(self, arrivals: float) -> float:
         """Advance one slot with ``arrivals`` bits; return the new low(t).
 
-        For window start ``u = r`` the relevant history point is
-        ``(r - 1, C(r - 1))`` with ``C`` the stage-relative cumulative sum,
-        and the query point is ``(r + D_O, C(r))``.
+        Only valid for a tracker owning its arrival stream; with a shared
+        stream the owner pushes once and calls :meth:`advance`.
         """
-        if arrivals < 0:
-            raise ConfigError(f"arrivals must be >= 0, got {arrivals!r}")
+        if self._shared:
+            raise ConfigError(
+                "push() on a shared-stream LowTracker; push the shared "
+                "StageArrivals and call advance() instead"
+            )
+        self._arrivals.push(arrivals)
+        return self.advance()
+
+    def advance(self) -> float:
+        """Consume the next slot from the arrival stream; return low(t).
+
+        For window start ``u = r`` the relevant history point is
+        ``(r - 1, C(r))`` with ``C`` the stage-relative cumulative sum
+        (``C(r)`` = arrivals before this slot), and the query point is
+        ``(r + D_O, C(r + 1))``.
+        """
         r = self._slot
-        self._hull.add(r - 1, self._cumulative)
-        self._cumulative += arrivals
+        self._hull.add(r - 1, self._arrivals.cumulative(r))
         self._slot += 1
-        candidate = self._hull.max_slope_from(r + self.offline_delay, self._cumulative)
+        candidate = self._hull.max_slope_from(
+            r + self.offline_delay, self._arrivals.cumulative(r + 1)
+        )
         if candidate > self._low:
             self._low = candidate
         return self._low
@@ -125,11 +194,15 @@ class HighTracker:
 
     While the stage has seen fewer than ``window`` slots the bound is the
     maximum bandwidth ``B_A``; afterwards it is the running minimum of
-    ``IN(window) / (U_O * W)`` over complete in-stage windows.  ``high`` is
+    ``IN(window) / (U_O * W)`` over complete in-stage windows, with the
+    window sum read off the stage prefix sums in O(1).  ``high`` is
     monotone non-increasing within a stage.
 
     With ``utilization=None`` the tracker degenerates to the constant
     ``B_A`` (the pure multi-session case has no utilization constraint).
+    Like :class:`LowTracker`, pass ``arrivals=`` to read a shared
+    :class:`StageArrivals` stream and drive the tracker with
+    :meth:`advance`.
     """
 
     def __init__(
@@ -137,6 +210,7 @@ class HighTracker:
         utilization: float | None,
         window: int | None,
         max_bandwidth: float,
+        arrivals: StageArrivals | None = None,
     ):
         if max_bandwidth <= 0:
             raise ConfigError(f"max_bandwidth must be > 0, got {max_bandwidth!r}")
@@ -148,9 +222,9 @@ class HighTracker:
         self.utilization = utilization
         self.window = int(window) if window is not None else None
         self.max_bandwidth = float(max_bandwidth)
-        self._sum = (
-            SlidingWindowSum(self.window) if self.window is not None else None
-        )
+        self._shared = arrivals is not None
+        self._arrivals = arrivals if arrivals is not None else StageArrivals()
+        self._slot = 0
         self._high = self.max_bandwidth
 
     @property
@@ -159,20 +233,84 @@ class HighTracker:
         return self._high
 
     def reset(self) -> None:
-        """Start a new stage."""
-        if self._sum is not None:
-            self._sum.reset()
+        """Start a new stage (a private arrival stream resets too)."""
+        if not self._shared:
+            self._arrivals.reset()
+        self._slot = 0
         self._high = self.max_bandwidth
 
     def push(self, arrivals: float) -> float:
-        """Advance one slot with ``arrivals`` bits; return the new high(t)."""
-        if arrivals < 0:
-            raise ConfigError(f"arrivals must be >= 0, got {arrivals!r}")
-        if self.utilization is None or self._sum is None:
+        """Advance one slot with ``arrivals`` bits; return the new high(t).
+
+        Only valid for a tracker owning its arrival stream; with a shared
+        stream the owner pushes once and calls :meth:`advance`.
+        """
+        if self._shared:
+            raise ConfigError(
+                "push() on a shared-stream HighTracker; push the shared "
+                "StageArrivals and call advance() instead"
+            )
+        self._arrivals.push(arrivals)
+        return self.advance()
+
+    def advance(self) -> float:
+        """Consume the next slot from the arrival stream; return high(t)."""
+        self._slot += 1
+        if self.utilization is None or self.window is None:
             return self._high
-        window_sum = self._sum.push(arrivals)
-        if self._sum.full:
-            bound = window_sum / (self.utilization * self._sum.window)
+        if self._slot >= self.window:
+            window_sum = self._arrivals.cumulative(
+                self._slot
+            ) - self._arrivals.cumulative(self._slot - self.window)
+            bound = window_sum / (self.utilization * self.window)
             if bound < self._high:
                 self._high = bound
         return self._high
+
+
+class EnvelopePair:
+    """``low``/``high`` trackers over one shared arrival prefix-sum stream.
+
+    One :meth:`push` per slot appends to the shared :class:`StageArrivals`
+    and advances both trackers, so ``decide()`` loops stop feeding the same
+    arrival into two private accumulators (and the utilization window sum
+    is a prefix difference instead of a deque update).
+    """
+
+    __slots__ = ("arrivals", "low_tracker", "high_tracker")
+
+    def __init__(
+        self,
+        offline_delay: int,
+        utilization: float | None,
+        window: int | None,
+        max_bandwidth: float,
+    ):
+        self.arrivals = StageArrivals()
+        self.low_tracker = LowTracker(offline_delay, arrivals=self.arrivals)
+        self.high_tracker = HighTracker(
+            utilization, window, max_bandwidth, arrivals=self.arrivals
+        )
+
+    @property
+    def low(self) -> float:
+        return self.low_tracker.low
+
+    @property
+    def high(self) -> float:
+        return self.high_tracker.high
+
+    @property
+    def slots_seen(self) -> int:
+        return self.low_tracker.slots_seen
+
+    def push(self, arrivals: float) -> tuple[float, float]:
+        """Advance one slot; return the new ``(low, high)`` pair."""
+        self.arrivals.push(arrivals)
+        return self.low_tracker.advance(), self.high_tracker.advance()
+
+    def reset(self) -> None:
+        """Start a new stage on both trackers and the shared stream."""
+        self.arrivals.reset()
+        self.low_tracker.reset()
+        self.high_tracker.reset()

@@ -77,7 +77,7 @@ class ModifiedSingleSessionOnline(SingleSessionOnline):
         self.early_quantizer = GeometricQuantizer(base)
 
     def _stage_target(self, low: float) -> float:
-        if self._low.slots_seen <= self.window:
+        if self._envelope.slots_seen <= self.window:
             # Young stage: high(t) = B_A constrains nothing yet; climb the
             # coarse ladder so a burst of any size costs O(log_base B_A)
             # changes instead of O(log2 B_A).

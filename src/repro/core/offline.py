@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.envelope import HighTracker, LowTracker
+from repro.core.envelope import EnvelopePair, LowTracker
 from repro.core.single_session import SingleSessionOnline
 from repro.errors import ConfigError
 from repro.params import OfflineConstraints
@@ -66,17 +66,16 @@ def stage_certificate(
             "stage_certificate needs a utilization constraint; use "
             "multi_stage_certificate for the delay-only case"
         )
-    low = LowTracker(offline.delay)
-    high = HighTracker(offline.utilization, offline.window, offline.bandwidth)
+    envelope = EnvelopePair(
+        offline.delay, offline.utilization, offline.window, offline.bandwidth
+    )
     intervals: list[tuple[int, int]] = []
     start = 0
     for t, bits in enumerate(arrivals):
-        low_value = low.push(float(bits))
-        high_value = high.push(float(bits))
+        low_value, high_value = envelope.push(float(bits))
         if high_value < low_value:
             intervals.append((start, t))
-            low.reset()
-            high.reset()
+            envelope.reset()
             start = t + 1
     return StageCertificate(intervals=tuple(intervals))
 

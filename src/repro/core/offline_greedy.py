@@ -34,7 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.feasibility import FeasibilityReport, check_stream_against_profile
-from repro.core.envelope import HighTracker, LowTracker
+from repro.core.envelope import EnvelopePair, LowTracker
 from repro.errors import ConfigError
 from repro.params import OfflineConstraints
 from repro.traffic.feasible import profile_switch_count
@@ -62,18 +62,16 @@ def _find_boundaries(
     array: np.ndarray, offline: OfflineConstraints
 ) -> list[int]:
     """Pass 1: segment boundaries with down-breaks back-shifted."""
-    low = LowTracker(offline.delay)
-    high = HighTracker(offline.utilization, offline.window, offline.bandwidth)
+    envelope = EnvelopePair(
+        offline.delay, offline.utilization, offline.window, offline.bandwidth
+    )
     boundaries = [0]
     last_low = 0.0
     for t in range(len(array)):
-        low_value = low.push(float(array[t]))
-        high_value = high.push(float(array[t]))
+        low_value, high_value = envelope.push(float(array[t]))
         if high_value < low_value:
-            low.reset()
-            high.reset()
-            fresh_low = low.push(float(array[t]))
-            high.push(float(array[t]))
+            envelope.reset()
+            fresh_low, _ = envelope.push(float(array[t]))
             if fresh_low < last_low:
                 # Down-break: demand fell ~W slots ago; cut where the
                 # binding utilization window began.

@@ -27,7 +27,7 @@ that is at least low(t)".
 from __future__ import annotations
 
 from repro.core.allocator import BandwidthPolicy
-from repro.core.envelope import HighTracker, LowTracker
+from repro.core.envelope import EnvelopePair
 from repro.core.powers import PowerOfTwoQuantizer, Quantizer
 from repro.errors import ConfigError
 from repro.network.queue import EPSILON
@@ -81,9 +81,11 @@ class SingleSessionOnline(BandwidthPolicy):
         self.online_delay = 2 * self.offline_delay
         self.online_utilization = self.offline_utilization / 3.0
 
-        self._low = LowTracker(self.offline_delay)
-        self._high = HighTracker(
-            self.offline_utilization, self.window, self.max_bandwidth
+        self._envelope = EnvelopePair(
+            self.offline_delay,
+            self.offline_utilization,
+            self.window,
+            self.max_bandwidth,
         )
         self._in_stage = False
         #: Per-stage change counts (diagnostics for the Lemma 1 bound).
@@ -93,8 +95,7 @@ class SingleSessionOnline(BandwidthPolicy):
     # -- stage machinery ---------------------------------------------------
 
     def _start_stage(self, t: int) -> None:
-        self._low.reset()
-        self._high.reset()
+        self._envelope.reset()
         self._in_stage = True
         if self.stage_starts:
             # Close the previous stage's accounting period, which spans
@@ -124,14 +125,12 @@ class SingleSessionOnline(BandwidthPolicy):
             # RESET finished draining (or initial start): new stage opens
             # with an empty queue at this slot.
             self._start_stage(t)
-            low = self._low.push(arrivals)
-            self._high.push(arrivals)
+            low, _ = self._envelope.push(arrivals)
             self._set(t, self._stage_target(low))
             return self.link.bandwidth
 
         if self._in_stage:
-            low = self._low.push(arrivals)
-            high = self._high.push(arrivals)
+            low, high = self._envelope.push(arrivals)
             if high < low:
                 # No constant offline bandwidth fits the whole stage: the
                 # offline adversary changed at least once (Lemma 1).
@@ -152,12 +151,12 @@ class SingleSessionOnline(BandwidthPolicy):
     @property
     def low(self) -> float:
         """Current ``low(t)`` (0 outside a stage)."""
-        return self._low.low if self._in_stage else 0.0
+        return self._envelope.low if self._in_stage else 0.0
 
     @property
     def high(self) -> float:
         """Current ``high(t)`` (``B_A`` outside a stage)."""
-        return self._high.high if self._in_stage else self.max_bandwidth
+        return self._envelope.high if self._in_stage else self.max_bandwidth
 
     @property
     def max_changes_per_stage(self) -> int:

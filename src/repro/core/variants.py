@@ -40,8 +40,7 @@ class EagerResetSingleSession(SingleSessionOnline):
             # Eager restart: open the stage immediately, dirty queue and all.
             self._start_stage(t)
             self._flushing = backlog > EPSILON
-        low = self._low.push(arrivals)
-        high = self._high.push(arrivals)
+        low, high = self._envelope.push(arrivals)
         if high < low:
             self._end_stage(t)
             self._set(t, self.max_bandwidth)
@@ -77,13 +76,11 @@ class NonMonotoneSingleSession(SingleSessionOnline):
     def decide(self, t: int, arrivals: float, backlog: float) -> float:
         if not self._in_stage and backlog <= EPSILON:
             self._start_stage(t)
-            low = self._low.push(arrivals)
-            self._high.push(arrivals)
+            low, _ = self._envelope.push(arrivals)
             self._set(t, self._stage_target(low))
             return self.link.bandwidth
         if self._in_stage:
-            low = self._low.push(arrivals)
-            high = self._high.push(arrivals)
+            low, high = self._envelope.push(arrivals)
             if high < low:
                 self._end_stage(t)
                 self._set(t, self.max_bandwidth)

@@ -33,8 +33,7 @@ from repro.params import OfflineConstraints
 from repro.sim.engine import run_multi_session, run_single_session
 from repro.sim.recorder import histogram_quantile
 from repro.traffic.adversary import doubling_stream
-from repro.traffic.feasible import generate_feasible_stream
-from repro.traffic.multi import generate_multi_feasible
+from repro.runner.cache import cached_feasible_stream, cached_multi_feasible
 
 _DELAY = 8
 _UTIL = 0.25
@@ -46,7 +45,7 @@ def _stream(seed: int, scale: float, window: int = _WINDOW):
     offline = OfflineConstraints(
         bandwidth=_BANDWIDTH, delay=_DELAY, utilization=_UTIL, window=window
     )
-    return offline, generate_feasible_stream(
+    return offline, cached_feasible_stream(
         offline,
         horizon=scaled(6000, scale, minimum=800),
         segments=max(2, scaled(10, scale)),
@@ -195,7 +194,7 @@ def run_window(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
 def run_fifo(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     k = 8
     bandwidth = 64.0
-    workload = generate_multi_feasible(
+    workload = cached_multi_feasible(
         k,
         offline_bandwidth=bandwidth,
         offline_delay=_DELAY,

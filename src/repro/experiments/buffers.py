@@ -24,7 +24,7 @@ from repro.experiments.common import ExperimentResult, fmt, scaled
 from repro.experiments.registry import register
 from repro.params import OfflineConstraints
 from repro.sim.engine import run_single_session
-from repro.traffic.feasible import generate_feasible_stream
+from repro.runner.cache import cached_feasible_stream
 
 _B_A = 64.0
 _D_O = 8
@@ -38,7 +38,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         bandwidth=_B_A, delay=_D_O, utilization=_U_O, window=_W
     )
     horizon = scaled(6000, scale, minimum=800)
-    stream = generate_feasible_stream(
+    stream = cached_feasible_stream(
         offline, horizon, segments=max(2, scaled(12, scale)), seed=seed,
         burstiness="blocks",
     )

@@ -9,7 +9,8 @@ We sweep the offline bandwidth ``B_O`` (which scales ``B_A``) at fixed
 ``k`` and then ``k`` at fixed ``B_O``, generating workloads that are
 feasible for the *joint* constraints: a single-session certificate profile
 for the aggregate (delay + utilization) split across sessions with
-shifting Dirichlet weights.
+shifting Dirichlet weights.  Each ``(k, B_O, inner)`` point is an
+independent workload + run, so the experiment is registered shardable.
 """
 
 from __future__ import annotations
@@ -19,13 +20,12 @@ import math
 import numpy as np
 
 from repro.core.combined import CombinedMultiSession
-from repro.core.offline import stage_lower_bound
 from repro.experiments.common import ExperimentResult, fmt, scaled
-from repro.experiments.registry import register
+from repro.experiments.registry import register_sweep
 from repro.params import OfflineConstraints
+from repro.runner.cache import cached_feasible_stream
 from repro.sim.engine import run_multi_session
 from repro.traffic.base import make_rng
-from repro.traffic.feasible import generate_feasible_stream
 
 _HEADERS = [
     "k/inner",
@@ -41,6 +41,10 @@ _HEADERS = [
     "D_A",
     "max alloc/B_O",
 ]
+
+_DELAY = 8
+_UTILIZATION = 0.25
+_WINDOW = 16
 
 
 def split_stream(
@@ -58,100 +62,100 @@ def split_stream(
     return out
 
 
-@register("E-C", "Section 4: combined algorithm global/local competitiveness")
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    delay = 8
-    utilization = 0.25
-    window = 16
+def points(seed: int, scale: float) -> list[list]:
+    """The swept ``[k, B_O, inner]`` combinations."""
+    if scale < 0.5:
+        return [[2, 64, "phased"], [4, 256, "continuous"]]
+    return [
+        [4, 64, "phased"],
+        [4, 256, "phased"],
+        [4, 1024, "phased"],
+        [2, 256, "phased"],
+        [8, 256, "phased"],
+        [4, 256, "continuous"],
+        [8, 256, "continuous"],
+    ]
+
+
+def run_point(point, index: int, seed: int = 0, scale: float = 1.0) -> dict:
+    """One sweep point: aggregate certificate + session split + run."""
+    k, bandwidth, inner = point
     horizon = scaled(5000, scale, minimum=600)
     segments = max(2, scaled(10, scale))
-    points: list[tuple[int, int, str]] = [
-        (4, 64, "phased"),
-        (4, 256, "phased"),
-        (4, 1024, "phased"),
-        (2, 256, "phased"),
-        (8, 256, "phased"),
-        (4, 256, "continuous"),
-        (8, 256, "continuous"),
+    offline = OfflineConstraints(
+        bandwidth=float(bandwidth),
+        delay=_DELAY,
+        utilization=_UTILIZATION,
+        window=_WINDOW,
+    )
+    aggregate = cached_feasible_stream(
+        offline,
+        horizon,
+        segments=segments,
+        seed=seed + index,
+        burstiness="smooth",
+    )
+    arrivals = split_stream(
+        aggregate.arrivals, k, seed=seed + 100 + index, segment=8 * _DELAY
+    )
+    policy = CombinedMultiSession(
+        k,
+        offline_bandwidth=float(bandwidth),
+        offline_delay=_DELAY,
+        offline_utilization=_UTILIZATION,
+        window=_WINDOW,
+        inner=inner,
+    )
+    trace = run_multi_session(policy, arrivals)
+    log_b = math.log2(bandwidth)
+    global_stages = max(1, len(policy.resets) + 1)
+    global_per_stage = policy.global_change_count / global_stages
+    local_stages = max(1, policy.local_stage_count + 1)
+    online_delay = 2 * _DELAY
+    # Combined delay in our discretization can exceed 2·D_O by the
+    # global-overflow hand-off; monitor against the documented slack.
+    bandwidth_slack = 7.0 if inner == "phased" else 8.0
+    row = [
+        f"{k}/{inner[:4]}",
+        str(bandwidth),
+        str(policy.global_change_count),
+        str(len(policy.resets)),
+        fmt(global_per_stage, 1),
+        fmt(global_per_stage / log_b),
+        str(trace.local_change_count),
+        str(policy.local_stage_count),
+        fmt(trace.local_change_count / (local_stages * k * log_b)),
+        str(trace.max_delay),
+        str(online_delay),
+        fmt(trace.max_total_allocation / bandwidth),
     ]
-    if scale < 0.5:
-        points = [(2, 64, "phased"), (4, 256, "continuous")]
+    return {
+        "row": row,
+        "global_ratio": global_per_stage / log_b,
+        "delay_ok": bool(trace.max_delay <= online_delay + _DELAY),
+        "alloc_ok": bool(
+            trace.max_total_allocation <= bandwidth_slack * bandwidth * (1 + 1e-9)
+        ),
+    }
 
-    rows = []
+
+def assemble(payloads: list[dict], seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E-C",
         title="Section 4 — combined algorithm sweep over (k, B_O)",
         headers=_HEADERS,
-        rows=rows,
+        rows=[payload["row"] for payload in payloads],
     )
-    delay_ok = True
-    alloc_ok = True
-    global_ratios = []
-    for index, (k, bandwidth, inner) in enumerate(points):
-        offline = OfflineConstraints(
-            bandwidth=float(bandwidth),
-            delay=delay,
-            utilization=utilization,
-            window=window,
-        )
-        aggregate = generate_feasible_stream(
-            offline,
-            horizon,
-            segments=segments,
-            seed=seed + index,
-            burstiness="smooth",
-        )
-        arrivals = split_stream(
-            aggregate.arrivals, k, seed=seed + 100 + index, segment=8 * delay
-        )
-        policy = CombinedMultiSession(
-            k,
-            offline_bandwidth=float(bandwidth),
-            offline_delay=delay,
-            offline_utilization=utilization,
-            window=window,
-            inner=inner,
-        )
-        trace = run_multi_session(policy, arrivals)
-        log_b = math.log2(bandwidth)
-        global_stages = max(1, len(policy.resets) + 1)
-        global_per_stage = policy.global_change_count / global_stages
-        local_stages = max(1, policy.local_stage_count + 1)
-        online_delay = 2 * delay
-        # Combined delay in our discretization can exceed 2·D_O by the
-        # global-overflow hand-off; monitor against the documented slack.
-        bandwidth_slack = 7.0 if inner == "phased" else 8.0
-        delay_ok &= trace.max_delay <= online_delay + delay
-        alloc_ok &= trace.max_total_allocation <= bandwidth_slack * bandwidth * (
-            1 + 1e-9
-        )
-        global_ratios.append(global_per_stage / log_b)
-        rows.append(
-            [
-                f"{k}/{inner[:4]}",
-                str(bandwidth),
-                str(policy.global_change_count),
-                str(len(policy.resets)),
-                fmt(global_per_stage, 1),
-                fmt(global_per_stage / log_b),
-                str(trace.local_change_count),
-                str(policy.local_stage_count),
-                fmt(trace.local_change_count / (local_stages * k * log_b)),
-                str(trace.max_delay),
-                str(online_delay),
-                fmt(trace.max_total_allocation / bandwidth),
-            ]
-        )
-
+    global_ratios = [payload["global_ratio"] for payload in payloads]
     result.check(
         "delay within envelope",
-        delay_ok,
+        all(payload["delay_ok"] for payload in payloads),
         "max bit delay <= 2·D_O + D_O hand-off slack at every point "
         "(see DESIGN.md §5 on the global-overflow discretization)",
     )
     result.check(
         "bandwidth envelope (7·B_O phased / 8·B_O continuous inner)",
-        alloc_ok,
+        all(payload["alloc_ok"] for payload in payloads),
         "total allocation never exceeds the inner-specific slack",
     )
     result.check(
@@ -164,3 +168,12 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         "roughly flat across the sweep — the O(k log B_A) envelope."
     )
     return result
+
+
+run = register_sweep(
+    "E-C",
+    "Section 4: combined algorithm global/local competitiveness",
+    points=points,
+    run_point=run_point,
+    assemble=assemble,
+)

@@ -26,6 +26,17 @@ class Check:
         status = "PASS" if self.passed else "FAIL"
         return f"[{status}] {self.name}: {self.detail}"
 
+    def as_dict(self) -> dict:
+        return {"name": self.name, "passed": self.passed, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Check":
+        return cls(
+            name=str(raw["name"]),
+            passed=bool(raw["passed"]),
+            detail=str(raw["detail"]),
+        )
+
 
 @dataclass
 class ExperimentResult:
@@ -62,6 +73,34 @@ class ExperimentResult:
             parts.append("")
             parts.extend(f"note: {note}" for note in self.notes)
         return "\n".join(parts)
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump; round-trips exactly through :meth:`from_dict`.
+
+        Rows, headers, and check details are already strings, so a cached
+        result renders byte-identically to a freshly computed one.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "checks": [check.as_dict() for check in self.checks],
+            "notes": list(self.notes),
+            "preamble": self.preamble,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ExperimentResult":
+        return cls(
+            experiment_id=str(raw["experiment_id"]),
+            title=str(raw["title"]),
+            headers=[str(h) for h in raw["headers"]],
+            rows=[[str(cell) for cell in row] for row in raw["rows"]],
+            checks=[Check.from_dict(c) for c in raw.get("checks", [])],
+            notes=[str(n) for n in raw.get("notes", [])],
+            preamble=str(raw.get("preamble", "")),
+        )
 
     def to_markdown(self) -> str:
         """Markdown block for EXPERIMENTS.md."""

@@ -30,7 +30,7 @@ from repro.experiments.common import ExperimentResult, scaled
 from repro.experiments.registry import register
 from repro.params import OfflineConstraints
 from repro.sim.engine import run_single_session
-from repro.traffic.feasible import generate_feasible_stream
+from repro.runner.cache import cached_feasible_stream
 
 _HEADERS = [
     "policy",
@@ -48,7 +48,7 @@ _HEADERS = [
 def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     offline = OfflineConstraints(bandwidth=64, delay=8, utilization=0.25, window=16)
     horizon = scaled(6000, scale, minimum=800)
-    stream = generate_feasible_stream(
+    stream = cached_feasible_stream(
         offline, horizon, segments=max(2, scaled(12, scale)), seed=seed,
         burstiness="blocks",
     )

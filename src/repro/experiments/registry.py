@@ -1,7 +1,25 @@
-"""Experiment registry: stable ids -> runnable experiment functions."""
+"""Experiment registry: stable ids -> runnable experiment functions.
+
+Two registration shapes exist:
+
+* :func:`register` — a monolithic ``run(seed, scale) -> ExperimentResult``.
+* :func:`register_sweep` — a *shardable* sweep experiment declared as three
+  functions: ``points(seed, scale)`` enumerates independent sweep points,
+  ``run_point(point, index, seed=, scale=)`` computes one point into a
+  JSON-able dict, and ``assemble(payloads, seed=, scale=)`` folds the
+  per-point payloads (in point order) into the final
+  :class:`~repro.experiments.common.ExperimentResult`.
+
+``register_sweep`` also registers a plain run function composed from the
+three pieces, so ``registry.run`` behaves identically for both shapes —
+but the batch runner (:mod:`repro.runner`) can dispatch each point of a
+sweep to a separate worker process and cache finished points
+content-addressed, with bit-identical assembly for any worker count.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.errors import ExperimentError
@@ -12,7 +30,17 @@ class ExperimentFn(Protocol):
     def __call__(self, seed: int = 0, scale: float = 1.0) -> ExperimentResult: ...
 
 
+@dataclass(frozen=True)
+class SweepSpec:
+    """The shardable decomposition of one sweep experiment."""
+
+    points: Callable[[int, float], list]
+    run_point: Callable[..., dict]
+    assemble: Callable[..., ExperimentResult]
+
+
 _REGISTRY: dict[str, tuple[ExperimentFn, str]] = {}
+_SWEEPS: dict[str, SweepSpec] = {}
 
 
 def register(
@@ -29,6 +57,36 @@ def register(
     return wrap
 
 
+def register_sweep(
+    experiment_id: str,
+    description: str,
+    *,
+    points: Callable[[int, float], list],
+    run_point: Callable[..., dict],
+    assemble: Callable[..., ExperimentResult],
+) -> ExperimentFn:
+    """Register a shardable sweep experiment from its three pieces.
+
+    The composed sequential run function (``assemble`` over ``run_point``
+    applied to every point in order) is registered under the id, and the
+    pieces are kept so the batch runner can run points in worker processes;
+    both paths evaluate the exact same expressions in the same order.
+    """
+    spec = SweepSpec(points=points, run_point=run_point, assemble=assemble)
+
+    def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+        payloads = [
+            run_point(point, index, seed=seed, scale=scale)
+            for index, point in enumerate(points(seed, scale))
+        ]
+        return assemble(payloads, seed=seed, scale=scale)
+
+    run.__name__ = f"run_{experiment_id.lower().replace('-', '_')}"
+    register(experiment_id, description)(run)
+    _SWEEPS[experiment_id] = spec
+    return run
+
+
 def get(experiment_id: str) -> ExperimentFn:
     """Look up an experiment by id."""
     _ensure_loaded()
@@ -36,6 +94,12 @@ def get(experiment_id: str) -> ExperimentFn:
         known = ", ".join(sorted(_REGISTRY))
         raise ExperimentError(f"unknown experiment {experiment_id!r}; known: {known}")
     return _REGISTRY[experiment_id][0]
+
+
+def sweep_spec(experiment_id: str) -> SweepSpec | None:
+    """The shardable decomposition of an experiment (None if monolithic)."""
+    _ensure_loaded()
+    return _SWEEPS.get(experiment_id)
 
 
 def describe() -> list[tuple[str, str]]:
@@ -52,6 +116,22 @@ def all_ids() -> list[str]:
 def run(experiment_id: str, seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     """Run one experiment."""
     return get(experiment_id)(seed=seed, scale=scale)
+
+
+def run_point(
+    experiment_id: str, point, index: int, seed: int = 0, scale: float = 1.0
+) -> dict:
+    """Run one sweep point of a shardable experiment (worker entry point).
+
+    Workers receive only ``(experiment_id, point, index, seed, scale)`` —
+    all picklable — and resolve the sweep's closures locally, so shard jobs
+    cross process boundaries without pickling policy factories.
+    """
+    _ensure_loaded()
+    spec = _SWEEPS.get(experiment_id)
+    if spec is None:
+        raise ExperimentError(f"experiment {experiment_id!r} is not shardable")
+    return spec.run_point(point, index, seed=seed, scale=scale)
 
 
 def _ensure_loaded() -> None:

@@ -9,21 +9,26 @@ sessions, run the phased algorithm, and verify:
 * total allocation ``<= 4·B_O`` and overflow ``<= 2·B_O``  (Lemma 10)
 * changes per stage ``= O(k)``                        (Lemma 12)
 * changes / OPT growing linearly in ``k``             (Theorem 14)
+
+The sweep harness (:func:`make_sweep`) is shared with Theorem 17 and is
+declared in the shardable points/run_point/assemble shape: each ``k`` is
+an independent workload + run, so the batch runner can fan points out to
+worker processes.  The policy factory stays inside the closure — workers
+resolve it by re-importing this module, so nothing unpicklable crosses a
+process boundary.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.analysis.competitive import bracket
 from repro.analysis.fitting import growth_exponent
 from repro.core.offline_multi import multi_stage_lower_bound
 from repro.core.phased import PhasedMultiSession
 from repro.experiments.common import ExperimentResult, fmt, scaled
-from repro.experiments.registry import register
+from repro.experiments.registry import register_sweep
+from repro.runner.cache import cached_multi_feasible
 from repro.sim.engine import run_multi_session
 from repro.sim.invariants import OverflowBoundMonitor
-from repro.traffic.multi import generate_multi_feasible
 
 _HEADERS = [
     "k",
@@ -48,32 +53,28 @@ def _sweep_points(scale: float) -> list[int]:
     return [2, 4, 8, 16, 32]
 
 
-def run_sweep(
+def make_sweep(
     policy_factory,
     bandwidth_slack: float,
     overflow_slack: float,
     experiment_id: str,
     title: str,
-    seed: int,
-    scale: float,
-) -> ExperimentResult:
-    """Shared sweep harness for Theorems 14 and 17."""
+):
+    """Shardable sweep harness shared by Theorems 14 and 17.
+
+    Returns the ``(points, run_point, assemble)`` triple for
+    :func:`~repro.experiments.registry.register_sweep`.
+    """
     offline_bandwidth = 64.0
     offline_delay = 8
-    horizon = scaled(5000, scale, minimum=600)
-    segments = max(2, scaled(10, scale))
 
-    rows = []
-    result = ExperimentResult(
-        experiment_id=experiment_id, title=title, headers=_HEADERS, rows=rows
-    )
-    delay_ok = True
-    alloc_ok = True
-    per_stage_per_k = []
-    ks: list[float] = []
-    change_counts: list[float] = []
-    for k in _sweep_points(scale):
-        workload = generate_multi_feasible(
+    def points(seed: int, scale: float) -> list[int]:
+        return _sweep_points(scale)
+
+    def run_point(k: int, index: int, seed: int = 0, scale: float = 1.0) -> dict:
+        horizon = scaled(5000, scale, minimum=600)
+        segments = max(2, scaled(10, scale))
+        workload = cached_multi_feasible(
             k,
             offline_bandwidth=offline_bandwidth,
             offline_delay=offline_delay,
@@ -97,73 +98,93 @@ def run_sweep(
         )
         stages = max(1, trace.completed_stages + 1)  # count the open stage
         per_stage = trace.local_change_count / stages
-        per_stage_per_k.append(per_stage / k)
-        ks.append(float(k))
-        change_counts.append(per_stage)
         online_delay = 2 * offline_delay
-        delay_ok &= trace.max_delay <= online_delay
-        alloc_ok &= trace.max_total_allocation <= bandwidth_slack * offline_bandwidth * (
-            1 + 1e-9
-        )
-        rows.append(
-            [
-                str(k),
-                str(report.online_changes),
-                str(report.opt_lower),
-                str(report.opt_upper),
-                fmt(report.ratio_vs_upper),
-                fmt(report.ratio_vs_upper / k),
-                str(trace.completed_stages),
-                fmt(per_stage, 1),
-                fmt(per_stage / k),
-                str(trace.max_delay),
-                str(online_delay),
-                fmt(trace.max_total_allocation / offline_bandwidth),
-                fmt(overflow_monitor.max_seen / offline_bandwidth),
-            ]
-        )
+        row = [
+            str(k),
+            str(report.online_changes),
+            str(report.opt_lower),
+            str(report.opt_upper),
+            fmt(report.ratio_vs_upper),
+            fmt(report.ratio_vs_upper / k),
+            str(trace.completed_stages),
+            fmt(per_stage, 1),
+            fmt(per_stage / k),
+            str(trace.max_delay),
+            str(online_delay),
+            fmt(trace.max_total_allocation / offline_bandwidth),
+            fmt(overflow_monitor.max_seen / offline_bandwidth),
+        ]
+        return {
+            "k": k,
+            "row": row,
+            "per_stage": per_stage,
+            "per_stage_per_k": per_stage / k,
+            "delay_ok": bool(trace.max_delay <= online_delay),
+            "alloc_ok": bool(
+                trace.max_total_allocation
+                <= bandwidth_slack * offline_bandwidth * (1 + 1e-9)
+            ),
+        }
 
-    result.check(
-        "delay guarantee (Lemma 11/15)",
-        delay_ok,
-        "max bit delay <= D_A = 2·D_O at every k",
-    )
-    result.check(
-        "bandwidth envelope",
-        alloc_ok,
-        f"total allocation <= {bandwidth_slack:.0f}·B_O (overflow channel "
-        f"within {overflow_slack:.0f}·B_O, see last column)",
-    )
-    result.check(
-        "O(k) changes per stage (Lemma 12)",
-        max(per_stage_per_k) <= 6.0,
-        f"changes/stage/k stays bounded: max {max(per_stage_per_k):.2f}",
-    )
-    if len(ks) >= 3:
-        exponent = growth_exponent(ks, change_counts)
+    def assemble(
+        payloads: list[dict], seed: int = 0, scale: float = 1.0
+    ) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=experiment_id,
+            title=title,
+            headers=_HEADERS,
+            rows=[payload["row"] for payload in payloads],
+        )
+        per_stage_per_k = [payload["per_stage_per_k"] for payload in payloads]
+        ks = [float(payload["k"]) for payload in payloads]
+        change_counts = [payload["per_stage"] for payload in payloads]
         result.check(
-            "linear-in-k per-stage changes (shape fit)",
-            0.4 <= exponent <= 1.3,
-            f"log-log slope of changes/stage vs k = {exponent:.2f} "
-            "(1.0 = exactly linear; Lemma 12's 3k envelope)",
+            "delay guarantee (Lemma 11/15)",
+            all(payload["delay_ok"] for payload in payloads),
+            "max bit delay <= D_A = 2·D_O at every k",
         )
-    result.notes.append(
-        "ratio/k should stay roughly flat as k grows — the linear-in-k "
-        "competitive envelope of the theorem."
-    )
-    return result
+        result.check(
+            "bandwidth envelope",
+            all(payload["alloc_ok"] for payload in payloads),
+            f"total allocation <= {bandwidth_slack:.0f}·B_O (overflow channel "
+            f"within {overflow_slack:.0f}·B_O, see last column)",
+        )
+        result.check(
+            "O(k) changes per stage (Lemma 12)",
+            max(per_stage_per_k) <= 6.0,
+            f"changes/stage/k stays bounded: max {max(per_stage_per_k):.2f}",
+        )
+        if len(ks) >= 3:
+            exponent = growth_exponent(ks, change_counts)
+            result.check(
+                "linear-in-k per-stage changes (shape fit)",
+                0.4 <= exponent <= 1.3,
+                f"log-log slope of changes/stage vs k = {exponent:.2f} "
+                "(1.0 = exactly linear; Lemma 12's 3k envelope)",
+            )
+        result.notes.append(
+            "ratio/k should stay roughly flat as k grows — the linear-in-k "
+            "competitive envelope of the theorem."
+        )
+        return result
+
+    return points, run_point, assemble
 
 
-@register("E-T14", "Theorem 14: phased multi-session 3k-competitiveness sweep")
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    return run_sweep(
-        policy_factory=lambda k, bandwidth, delay: PhasedMultiSession(
-            k, offline_bandwidth=bandwidth, offline_delay=delay
-        ),
-        bandwidth_slack=4.0,
-        overflow_slack=2.0,
-        experiment_id="E-T14",
-        title="Theorem 14 — phased algorithm vs k",
-        seed=seed,
-        scale=scale,
-    )
+_points, _run_point, _assemble = make_sweep(
+    policy_factory=lambda k, bandwidth, delay: PhasedMultiSession(
+        k, offline_bandwidth=bandwidth, offline_delay=delay
+    ),
+    bandwidth_slack=4.0,
+    overflow_slack=2.0,
+    experiment_id="E-T14",
+    title="Theorem 14 — phased algorithm vs k",
+)
+
+run = register_sweep(
+    "E-T14",
+    "Theorem 14: phased multi-session 3k-competitiveness sweep",
+    points=_points,
+    run_point=_run_point,
+    assemble=_assemble,
+)

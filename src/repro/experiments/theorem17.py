@@ -3,27 +3,30 @@
 
 Identical sweep to E-T14 with the demand-driven (Figure 5) algorithm:
 total bandwidth envelope ``5·B_O``, overflow channel ``3·B_O``
-(Lemma 16), delay ``2·D_O`` (Lemma 15).
+(Lemma 16), delay ``2·D_O`` (Lemma 15).  Registered shardable via the
+shared :func:`~repro.experiments.theorem14.make_sweep` harness.
 """
 
 from __future__ import annotations
 
 from repro.core.continuous import ContinuousMultiSession
-from repro.experiments.common import ExperimentResult
-from repro.experiments.registry import register
-from repro.experiments.theorem14 import run_sweep
+from repro.experiments.registry import register_sweep
+from repro.experiments.theorem14 import make_sweep
 
+_points, _run_point, _assemble = make_sweep(
+    policy_factory=lambda k, bandwidth, delay: ContinuousMultiSession(
+        k, offline_bandwidth=bandwidth, offline_delay=delay
+    ),
+    bandwidth_slack=5.0,
+    overflow_slack=3.0,
+    experiment_id="E-T17",
+    title="Theorem 17 — continuous algorithm vs k",
+)
 
-@register("E-T17", "Theorem 17: continuous multi-session 3k-competitiveness sweep")
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    return run_sweep(
-        policy_factory=lambda k, bandwidth, delay: ContinuousMultiSession(
-            k, offline_bandwidth=bandwidth, offline_delay=delay
-        ),
-        bandwidth_slack=5.0,
-        overflow_slack=3.0,
-        experiment_id="E-T17",
-        title="Theorem 17 — continuous algorithm vs k",
-        seed=seed,
-        scale=scale,
-    )
+run = register_sweep(
+    "E-T17",
+    "Theorem 17: continuous multi-session 3k-competitiveness sweep",
+    points=_points,
+    run_point=_run_point,
+    assemble=_assemble,
+)

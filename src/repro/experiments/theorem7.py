@@ -24,7 +24,7 @@ from repro.experiments.common import ExperimentResult, fmt, scaled
 from repro.experiments.registry import register
 from repro.params import OfflineConstraints
 from repro.sim.engine import run_single_session
-from repro.traffic.feasible import generate_feasible_stream
+from repro.runner.cache import cached_feasible_stream
 
 _HEADERS = [
     "U_O",
@@ -67,7 +67,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
             utilization=utilization,
             window=window,
         )
-        stream = generate_feasible_stream(
+        stream = cached_feasible_stream(
             offline,
             horizon,
             segments=segments,

@@ -208,6 +208,56 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The batch runner uses this to aggregate worker-process telemetry
+        into the parent registry: counters add, gauges keep the incoming
+        last value while widening the observed range, histogram buckets
+        add.  Malformed sections are skipped rather than raising — a
+        telemetry merge must never fail a batch.
+        """
+        if not isinstance(snapshot, dict):
+            return
+        for name, value in (snapshot.get("counters") or {}).items():
+            try:
+                self.counter(name).inc(float(value))
+            except (TypeError, ValueError):
+                continue
+        for name, raw in (snapshot.get("gauges") or {}).items():
+            if not isinstance(raw, dict):
+                continue
+            try:
+                updates = int(raw.get("updates", 0))
+                if updates <= 0:
+                    continue
+                gauge = self.gauge(name)
+                gauge.value = float(raw.get("value", 0.0))
+                gauge.min = min(gauge.min, float(raw.get("min", 0.0)))
+                gauge.max = max(gauge.max, float(raw.get("max", 0.0)))
+                gauge.updates += updates
+            except (TypeError, ValueError):
+                continue
+        for name, raw in (snapshot.get("histograms") or {}).items():
+            if not isinstance(raw, dict):
+                continue
+            try:
+                count = int(raw.get("count", 0))
+                if count <= 0:
+                    continue
+                histogram = self.histogram(name)
+                histogram.count += count
+                histogram.total += float(raw.get("total", 0.0))
+                histogram.min = min(histogram.min, float(raw.get("min", 0.0)))
+                histogram.max = max(histogram.max, float(raw.get("max", 0.0)))
+                for bound, hits in (raw.get("buckets") or {}).items():
+                    bucket = float(bound)
+                    histogram.buckets[bucket] = (
+                        histogram.buckets.get(bucket, 0) + int(hits)
+                    )
+            except (TypeError, ValueError):
+                continue
+
 
 class NullRegistry:
     """The telemetry-off registry: every instrument is a shared no-op."""
@@ -228,6 +278,9 @@ class NullRegistry:
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        pass
 
 
 #: The shared telemetry-off registry.

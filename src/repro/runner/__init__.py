@@ -1,0 +1,31 @@
+"""Batch execution layer: parallel experiment runner + content-addressed cache.
+
+``repro.runner`` sits between the CLI and the experiment registry:
+
+* :mod:`repro.runner.cache` — content-addressed reuse of generated
+  feasible workloads and finished experiment results, keyed by the
+  sha256 of the full generating configuration plus the code version.
+* :mod:`repro.runner.batch` — process-parallel fan-out of experiments
+  (and of independent sweep points inside shardable experiments) with
+  deterministic, order-preserving result merging: ``repro report
+  --jobs N`` is byte-identical for every ``N``.
+"""
+
+from repro.runner.batch import BatchReport, run_batch
+from repro.runner.cache import (
+    ContentCache,
+    cached_feasible_stream,
+    cached_multi_feasible,
+    get_cache,
+    use_cache,
+)
+
+__all__ = [
+    "BatchReport",
+    "ContentCache",
+    "cached_feasible_stream",
+    "cached_multi_feasible",
+    "get_cache",
+    "run_batch",
+    "use_cache",
+]

@@ -1,0 +1,279 @@
+"""Process-parallel experiment fan-out with deterministic merging.
+
+:func:`run_batch` executes a list of experiments across worker processes.
+Monolithic experiments are one job each; shardable sweeps (declared via
+:func:`~repro.experiments.registry.register_sweep`) fan out one job per
+sweep point, so a single heavyweight sweep also saturates the pool.
+
+Determinism is the design constraint everything else serves:
+
+* job *payloads* are only primitives — ``(experiment_id, point, index,
+  seed, scale)`` — and workers resolve the sweep closures locally by
+  re-importing the registry, so nothing order-dependent or unpicklable
+  crosses a process boundary;
+* results are merged **in submission order**, never completion order;
+* the sequential path composes the exact same ``run_point`` calls in the
+  exact same order (see ``register_sweep``), so ``--jobs N`` yields
+  byte-identical reports for every ``N``, and a cache-warm run is
+  byte-identical to a cold one.
+
+Workers inherit the parent's cache directory and telemetry enablement via
+explicit arguments (not inherited globals — the pool may spawn).  When
+telemetry is on, each worker returns its registry snapshot and the parent
+folds them into its own registry with
+:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult
+from repro.obs.runtime import Telemetry, get_telemetry, set_telemetry
+from repro.runner.cache import ContentCache, get_cache, use_cache
+
+
+@dataclass
+class BatchReport:
+    """The outcome of one :func:`run_batch` call."""
+
+    results: list[ExperimentResult]
+    jobs: int
+    experiments: int = 0
+    shard_jobs: int = 0
+    result_cache_hits: int = 0
+    shard_cache_hits: int = 0
+    worker_snapshots: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for ``--jobs 0`` (= auto)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _result_key(experiment_id: str, seed: int, scale: float) -> str:
+    return ContentCache.key(
+        "experiment_result",
+        {"experiment_id": experiment_id, "seed": seed, "scale": scale},
+    )
+
+
+def _shard_key(experiment_id: str, point, index: int, seed: int, scale: float) -> str:
+    return ContentCache.key(
+        "sweep_point",
+        {
+            "experiment_id": experiment_id,
+            "point": point,
+            "index": index,
+            "seed": seed,
+            "scale": scale,
+        },
+    )
+
+
+# -- worker entry points (module-level: picklable under spawn) ------------
+
+
+def _worker_setup(cache_root: str | None, telemetry: bool) -> None:
+    use_cache(cache_root)
+    if telemetry and not get_telemetry().enabled:
+        set_telemetry(Telemetry(enabled=True))
+
+
+def _worker_snapshot(telemetry: bool) -> dict | None:
+    return get_telemetry().registry.snapshot() if telemetry else None
+
+
+def _worker_run(
+    experiment_id: str,
+    seed: int,
+    scale: float,
+    cache_root: str | None,
+    telemetry: bool,
+) -> tuple[dict, dict | None]:
+    """Whole-experiment job: returns (result dump, metrics snapshot)."""
+    _worker_setup(cache_root, telemetry)
+    result = registry.run(experiment_id, seed=seed, scale=scale)
+    return result.as_dict(), _worker_snapshot(telemetry)
+
+
+def _worker_point(
+    experiment_id: str,
+    point,
+    index: int,
+    seed: int,
+    scale: float,
+    cache_root: str | None,
+    telemetry: bool,
+) -> tuple[dict, dict | None]:
+    """Sweep-point job: returns (point payload, metrics snapshot)."""
+    _worker_setup(cache_root, telemetry)
+    payload = registry.run_point(experiment_id, point, index, seed=seed, scale=scale)
+    return payload, _worker_snapshot(telemetry)
+
+
+# -- the batch driver ------------------------------------------------------
+
+
+def run_batch(
+    experiment_ids: list[str],
+    seed: int = 0,
+    scale: float = 1.0,
+    jobs: int = 1,
+    telemetry: bool = False,
+) -> BatchReport:
+    """Run experiments, fanning work across ``jobs`` worker processes.
+
+    ``jobs <= 1`` runs everything inline (no pool, no pickling) but still
+    uses the result cache; ``jobs == 0`` means auto (one per CPU).  The
+    returned results are in ``experiment_ids`` order regardless of worker
+    scheduling, and are byte-identical for every ``jobs`` value.
+    """
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs!r}")
+    if jobs == 0:
+        jobs = default_jobs()
+    for experiment_id in experiment_ids:
+        registry.get(experiment_id)  # fail fast on unknown ids
+
+    cache = get_cache()
+    cache_root = str(cache.root) if cache is not None else None
+    report = BatchReport(
+        results=[], jobs=jobs, experiments=len(experiment_ids)
+    )
+
+    # Resolve full-result cache hits up front; what remains is the work.
+    pending: list[str] = []
+    cached_results: dict[str, ExperimentResult] = {}
+    for experiment_id in experiment_ids:
+        hit = None
+        if cache is not None:
+            raw = cache.load_json(
+                "results", _result_key(experiment_id, seed, scale)
+            )
+            if raw is not None:
+                try:
+                    hit = ExperimentResult.from_dict(raw)
+                except (KeyError, TypeError, ValueError):
+                    hit = None
+        if hit is not None:
+            cached_results[experiment_id] = hit
+            report.result_cache_hits += 1
+        else:
+            pending.append(experiment_id)
+
+    computed: dict[str, ExperimentResult] = {}
+    if pending and jobs <= 1:
+        for experiment_id in pending:
+            computed[experiment_id] = registry.run(
+                experiment_id, seed=seed, scale=scale
+            )
+    elif pending:
+        computed = _run_pool(pending, seed, scale, jobs, cache, telemetry, report)
+
+    for experiment_id, result in computed.items():
+        if cache is not None:
+            cache.store_json(
+                "results",
+                _result_key(experiment_id, seed, scale),
+                result.as_dict(),
+            )
+
+    report.results = [
+        cached_results.get(eid) or computed[eid] for eid in experiment_ids
+    ]
+    return report
+
+
+def _run_pool(
+    pending: list[str],
+    seed: int,
+    scale: float,
+    jobs: int,
+    cache: ContentCache | None,
+    telemetry: bool,
+    report: BatchReport,
+) -> dict[str, ExperimentResult]:
+    """Dispatch pending experiments to a process pool and merge in order."""
+    cache_root = str(cache.root) if cache is not None else None
+
+    # Plan: sharded sweeps contribute one job per uncached point;
+    # monolithic experiments contribute one whole-run job.
+    sweep_plans: dict[str, list] = {}
+    for experiment_id in pending:
+        spec = registry.sweep_spec(experiment_id)
+        if spec is not None:
+            sweep_plans[experiment_id] = spec.points(seed, scale)
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        point_futures: dict[tuple[str, int], object] = {}
+        cached_payloads: dict[tuple[str, int], dict] = {}
+        run_futures: dict[str, object] = {}
+        for experiment_id in pending:
+            if experiment_id in sweep_plans:
+                report.shard_jobs += len(sweep_plans[experiment_id])
+                for index, point in enumerate(sweep_plans[experiment_id]):
+                    payload = None
+                    if cache is not None:
+                        payload = cache.load_json(
+                            "shards",
+                            _shard_key(experiment_id, point, index, seed, scale),
+                        )
+                    if payload is not None:
+                        cached_payloads[(experiment_id, index)] = payload
+                        report.shard_cache_hits += 1
+                    else:
+                        point_futures[(experiment_id, index)] = pool.submit(
+                            _worker_point,
+                            experiment_id,
+                            point,
+                            index,
+                            seed,
+                            scale,
+                            cache_root,
+                            telemetry,
+                        )
+            else:
+                run_futures[experiment_id] = pool.submit(
+                    _worker_run, experiment_id, seed, scale, cache_root, telemetry
+                )
+
+        # Collect in submission order; completion order never matters.
+        parent_registry = get_telemetry().registry
+        computed: dict[str, ExperimentResult] = {}
+        for experiment_id in pending:
+            if experiment_id in sweep_plans:
+                points = sweep_plans[experiment_id]
+                payloads = []
+                for index, point in enumerate(points):
+                    key = (experiment_id, index)
+                    if key in cached_payloads:
+                        payloads.append(cached_payloads[key])
+                        continue
+                    payload, snapshot = point_futures[key].result()
+                    if snapshot is not None:
+                        parent_registry.merge_snapshot(snapshot)
+                        report.worker_snapshots += 1
+                    if cache is not None:
+                        cache.store_json(
+                            "shards",
+                            _shard_key(experiment_id, point, index, seed, scale),
+                            payload,
+                        )
+                    payloads.append(payload)
+                spec = registry.sweep_spec(experiment_id)
+                computed[experiment_id] = spec.assemble(
+                    payloads, seed=seed, scale=scale
+                )
+            else:
+                raw, snapshot = run_futures[experiment_id].result()
+                if snapshot is not None:
+                    parent_registry.merge_snapshot(snapshot)
+                    report.worker_snapshots += 1
+                computed[experiment_id] = ExperimentResult.from_dict(raw)
+    return computed

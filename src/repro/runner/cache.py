@@ -1,0 +1,335 @@
+"""Content-addressed cache for workloads and finished experiment results.
+
+Feasible-workload generation is the dominant cost of several experiments
+(the generator verifies every candidate stream and retries on marginal
+failures), yet its output is a pure function of the generating
+configuration and seed.  This module caches those outputs on disk,
+addressed by the sha256 of the *full* configuration — every generator
+argument, the cache schema version, and the package version — so a stale
+entry can never be returned: any change to the inputs or the code version
+changes the key, and the old entry is simply never looked up again.
+
+Three sections live under the cache root:
+
+* ``workloads/`` — ``.npz`` arrays for single- and multi-session
+  certified workloads (:func:`cached_feasible_stream`,
+  :func:`cached_multi_feasible`).
+* ``results/`` — finished :class:`~repro.experiments.common.ExperimentResult`
+  dumps, stored by the batch runner.
+* ``shards/`` — per-point payloads of shardable sweep experiments.
+
+The cache is *opt-in*: it activates only when ``REPRO_CACHE_DIR`` is set
+or the CLI passes ``--cache-dir``.  All writes are atomic
+(temp file + ``os.replace``), so concurrent workers racing on the same
+key at worst duplicate work, never corrupt an entry.  Hits and misses are
+counted on the process telemetry registry under ``runner.cache.*``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.obs.manifest import config_hash
+from repro.obs.runtime import count as _telemetry_count
+from repro.params import OfflineConstraints
+from repro.traffic.feasible import FeasibleStream, generate_feasible_stream
+from repro.traffic.multi import MultiSessionWorkload, generate_multi_feasible
+from repro.version import __version__
+
+#: Bump when the on-disk layout or key derivation changes.
+CACHE_SCHEMA = 1
+
+#: Environment variable naming the cache root (cache disabled when unset).
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+_SECTIONS = ("workloads", "results", "shards")
+
+
+class ContentCache:
+    """A content-addressed on-disk cache rooted at ``root``.
+
+    Entries are write-once: the key encodes every input that influenced
+    the value, so an existing file for a key is always current.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- keying -----------------------------------------------------------
+
+    @staticmethod
+    def key(kind: str, config: dict) -> str:
+        """Content address: sha256 over kind + config + versions."""
+        return config_hash(
+            {
+                "kind": kind,
+                "config": config,
+                "cache_schema": CACHE_SCHEMA,
+                "version": __version__,
+            }
+        )
+
+    def _path(self, section: str, key: str, suffix: str) -> Path:
+        if section not in _SECTIONS:
+            raise ConfigError(f"unknown cache section {section!r}")
+        return self.root / section / f"{key}{suffix}"
+
+    # -- JSON entries (results, shard payloads) ---------------------------
+
+    def load_json(self, section: str, key: str) -> dict | None:
+        path = self._path(section, key, ".json")
+        try:
+            with open(path) as handle:
+                value = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return value if isinstance(value, dict) else None
+
+    def store_json(self, section: str, key: str, value: dict) -> None:
+        path = self._path(section, key, ".json")
+        _atomic_write(path, json.dumps(value, sort_keys=True).encode("utf-8"))
+
+    # -- array entries (workloads) ----------------------------------------
+
+    def load_arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        path = self._path("workloads", key, ".npz")
+        try:
+            with np.load(path) as bundle:
+                return {name: bundle[name].copy() for name in bundle.files}
+        except (OSError, ValueError):
+            return None
+
+    def store_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        path = self._path("workloads", key, ".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        os.close(handle)
+        try:
+            np.savez(tmp, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            _unlink_quietly(tmp)
+            raise
+
+    # -- maintenance ------------------------------------------------------
+
+    def info(self) -> dict:
+        """Entry counts and byte totals per section."""
+        sections = {}
+        for section in _SECTIONS:
+            directory = self.root / section
+            entries = 0
+            size = 0
+            if directory.is_dir():
+                for path in directory.iterdir():
+                    if path.name.startswith(".tmp-") or not path.is_file():
+                        continue
+                    entries += 1
+                    size += path.stat().st_size
+            sections[section] = {"entries": entries, "bytes": size}
+        return {
+            "root": str(self.root),
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "sections": sections,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for section in _SECTIONS:
+            directory = self.root / section
+            if directory.is_dir():
+                removed += sum(1 for p in directory.iterdir() if p.is_file())
+                shutil.rmtree(directory)
+        return removed
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        _unlink_quietly(tmp)
+        raise
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+# -- active-cache plumbing ------------------------------------------------
+
+_ACTIVE: ContentCache | None = None
+_CONFIGURED = False
+
+
+def get_cache() -> ContentCache | None:
+    """The process-wide active cache (None = caching disabled).
+
+    Resolution order: an explicit :func:`use_cache` call wins; otherwise
+    the ``REPRO_CACHE_DIR`` environment variable is consulted once.
+    """
+    global _ACTIVE, _CONFIGURED
+    if not _CONFIGURED:
+        root = os.environ.get(CACHE_ENV)
+        _ACTIVE = ContentCache(root) if root else None
+        _CONFIGURED = True
+    return _ACTIVE
+
+
+def use_cache(cache: ContentCache | str | Path | None) -> ContentCache | None:
+    """Install (or disable, with None) the process-wide cache."""
+    global _ACTIVE, _CONFIGURED
+    if isinstance(cache, (str, Path)):
+        cache = ContentCache(cache)
+    _ACTIVE = cache
+    _CONFIGURED = True
+    return _ACTIVE
+
+
+def _count(outcome: str) -> None:
+    _telemetry_count(f"runner.cache.{outcome}")
+
+
+# -- cached workload generators -------------------------------------------
+
+
+def cached_feasible_stream(
+    offline: OfflineConstraints,
+    horizon: int,
+    segments: int = 8,
+    seed: int | None = None,
+    burstiness: str = "smooth",
+    fill_low: float | None = None,
+    fill_high: float = 1.0,
+    power_of_two_levels: bool = False,
+    min_segment: int | None = None,
+) -> FeasibleStream:
+    """:func:`~repro.traffic.feasible.generate_feasible_stream`, cached.
+
+    Only deterministic calls (integer ``seed``) are cacheable; a live RNG
+    or ``None`` seed bypasses the cache entirely.  The key covers every
+    generator argument, so any knob change regenerates.
+    """
+    cache = get_cache()
+    cacheable = cache is not None and isinstance(seed, int)
+    config = {
+        "offline": {
+            "bandwidth": offline.bandwidth,
+            "delay": offline.delay,
+            "utilization": offline.utilization,
+            "window": offline.window,
+        },
+        "horizon": horizon,
+        "segments": segments,
+        "seed": seed,
+        "burstiness": burstiness,
+        "fill_low": fill_low,
+        "fill_high": fill_high,
+        "power_of_two_levels": power_of_two_levels,
+        "min_segment": min_segment,
+    }
+    if cacheable:
+        key = ContentCache.key("feasible_stream", config)
+        arrays = cache.load_arrays(key)
+        if arrays is not None and {"arrivals", "profile"} <= arrays.keys():
+            _count("hits")
+            return FeasibleStream(
+                arrivals=arrays["arrivals"],
+                profile=arrays["profile"],
+                offline=offline,
+            )
+        _count("misses")
+    stream = generate_feasible_stream(
+        offline,
+        horizon,
+        segments=segments,
+        seed=seed,
+        burstiness=burstiness,
+        fill_low=fill_low,
+        fill_high=fill_high,
+        power_of_two_levels=power_of_two_levels,
+        min_segment=min_segment,
+    )
+    if cacheable:
+        cache.store_arrays(
+            key, {"arrivals": stream.arrivals, "profile": stream.profile}
+        )
+    return stream
+
+
+def cached_multi_feasible(
+    k: int,
+    offline_bandwidth: float,
+    offline_delay: int,
+    horizon: int,
+    segments: int = 6,
+    seed: int | None = None,
+    fill: float = 0.9,
+    concentration: float = 1.0,
+    fill_jitter: float = 0.2,
+    burstiness: str = "smooth",
+    min_segment: int | None = None,
+) -> MultiSessionWorkload:
+    """:func:`~repro.traffic.multi.generate_multi_feasible`, cached."""
+    cache = get_cache()
+    cacheable = cache is not None and isinstance(seed, int)
+    config = {
+        "k": k,
+        "offline_bandwidth": offline_bandwidth,
+        "offline_delay": offline_delay,
+        "horizon": horizon,
+        "segments": segments,
+        "seed": seed,
+        "fill": fill,
+        "concentration": concentration,
+        "fill_jitter": fill_jitter,
+        "burstiness": burstiness,
+        "min_segment": min_segment,
+    }
+    if cacheable:
+        key = ContentCache.key("multi_feasible", config)
+        arrays = cache.load_arrays(key)
+        if arrays is not None and {"arrivals", "profiles"} <= arrays.keys():
+            _count("hits")
+            return MultiSessionWorkload(
+                arrivals=arrays["arrivals"],
+                profiles=arrays["profiles"],
+                offline_bandwidth=float(offline_bandwidth),
+                offline_delay=int(offline_delay),
+            )
+        _count("misses")
+    workload = generate_multi_feasible(
+        k,
+        offline_bandwidth,
+        offline_delay,
+        horizon,
+        segments=segments,
+        seed=seed,
+        fill=fill,
+        concentration=concentration,
+        fill_jitter=fill_jitter,
+        burstiness=burstiness,
+        min_segment=min_segment,
+    )
+    if cacheable:
+        cache.store_arrays(
+            key, {"arrivals": workload.arrivals, "profiles": workload.profiles}
+        )
+    return workload

@@ -35,6 +35,15 @@ profiling hook (slots/sec), and synthesize stage/phase spans from the
 policy's event lists after the loop.  Telemetry never feeds back into the
 simulation, so traces are bit-identical whether it is on or off, and with
 it off (the default) the loops pay one hoisted boolean check per slot.
+
+**Fast path.**  The common case — no faults, no monitors, telemetry off —
+runs a dedicated tight loop in both engines: the per-slot fault/monitor/
+telemetry branches are hoisted out entirely and the arrival rows are
+pre-converted to plain Python floats once (instead of
+``[float(x) for x in array[t]]`` per slot).  The fast path performs the
+exact same queue/policy/recorder operations in the same order, so its
+traces are bit-identical to the general loop's; ``fast_path=False`` forces
+the general loop (the bit-identity tests compare the two).
 """
 
 from __future__ import annotations
@@ -82,6 +91,7 @@ def run_single_session(
     monitors: Iterable[Monitor] = (),
     queue_capacity: float | None = None,
     faults: "FaultPlan | None" = None,
+    fast_path: bool | None = None,
 ) -> SingleSessionTrace:
     """Simulate one session under ``policy``; return the finalized trace.
 
@@ -97,6 +107,10 @@ def run_single_session(
             in the trace's ``dropped`` series.
         faults: a :class:`~repro.faults.plan.FaultPlan` injecting link
             degradation and ingress drops (None = fault-free).
+        fast_path: force (``True``) or suppress (``False``) the tight
+            no-faults/no-monitors/telemetry-off loop; ``None`` (default)
+            auto-selects it when eligible.  Traces are bit-identical
+            either way — the knob exists for the identity tests.
     """
     array = _as_array(arrivals, ndim=1)
     horizon = len(array)
@@ -112,6 +126,20 @@ def run_single_session(
         depth_hist = tele.registry.histogram("engine.single.queue_depth")
         alloc_hist = tele.registry.histogram("engine.single.allocation")
     timer = tele.profile("engine.run_single_session")
+
+    use_fast = plan is None and not monitor_list and not obs_on
+    if fast_path is not None:
+        if fast_path and not use_fast:
+            raise ConfigError(
+                "fast_path=True requires no faults, no monitors, and "
+                "telemetry off"
+            )
+        use_fast = bool(fast_path)
+
+    if use_fast:
+        return _run_single_fast(
+            policy, array, horizon, cap, drain, queue, recorder, timer
+        )
 
     t = 0
     with timer:
@@ -202,6 +230,72 @@ def run_single_session(
     return trace
 
 
+def _run_single_fast(
+    policy: BandwidthPolicy,
+    array: np.ndarray,
+    horizon: int,
+    cap: int,
+    drain: bool,
+    queue: BitQueue,
+    recorder: SingleSessionRecorder,
+    timer,
+) -> SingleSessionTrace:
+    """No-faults/no-monitors/telemetry-off tight loop.
+
+    Performs exactly the same queue/policy/recorder operations as the
+    general loop with ``plan is None``, ``monitors=()`` and telemetry off —
+    only the dead per-slot branches are gone and the arrivals are converted
+    to Python floats once up front — so traces are bit-identical.
+    """
+    values = array.tolist()
+    isfinite = math.isfinite
+    decide = policy.decide
+    push = queue.push
+    serve = queue.serve
+    record = recorder.record
+    limit = horizon + cap
+    t = 0
+    with timer:
+        while t < horizon or (drain and not queue.is_empty):
+            if t >= limit:
+                raise SimulationError(
+                    f"queue failed to drain within {cap} extra slots "
+                    f"(backlog {queue.size:.3f})"
+                )
+            offered = values[t] if t < horizon else 0.0
+            backlog = queue.size
+            lost = push(t, offered)
+            bandwidth = decide(t, offered, backlog)
+            if not isfinite(bandwidth):
+                raise SimulationError(
+                    f"policy returned non-finite bandwidth {bandwidth!r} at t={t}"
+                )
+            if bandwidth < 0:
+                raise SimulationError(
+                    f"policy returned negative bandwidth at t={t}"
+                )
+            result = serve(t, bandwidth)
+            record(
+                t,
+                offered,
+                bandwidth,
+                result,
+                queue.size,
+                dropped=lost,
+                requested=None,
+                effective=None,
+            )
+            t += 1
+        timer.slots = t
+
+    return recorder.finalize(
+        changes=policy.changes,
+        stage_starts=policy.stage_starts,
+        resets=policy.resets,
+        horizon=horizon,
+    )
+
+
 def run_multi_session(
     policy: MultiSessionPolicy,
     arrivals: Sequence[Sequence[float]] | np.ndarray,
@@ -210,6 +304,7 @@ def run_multi_session(
     max_drain_slots: int | None = None,
     monitors: Iterable[Monitor] = (),
     faults: "FaultPlan | None" = None,
+    fast_path: bool | None = None,
 ) -> MultiSessionTrace:
     """Simulate ``k`` sessions under ``policy``; return the finalized trace.
 
@@ -224,6 +319,10 @@ def run_multi_session(
             remove arriving bits before they reach the policy.  (The
             combined algorithm's global channel is served inside the policy
             and is not degraded.)
+        fast_path: force (``True``) or suppress (``False``) the tight
+            no-faults/no-monitors/telemetry-off loop; ``None`` (default)
+            auto-selects it when eligible.  Traces are bit-identical
+            either way.
     """
     array = _as_array(arrivals, ndim=2)
     horizon, k = array.shape
@@ -242,73 +341,98 @@ def run_multi_session(
         alloc_hist = tele.registry.histogram("engine.multi.allocation")
     timer = tele.profile("engine.run_multi_session")
 
-    t = 0
-    with timer:
-        while t < horizon or (drain and policy.total_backlog > 0):
-            if t >= horizon + cap:
-                raise SimulationError(
-                    f"queues failed to drain within {cap} extra slots "
-                    f"(backlog {policy.total_backlog:.3f})"
-                )
-            offered = [float(x) for x in array[t]] if t < horizon else zero
-            slot_arrivals = offered
-            fault_dropped = 0.0
-            if plan is not None:
-                factor = plan.capacity_factor(t)
-                for session in policy.sessions:
-                    session.channels.capacity_factor = factor
-                keep = plan.ingress_factor(t)
-                if keep < 1.0 and t < horizon:
-                    slot_arrivals = [x * keep for x in offered]
-                    fault_dropped = sum(offered) - sum(slot_arrivals)
-            results = policy.step(t, slot_arrivals)
-            if len(results) != k:
-                raise SimulationError(
-                    f"policy returned {len(results)} results for k={k} at t={t}"
-                )
-            regular = [s.channels.regular_link.bandwidth for s in policy.sessions]
-            overflow = [s.channels.overflow_link.bandwidth for s in policy.sessions]
-            extra = policy.extra_link.bandwidth if policy.extra_link is not None else 0.0
-            for value in (*regular, *overflow, extra):
-                if not math.isfinite(value):
-                    raise SimulationError(
-                        f"policy produced non-finite bandwidth {value!r} at t={t}"
-                    )
-            backlogs = [s.backlog for s in policy.sessions]
-            recorder.record(
-                t,
-                offered,
-                regular,
-                overflow,
-                results,
-                backlogs,
-                extra,
-                requested_total=(
-                    policy.total_requested if plan is not None else None
-                ),
-                dropped=fault_dropped,
+    use_fast = plan is None and not monitor_list and not obs_on
+    if fast_path is not None:
+        if fast_path and not use_fast:
+            raise ConfigError(
+                "fast_path=True requires no faults, no monitors, and "
+                "telemetry off"
             )
-            if monitor_list:
-                view = MultiSlotView(
-                    t=t,
-                    arrivals=slot_arrivals,
-                    regular=regular,
-                    overflow=overflow,
-                    extra=extra,
-                    backlogs=backlogs,
-                    results=results,
-                )
-                for monitor in monitor_list:
-                    monitor.on_multi_slot(view)
-            if obs_on:
-                depth_hist.observe(sum(backlogs))
-                alloc_hist.observe(sum(regular) + sum(overflow) + extra)
-            t += 1
-        timer.slots = t
+        use_fast = bool(fast_path)
 
-    if plan is not None:
-        for session in policy.sessions:
-            session.channels.capacity_factor = 1.0
+    if use_fast:
+        t = _multi_fast_loop(
+            policy, array, horizon, k, cap, drain, zero, recorder, timer
+        )
+    else:
+        t = 0
+        try:
+            with timer:
+                while t < horizon or (drain and policy.total_backlog > 0):
+                    if t >= horizon + cap:
+                        raise SimulationError(
+                            f"queues failed to drain within {cap} extra slots "
+                            f"(backlog {policy.total_backlog:.3f})"
+                        )
+                    offered = [float(x) for x in array[t]] if t < horizon else zero
+                    slot_arrivals = offered
+                    fault_dropped = 0.0
+                    if plan is not None:
+                        factor = plan.capacity_factor(t)
+                        for session in policy.sessions:
+                            session.channels.capacity_factor = factor
+                        keep = plan.ingress_factor(t)
+                        if keep < 1.0 and t < horizon:
+                            slot_arrivals = [x * keep for x in offered]
+                            fault_dropped = sum(offered) - sum(slot_arrivals)
+                    results = policy.step(t, slot_arrivals)
+                    if len(results) != k:
+                        raise SimulationError(
+                            f"policy returned {len(results)} results for k={k} at t={t}"
+                        )
+                    regular = [
+                        s.channels.regular_link.bandwidth for s in policy.sessions
+                    ]
+                    overflow = [
+                        s.channels.overflow_link.bandwidth for s in policy.sessions
+                    ]
+                    extra = (
+                        policy.extra_link.bandwidth
+                        if policy.extra_link is not None
+                        else 0.0
+                    )
+                    for value in (*regular, *overflow, extra):
+                        if not math.isfinite(value):
+                            raise SimulationError(
+                                f"policy produced non-finite bandwidth {value!r} at t={t}"
+                            )
+                    backlogs = [s.backlog for s in policy.sessions]
+                    recorder.record(
+                        t,
+                        offered,
+                        regular,
+                        overflow,
+                        results,
+                        backlogs,
+                        extra,
+                        requested_total=(
+                            policy.total_requested if plan is not None else None
+                        ),
+                        dropped=fault_dropped,
+                    )
+                    if monitor_list:
+                        view = MultiSlotView(
+                            t=t,
+                            arrivals=slot_arrivals,
+                            regular=regular,
+                            overflow=overflow,
+                            extra=extra,
+                            backlogs=backlogs,
+                            results=results,
+                        )
+                        for monitor in monitor_list:
+                            monitor.on_multi_slot(view)
+                    if obs_on:
+                        depth_hist.observe(sum(backlogs))
+                        alloc_hist.observe(sum(regular) + sum(overflow) + extra)
+                    t += 1
+                timer.slots = t
+        finally:
+            # A mid-run SimulationError must not leak degraded capacity
+            # into the sessions' next run.
+            if plan is not None:
+                for session in policy.sessions:
+                    session.channels.capacity_factor = 1.0
 
     local_changes = []
     for session in policy.sessions:
@@ -345,6 +469,71 @@ def run_multi_session(
             k=k,
         )
     return trace
+
+
+def _multi_fast_loop(
+    policy: MultiSessionPolicy,
+    array: np.ndarray,
+    horizon: int,
+    k: int,
+    cap: int,
+    drain: bool,
+    zero: list[float],
+    recorder: MultiSessionRecorder,
+    timer,
+) -> int:
+    """No-faults/no-monitors/telemetry-off tight loop; returns slot count.
+
+    Identical queue/policy/recorder operations to the general loop with
+    ``plan is None`` — the fault/monitor/telemetry branches are hoisted out
+    and the ``(T, k)`` arrival rows are pre-converted to Python floats once
+    instead of per slot — so traces are bit-identical.
+    """
+    rows = array.tolist()
+    isfinite = math.isfinite
+    step = policy.step
+    record = recorder.record
+    sessions = policy.sessions
+    limit = horizon + cap
+    t = 0
+    with timer:
+        while t < horizon or (drain and policy.total_backlog > 0):
+            if t >= limit:
+                raise SimulationError(
+                    f"queues failed to drain within {cap} extra slots "
+                    f"(backlog {policy.total_backlog:.3f})"
+                )
+            offered = rows[t] if t < horizon else zero
+            results = step(t, offered)
+            if len(results) != k:
+                raise SimulationError(
+                    f"policy returned {len(results)} results for k={k} at t={t}"
+                )
+            regular = [s.channels.regular_link.bandwidth for s in sessions]
+            overflow = [s.channels.overflow_link.bandwidth for s in sessions]
+            extra = (
+                policy.extra_link.bandwidth if policy.extra_link is not None else 0.0
+            )
+            for value in (*regular, *overflow, extra):
+                if not isfinite(value):
+                    raise SimulationError(
+                        f"policy produced non-finite bandwidth {value!r} at t={t}"
+                    )
+            backlogs = [s.backlog for s in sessions]
+            record(
+                t,
+                offered,
+                regular,
+                overflow,
+                results,
+                backlogs,
+                extra,
+                requested_total=None,
+                dropped=0.0,
+            )
+            t += 1
+        timer.slots = t
+    return t
 
 
 def _emit_run_telemetry(

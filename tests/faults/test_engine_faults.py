@@ -154,3 +154,27 @@ class TestFaultedRunDeterminism:
         assert np.array_equal(a.delivered, b.delivered)
         assert np.array_equal(a.dropped, b.dropped)
         assert a.change_count == b.change_count
+
+
+class TestFaultStateRestoration:
+    """A mid-run SimulationError must not leak degraded capacity into the
+    sessions — the engine restores capacity_factor in a finally block."""
+
+    def test_multi_session_capacity_restored_after_drain_failure(self):
+        from repro.errors import SimulationError
+
+        plan = FaultPlan((LinkDegradation(0, 10_000, factor=0.5),), seed=0)
+        policy = PhasedMultiSession(2, offline_bandwidth=0.001, offline_delay=4)
+        with pytest.raises(SimulationError, match="failed to drain"):
+            run_multi_session(
+                policy, np.full((5, 2), 50.0), faults=plan, max_drain_slots=20
+            )
+        for session in policy.sessions:
+            assert session.channels.capacity_factor == 1.0
+
+    def test_multi_session_capacity_restored_after_clean_run(self):
+        plan = FaultPlan((LinkDegradation(0, 5, factor=0.5),), seed=0)
+        policy = PhasedMultiSession(2, offline_bandwidth=16.0, offline_delay=4)
+        run_multi_session(policy, np.full((20, 2), 1.0), faults=plan)
+        for session in policy.sessions:
+            assert session.channels.capacity_factor == 1.0

@@ -1,0 +1,152 @@
+"""Content-cache tests: keying, round-trips, workload identity, maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Check, ExperimentResult
+from repro.params import OfflineConstraints
+from repro.runner.cache import (
+    ContentCache,
+    cached_feasible_stream,
+    cached_multi_feasible,
+    get_cache,
+    use_cache,
+)
+from repro.traffic.feasible import generate_feasible_stream
+from repro.traffic.multi import generate_multi_feasible
+
+
+@pytest.fixture
+def cache(tmp_path):
+    installed = use_cache(tmp_path / "cache")
+    yield installed
+    use_cache(None)
+
+
+def _offline():
+    return OfflineConstraints(bandwidth=64.0, delay=8, utilization=0.25, window=16)
+
+
+class TestKeying:
+    def test_same_config_same_key(self):
+        config = {"a": 1, "b": [2, 3]}
+        assert ContentCache.key("x", config) == ContentCache.key("x", config)
+
+    def test_key_order_insensitive(self):
+        assert ContentCache.key("x", {"a": 1, "b": 2}) == ContentCache.key(
+            "x", {"b": 2, "a": 1}
+        )
+
+    def test_any_input_changes_key(self):
+        base = ContentCache.key("x", {"a": 1})
+        assert ContentCache.key("x", {"a": 2}) != base
+        assert ContentCache.key("y", {"a": 1}) != base
+
+
+class TestJsonEntries:
+    def test_round_trip(self, cache):
+        cache.store_json("results", "k1", {"rows": [["1", "2"]], "f": 0.1})
+        assert cache.load_json("results", "k1") == {"rows": [["1", "2"]], "f": 0.1}
+
+    def test_missing_is_none(self, cache):
+        assert cache.load_json("results", "nope") is None
+
+    def test_corrupt_is_none(self, cache):
+        cache.store_json("shards", "k", {"x": 1})
+        path = cache.root / "shards" / "k.json"
+        path.write_text("{not json")
+        assert cache.load_json("shards", "k") is None
+
+    def test_experiment_result_exact_round_trip(self, cache):
+        result = ExperimentResult(
+            experiment_id="E-X",
+            title="t",
+            headers=["a"],
+            rows=[["0.50"]],
+            checks=[Check(name="c", passed=True, detail="d")],
+            notes=["n"],
+        )
+        cache.store_json("results", "r", result.as_dict())
+        restored = ExperimentResult.from_dict(cache.load_json("results", "r"))
+        assert restored.to_markdown() == result.to_markdown()
+        assert restored.render() == result.render()
+
+
+class TestArrayEntries:
+    def test_bitwise_round_trip(self, cache):
+        arrays = {"arrivals": np.random.default_rng(0).uniform(size=100)}
+        cache.store_arrays("k", arrays)
+        loaded = cache.load_arrays("k")
+        np.testing.assert_array_equal(loaded["arrivals"], arrays["arrivals"])
+        assert loaded["arrivals"].dtype == arrays["arrivals"].dtype
+
+    def test_missing_is_none(self, cache):
+        assert cache.load_arrays("nope") is None
+
+
+class TestCachedGenerators:
+    def test_warm_stream_bitwise_identical(self, cache):
+        cold = cached_feasible_stream(_offline(), 800, segments=3, seed=5)
+        warm = cached_feasible_stream(_offline(), 800, segments=3, seed=5)
+        np.testing.assert_array_equal(cold.arrivals, warm.arrivals)
+        np.testing.assert_array_equal(cold.profile, warm.profile)
+        assert (cache.root / "workloads").is_dir()
+
+    def test_matches_uncached_generator(self, cache):
+        cached = cached_feasible_stream(_offline(), 800, segments=3, seed=5)
+        direct = generate_feasible_stream(_offline(), 800, segments=3, seed=5)
+        np.testing.assert_array_equal(cached.arrivals, direct.arrivals)
+        np.testing.assert_array_equal(cached.profile, direct.profile)
+
+    def test_warm_multi_bitwise_identical(self, cache):
+        kwargs = dict(
+            k=3, offline_bandwidth=48.0, offline_delay=8, horizon=600, seed=2
+        )
+        cold = cached_multi_feasible(**kwargs)
+        warm = cached_multi_feasible(**kwargs)
+        np.testing.assert_array_equal(cold.arrivals, warm.arrivals)
+        np.testing.assert_array_equal(cold.profiles, warm.profiles)
+        direct = generate_multi_feasible(**kwargs)
+        np.testing.assert_array_equal(warm.arrivals, direct.arrivals)
+
+    def test_rng_seed_bypasses_cache(self, cache):
+        rng = np.random.default_rng(3)
+        cached_feasible_stream(_offline(), 800, segments=3, seed=rng)
+        assert cache.info()["sections"]["workloads"]["entries"] == 0
+
+    def test_no_cache_still_generates(self):
+        use_cache(None)
+        stream = cached_feasible_stream(_offline(), 800, segments=3, seed=5)
+        assert stream.horizon == 800
+
+
+class TestMaintenance:
+    def test_info_counts(self, cache):
+        cache.store_json("results", "a", {})
+        cache.store_json("shards", "b", {})
+        cache.store_arrays("c", {"x": np.zeros(4)})
+        info = cache.info()
+        assert info["sections"]["results"]["entries"] == 1
+        assert info["sections"]["shards"]["entries"] == 1
+        assert info["sections"]["workloads"]["entries"] == 1
+        assert info["sections"]["workloads"]["bytes"] > 0
+
+    def test_clear(self, cache):
+        cache.store_json("results", "a", {})
+        cache.store_arrays("c", {"x": np.zeros(4)})
+        assert cache.clear() == 2
+        assert cache.info()["sections"]["results"]["entries"] == 0
+        assert cache.load_json("results", "a") is None
+
+    def test_env_var_activation(self, tmp_path, monkeypatch):
+        use_cache(None)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        import repro.runner.cache as cache_mod
+
+        cache_mod._CONFIGURED = False
+        try:
+            active = get_cache()
+            assert active is not None
+            assert active.root == tmp_path / "envcache"
+        finally:
+            use_cache(None)

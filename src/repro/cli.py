@@ -14,6 +14,9 @@ Subcommands:
   --telemetry`` / ``run --telemetry`` (see :mod:`repro.cli_trace`).
 * ``cache`` — inspect or clear the content-addressed workload/result
   cache (see :mod:`repro.cli_cache`).
+* ``verify`` — certify theorem bounds (Claim 2, Lemma 3, Corollary 4,
+  Lemma 5, Lemmas 10/16) on experiment scenarios or saved traces via the
+  engine-independent certificate checker (see :mod:`repro.cli_verify`).
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.cli_cache import add_cache_parser, run_cache
 from repro.cli_report import add_report_parser, run_report
 from repro.cli_simulate import add_simulate_parser, run_simulate
 from repro.cli_trace import add_trace_parser, run_trace
+from repro.cli_verify import add_verify_parser, run_verify
 from repro.experiments import registry
 from repro.obs import export_run, telemetry_session
 from repro.version import __version__
@@ -73,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_report_parser(sub)
     add_trace_parser(sub)
     add_cache_parser(sub)
+    add_verify_parser(sub)
     return parser
 
 
@@ -90,6 +95,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_trace(args)
     if args.command == "cache":
         return run_cache(args)
+    if args.command == "verify":
+        return run_verify(args)
 
     ids = registry.all_ids() if args.ids == ["all"] else args.ids
     blocks: list[str] = []

@@ -61,16 +61,14 @@ def min_changes_bruteforce(
     ``B_O``) the result upper-bounds the unconstrained optimum and, because
     richer grids only help, certificate *lower* bounds must stay below it.
     """
+    from repro.verify.oracle import default_levels
+
     arrivals = np.asarray(arrivals, dtype=float)
     horizon = len(arrivals)
     if horizon == 0:
         return 0
     if levels is None:
-        levels = []
-        level = offline.bandwidth
-        while level >= 1.0:
-            levels.append(level)
-            level /= 2.0
+        levels = default_levels(offline.bandwidth)
     levels = [float(x) for x in levels if 0 < x <= offline.bandwidth * (1 + 1e-12)]
     if not levels:
         raise ConfigError("empty level grid")

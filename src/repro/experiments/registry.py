@@ -150,3 +150,4 @@ def _ensure_loaded() -> None:
     import repro.experiments.theorem7  # noqa: F401
     import repro.experiments.theorem14  # noqa: F401
     import repro.experiments.theorem17  # noqa: F401
+    import repro.experiments.verify_exp  # noqa: F401

@@ -221,9 +221,10 @@ class MetricsRegistry:
             return
         for name, value in (snapshot.get("counters") or {}).items():
             try:
-                self.counter(name).inc(float(value))
+                amount = float(value)
             except (TypeError, ValueError):
                 continue
+            self.counter(name).inc(amount)
         for name, raw in (snapshot.get("gauges") or {}).items():
             if not isinstance(raw, dict):
                 continue

@@ -78,6 +78,18 @@ def load_single_trace(path: str | Path) -> SingleSessionTrace:
         )
 
 
+def load_any_trace(path: str | Path) -> SingleSessionTrace | MultiSessionTrace:
+    """Load either trace kind by inspecting the embedded ``kind`` field."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        kind = meta.get("kind")
+    if kind == "single":
+        return load_single_trace(path)
+    if kind == "multi":
+        return load_multi_trace(path)
+    raise ConfigError(f"{path} holds an unknown trace kind {kind!r}")
+
+
 def save_multi_trace(path: str | Path, trace: MultiSessionTrace) -> None:
     """Persist a multi-session trace to ``.npz``."""
     meta = {

@@ -1,0 +1,60 @@
+"""Verification layer: theorem certificates, offline oracle, fuzzing.
+
+The package is the repo's *second implementation* of the paper's
+guarantees: :mod:`repro.verify.certificates` replays recorded traces and
+re-derives every bounded series from scratch (no imports from the policy
+code in :mod:`repro.core`), :mod:`repro.verify.oracle` computes exact
+offline change-count optima by DP, :mod:`repro.verify.scenarios` maps
+every registered experiment to certifiable traces, and
+:mod:`repro.verify.differential` hosts the hypothesis-driven harness
+that cross-checks engines, fast paths, and fault configurations against
+the certificates and the oracle.
+"""
+
+from repro.verify.certificates import (
+    TheoremBounds,
+    best_window_utilizations,
+    certify,
+    certify_multi,
+    certify_single,
+    claim9_excess,
+    combined_bounds,
+    continuous_bounds,
+    lindley_backlog,
+    phased_bounds,
+    raw_single_bounds,
+    replay_fifo_delays,
+    single_session_bounds,
+    switch_count,
+)
+from repro.verify.oracle import (
+    OracleResult,
+    competitive_ratio,
+    default_levels,
+    min_changes_oracle,
+)
+from repro.verify.report import CertificateCheck, CertificateReport, Counterexample
+
+__all__ = [
+    "CertificateCheck",
+    "CertificateReport",
+    "Counterexample",
+    "OracleResult",
+    "TheoremBounds",
+    "best_window_utilizations",
+    "certify",
+    "certify_multi",
+    "certify_single",
+    "claim9_excess",
+    "combined_bounds",
+    "competitive_ratio",
+    "continuous_bounds",
+    "default_levels",
+    "lindley_backlog",
+    "min_changes_oracle",
+    "phased_bounds",
+    "raw_single_bounds",
+    "replay_fifo_delays",
+    "single_session_bounds",
+    "switch_count",
+]

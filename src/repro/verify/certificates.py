@@ -1,0 +1,1008 @@
+"""Theorem-bound certificate checking over recorded traces.
+
+This module is the library's *second implementation*: it replays a
+finalized trace (:class:`~repro.sim.recorder.SingleSessionTrace` /
+:class:`~repro.sim.recorder.MultiSessionTrace`, or anything with the same
+attributes — e.g. loaded from ``.npz`` via :mod:`repro.sim.serialize`)
+and independently re-derives the queue, delay, utilization-window,
+change-count, and overflow-channel series from the raw per-slot arrays,
+then certifies each of the paper's theorem bounds:
+
+=============  ========================================================
+check          bound
+=============  ========================================================
+conservation   ``q(t) = q(t-1) + kept(t) - delivered(t)`` matches the
+               recorded backlog; nothing is served beyond the effective
+               bandwidth (accounting honesty, not a theorem)
+claim2         Claim 2: ``B_on >= q / D_A`` after arrivals, before serve
+lemma3         Lemma 3 / 11 / 15: every bit delivered within ``D_A``
+delay-replay   the recorded delay histogram matches an independent FIFO
+               replay of (arrivals, delivered)
+corollary4     Corollary 4: ``q_online <= q_offline + B_O·D_O`` against
+               a certificate profile
+lemma5         Lemma 5: some window of ``<= W + 5·D_O`` slots ending at
+               every slot achieves utilization ``>= U_O/3``
+claim9         Claim 9: any interval of length Δ carries at most
+               ``(Δ + D_O)·B_O`` bits (workload-certificate validity)
+lemma10-16     Lemma 10 / 16: overflow channel ``<= 2·B_O`` / ``3·B_O``
+regular-cap    regular channel ``<= 2·B_O + B_O/k``
+max-bandwidth  total allocation ``<= B_A``
+changes        the sparse change log is consistent with the dense
+               allocation series (count and values)
+=============  ========================================================
+
+**Independence.**  The checker deliberately imports nothing from
+:mod:`repro.core`, :mod:`repro.sim`, :mod:`repro.network`, or
+:mod:`repro.analysis` — every series above is re-derived here from the
+trace's numpy arrays with standalone implementations (its own FIFO
+replay, its own Lindley recursion, its own window scans).  A bug shared
+between the engine and its checker would certify garbage; two
+implementations must now agree slot by slot.
+
+Conditional vs unconditional bounds: Claim 2, the overflow/regular/total
+bandwidth caps, and change-log consistency are invariants of the online
+algorithms and are always checked.  The delay, utilization, Corollary 4,
+and Claim 9 bounds are theorems *about feasible workloads*; they are
+checked only when :attr:`TheoremBounds.assume_feasible` is set (the
+workload carries a feasibility certificate) and reported as skipped
+otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.params import (
+    BANDWIDTH_SLACK_COMBINED_CONTINUOUS,
+    BANDWIDTH_SLACK_COMBINED_PHASED,
+    BANDWIDTH_SLACK_CONTINUOUS,
+    BANDWIDTH_SLACK_PHASED,
+    DELAY_SLACK,
+    EXTRA_WINDOW_SLACK,
+    UTILIZATION_SLACK,
+    OfflineConstraints,
+)
+from repro.verify.report import CertificateReport, Counterexample
+
+#: Relative tolerance of every bound check (mirrors the engine monitors).
+_EPS = 1e-6
+
+#: Bits below this are floating-point dust (the queue's convention).
+_DUST = 1e-9
+
+#: Allocation changes smaller than this are no-ops (the link's convention).
+_CHANGE_EPS = 1e-9
+
+#: Cap on counterexamples collected per check.
+_MAX_EXAMPLES = 25
+
+
+@dataclass(frozen=True)
+class TheoremBounds:
+    """Everything the checker needs to know about one trace's guarantees.
+
+    Built via the factory functions below, which encode the paper's slack
+    table (:mod:`repro.params`) so callers state only the offline side.
+    """
+
+    variant: str
+    offline_bandwidth: float
+    offline_delay: int
+    online_delay: int
+    max_bandwidth: float | None = None
+    utilization: float | None = None
+    window: int | None = None
+    online_utilization: float | None = None
+    online_window: int | None = None
+    overflow_factor: float | None = None
+    regular_bound: float | None = None
+    k: int | None = None
+    #: Workload certified feasible => the conditional theorem bounds apply.
+    assume_feasible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.offline_bandwidth <= 0:
+            raise ConfigError(
+                f"offline_bandwidth must be > 0, got {self.offline_bandwidth!r}"
+            )
+        if self.offline_delay < 1 or self.online_delay < 1:
+            raise ConfigError("delays must be >= 1 slot")
+
+    def as_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "offline_bandwidth": self.offline_bandwidth,
+            "offline_delay": self.offline_delay,
+            "online_delay": self.online_delay,
+            "max_bandwidth": self.max_bandwidth,
+            "utilization": self.utilization,
+            "window": self.window,
+            "online_utilization": self.online_utilization,
+            "online_window": self.online_window,
+            "overflow_factor": self.overflow_factor,
+            "regular_bound": self.regular_bound,
+            "k": self.k,
+            "assume_feasible": self.assume_feasible,
+        }
+
+
+def single_session_bounds(
+    offline: OfflineConstraints, feasible: bool = True
+) -> TheoremBounds:
+    """Theorem 6 / 7 bounds for the Figure 3 family (``B_A = B_O``)."""
+    online_utilization = None
+    online_window = None
+    if offline.utilization is not None and offline.window is not None:
+        online_utilization = offline.utilization / UTILIZATION_SLACK
+        online_window = offline.window + EXTRA_WINDOW_SLACK * offline.delay
+    return TheoremBounds(
+        variant="single",
+        offline_bandwidth=offline.bandwidth,
+        offline_delay=offline.delay,
+        online_delay=DELAY_SLACK * offline.delay,
+        max_bandwidth=offline.bandwidth,
+        utilization=offline.utilization,
+        window=offline.window,
+        online_utilization=online_utilization,
+        online_window=online_window,
+        assume_feasible=feasible,
+    )
+
+
+def raw_single_bounds(max_bandwidth: float, offline_delay: int) -> TheoremBounds:
+    """Unconditional-checks-only bounds for uncertified workloads."""
+    return TheoremBounds(
+        variant="single",
+        offline_bandwidth=max_bandwidth,
+        offline_delay=offline_delay,
+        online_delay=DELAY_SLACK * offline_delay,
+        max_bandwidth=max_bandwidth,
+        assume_feasible=False,
+    )
+
+
+def phased_bounds(
+    offline_bandwidth: float, offline_delay: int, k: int, feasible: bool = True
+) -> TheoremBounds:
+    """Theorem 14 bounds: ``B_A = 4·B_O``, overflow ``<= 2·B_O`` (Lemma 10)."""
+    return TheoremBounds(
+        variant="phased",
+        offline_bandwidth=offline_bandwidth,
+        offline_delay=offline_delay,
+        online_delay=DELAY_SLACK * offline_delay,
+        max_bandwidth=BANDWIDTH_SLACK_PHASED * offline_bandwidth,
+        overflow_factor=2.0,
+        regular_bound=2.0 * offline_bandwidth + offline_bandwidth / k,
+        k=k,
+        assume_feasible=feasible,
+    )
+
+
+def continuous_bounds(
+    offline_bandwidth: float, offline_delay: int, k: int, feasible: bool = True
+) -> TheoremBounds:
+    """Theorem 17 bounds: ``B_A = 5·B_O``, overflow ``<= 3·B_O`` (Lemma 16)."""
+    return TheoremBounds(
+        variant="continuous",
+        offline_bandwidth=offline_bandwidth,
+        offline_delay=offline_delay,
+        online_delay=DELAY_SLACK * offline_delay,
+        max_bandwidth=BANDWIDTH_SLACK_CONTINUOUS * offline_bandwidth,
+        overflow_factor=3.0,
+        regular_bound=2.0 * offline_bandwidth + offline_bandwidth / k,
+        k=k,
+        assume_feasible=feasible,
+    )
+
+
+def combined_bounds(
+    offline: OfflineConstraints,
+    k: int,
+    inner: str = "phased",
+    feasible: bool = True,
+) -> TheoremBounds:
+    """Section 4 bounds: ``B_A = 7·B_O`` (phased) / ``8·B_O`` (continuous).
+
+    The inner overflow/regular split is an implementation detail of the
+    combined construction, so only the total-bandwidth, delay, and
+    utilization bounds are enforced.
+    """
+    if inner == "phased":
+        slack = BANDWIDTH_SLACK_COMBINED_PHASED
+    elif inner == "continuous":
+        slack = BANDWIDTH_SLACK_COMBINED_CONTINUOUS
+    else:
+        raise ConfigError(f"inner must be 'phased' or 'continuous', got {inner!r}")
+    return TheoremBounds(
+        variant="combined",
+        offline_bandwidth=offline.bandwidth,
+        offline_delay=offline.delay,
+        online_delay=DELAY_SLACK * offline.delay,
+        max_bandwidth=slack * offline.bandwidth,
+        utilization=offline.utilization,
+        window=offline.window,
+        k=k,
+        assume_feasible=feasible,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Independent re-derivations
+
+
+def replay_fifo_delays(
+    arrivals: np.ndarray, delivered: np.ndarray
+) -> tuple[dict[int, float], float]:
+    """Re-derive the bits-weighted delay histogram of a FIFO server.
+
+    Pushes ``arrivals[t]`` then removes ``delivered[t]`` bits from the
+    front each slot, stamping every removed chunk with its delay.  Returns
+    ``(histogram, unserved_excess)`` where the excess is the total of
+    delivered bits the replayed queue did not hold — any value above dust
+    means the trace's own conservation is broken.
+    """
+    if len(arrivals) != len(delivered):
+        raise ConfigError("arrivals and delivered must have equal length")
+    chunks: deque[list] = deque()  # [arrival_slot, bits]
+    histogram: dict[int, float] = {}
+    excess = 0.0
+    for t in range(len(arrivals)):
+        bits_in = float(arrivals[t])
+        if bits_in > _DUST:
+            chunks.append([t, bits_in])
+        remaining = float(delivered[t])
+        while remaining > _DUST and chunks:
+            arrival, bits = chunks[0]
+            take = bits if bits <= remaining else remaining
+            delay = t - arrival
+            histogram[delay] = histogram.get(delay, 0.0) + take
+            remaining -= take
+            if take >= bits - _DUST:
+                chunks.popleft()
+            else:
+                chunks[0][1] = bits - take
+        if remaining > _DUST:
+            excess += remaining
+    return histogram, excess
+
+
+def lindley_backlog(arrivals: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+    """End-of-slot queue of a work-conserving server: the Lindley recursion."""
+    arrivals = np.asarray(arrivals, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if arrivals.shape != capacities.shape:
+        raise ConfigError("arrivals and capacities must have equal shape")
+    backlog = np.empty_like(arrivals)
+    q = 0.0
+    for t in range(len(arrivals)):
+        q = max(0.0, q + arrivals[t] - capacities[t])
+        backlog[t] = q
+    return backlog
+
+
+def best_window_utilizations(
+    arrivals: np.ndarray, allocation: np.ndarray, max_window: int
+) -> np.ndarray:
+    """Per-slot best utilization over trailing windows of ``<= max_window``.
+
+    ``out[t] = max over 1 <= w <= min(t+1, max_window) of
+    IN(t-w, t] / B(t-w, t]`` (windows with no allocation are ignored;
+    slots where every window has zero allocation get ``-inf``).
+    """
+    if max_window < 1:
+        raise ConfigError(f"max_window must be >= 1, got {max_window!r}")
+    arrivals = np.asarray(arrivals, dtype=float)
+    allocation = np.asarray(allocation, dtype=float)
+    horizon = len(arrivals)
+    cum_in = np.concatenate([[0.0], np.cumsum(arrivals)])
+    cum_alloc = np.concatenate([[0.0], np.cumsum(allocation)])
+    best = np.full(horizon, -np.inf)
+    for width in range(1, min(max_window, horizon) + 1):
+        in_sum = cum_in[width:] - cum_in[:-width]
+        alloc_sum = cum_alloc[width:] - cum_alloc[:-width]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(alloc_sum > _DUST, in_sum / alloc_sum, -np.inf)
+        np.maximum(best[width - 1 :], ratio, out=best[width - 1 :])
+    return best
+
+
+def claim9_excess(
+    arrivals: np.ndarray, offline_bandwidth: float, offline_delay: int
+) -> tuple[float, int]:
+    """Worst excess over the Claim 9 envelope and the slot it peaked.
+
+    Claim 9 bounds the bits of any interval of length Δ by
+    ``(Δ + D_O)·B_O``; with ``G(t) = C(t) - B_O·t`` this is
+    ``G(t) - min_{u<t} G(u) <= D_O·B_O``, one running minimum.
+    """
+    cumulative = 0.0
+    min_g = 0.0
+    worst = -math.inf
+    worst_t = -1
+    budget = offline_delay * offline_bandwidth
+    for t, bits in enumerate(np.asarray(arrivals, dtype=float)):
+        cumulative += float(bits)
+        g = cumulative - offline_bandwidth * (t + 1)
+        excess = g - min_g - budget
+        if excess > worst:
+            worst = excess
+            worst_t = t
+        if g < min_g:
+            min_g = g
+    return worst, worst_t
+
+
+def switch_count(series: np.ndarray) -> int:
+    """Allocation changes a series implies: the initial set plus switches.
+
+    Links start at 0 bandwidth, so a nonzero first value is one change;
+    every later slot whose value differs from the previous adds one.
+    """
+    series = np.asarray(series, dtype=float)
+    if len(series) == 0:
+        return 0
+    count = 1 if abs(series[0]) > _CHANGE_EPS else 0
+    return count + int(np.count_nonzero(np.abs(np.diff(series)) > _CHANGE_EPS))
+
+
+def _collect(indices, detail_fn, limit: int = _MAX_EXAMPLES):
+    return tuple(detail_fn(int(t)) for t in list(indices)[:limit])
+
+
+# ---------------------------------------------------------------------------
+# Single-session certification
+
+
+def certify_single(
+    trace,
+    bounds: TheoremBounds,
+    profile: np.ndarray | None = None,
+    label: str = "single-session trace",
+) -> CertificateReport:
+    """Certify a single-session trace against the paper's bounds.
+
+    Args:
+        trace: a :class:`~repro.sim.recorder.SingleSessionTrace` (or any
+            object exposing the same arrays/event lists).
+        bounds: the theorem bounds to certify (see the factories).
+        profile: optional offline certificate schedule (per-slot bandwidth
+            over the arrival horizon) enabling the Corollary 4 check.
+        label: report heading.
+    """
+    report = CertificateReport(label=label)
+    arrivals = np.asarray(trace.arrivals, dtype=float)
+    allocation = np.asarray(trace.allocation, dtype=float)
+    delivered = np.asarray(trace.delivered, dtype=float)
+    backlog = np.asarray(trace.backlog, dtype=float)
+    dropped = np.asarray(trace.dropped, dtype=float)
+    effective = np.asarray(trace.effective, dtype=float)
+    slots = len(arrivals)
+    kept = arrivals - dropped
+
+    # -- conservation: re-derive the queue and compare -----------------------
+    derived = np.empty(slots)
+    q = 0.0
+    for t in range(slots):
+        q = q + kept[t] - delivered[t]
+        if q < 0.0:
+            q = max(q, -_DUST * (t + 1))  # tolerate accumulated dust only
+        derived[t] = max(q, 0.0)
+    scale = np.maximum(1.0, np.abs(backlog))
+    mismatch = np.abs(derived - backlog) / scale
+    over_effective = delivered - effective
+    bad = np.flatnonzero(
+        (mismatch > _EPS) | (over_effective > _EPS * np.maximum(1.0, effective))
+    )
+    report.add(
+        "conservation",
+        "flow conservation",
+        bool(bad.size == 0),
+        "recorded backlog matches q(t-1) + kept(t) - delivered(t) and "
+        "nothing is served beyond the effective bandwidth"
+        if bad.size == 0
+        else f"{bad.size} slots break conservation",
+        margin=float(-mismatch.max(initial=0.0)) if bad.size else 0.0,
+        counterexamples=_collect(
+            bad,
+            lambda t: Counterexample(
+                t,
+                "derived queue diverges from recorded backlog",
+                {
+                    "derived": float(derived[t]),
+                    "recorded": float(backlog[t]),
+                    "delivered": float(delivered[t]),
+                    "effective": float(effective[t]),
+                },
+            ),
+        ),
+    )
+
+    # -- Claim 2: B_on >= q / D_A -------------------------------------------
+    # Conditional: on an uncertified workload the queue may exceed
+    # B_A·D_A, at which point no allocation under the cap can satisfy it
+    # (that regime is exactly what E-ROB measures).
+    if bounds.assume_feasible:
+        queue_pre = np.concatenate([[0.0], backlog[:-1]]) + kept
+        margin = allocation * bounds.online_delay - queue_pre
+        bad = np.flatnonzero(margin < -_EPS * np.maximum(1.0, queue_pre))
+        report.add(
+            "claim2",
+            "Claim 2",
+            bool(bad.size == 0),
+            f"B_on >= q/D_A with D_A={bounds.online_delay} at every slot"
+            if bad.size == 0
+            else f"allocation outrun by the queue at {bad.size} slots",
+            margin=float(margin.min(initial=math.inf)),
+            counterexamples=_collect(
+                bad,
+                lambda t: Counterexample(
+                    t,
+                    "B_on < q/D_A",
+                    {
+                        "allocation": float(allocation[t]),
+                        "queue": float(queue_pre[t]),
+                        "required": float(queue_pre[t] / bounds.online_delay),
+                    },
+                ),
+            ),
+        )
+    else:
+        report.add(
+            "claim2",
+            "Claim 2",
+            None,
+            "skipped: workload carries no feasibility certificate",
+        )
+
+    # -- delay: independent FIFO replay ---------------------------------------
+    replay_hist, replay_excess = replay_fifo_delays(kept, delivered)
+    recorded_hist = {
+        int(d): float(b) for d, b in dict(trace.delay_histogram).items()
+    }
+    all_delays = sorted(set(replay_hist) | set(recorded_hist))
+    hist_bad = [
+        d
+        for d in all_delays
+        if abs(replay_hist.get(d, 0.0) - recorded_hist.get(d, 0.0))
+        > _EPS * max(1.0, replay_hist.get(d, 0.0), recorded_hist.get(d, 0.0))
+    ]
+    report.add(
+        "delay-replay",
+        "recorder honesty",
+        bool(not hist_bad and replay_excess <= _EPS),
+        "recorded delay histogram matches an independent FIFO replay"
+        if not hist_bad and replay_excess <= _EPS
+        else f"histograms disagree at delays {hist_bad[:8]} "
+        f"(replay excess {replay_excess:.3g} bits)",
+        counterexamples=tuple(
+            Counterexample(
+                d,
+                "bits-at-delay mismatch (t axis = delay)",
+                {
+                    "replayed": replay_hist.get(d, 0.0),
+                    "recorded": recorded_hist.get(d, 0.0),
+                },
+            )
+            for d in hist_bad[:_MAX_EXAMPLES]
+        ),
+    )
+
+    replay_max = max(replay_hist, default=0)
+    if bounds.assume_feasible:
+        passed = replay_max <= bounds.online_delay
+        report.add(
+            "lemma3",
+            "Lemma 3",
+            passed,
+            f"replayed max bit delay {replay_max} <= D_A={bounds.online_delay}"
+            if passed
+            else f"replayed max bit delay {replay_max} > D_A={bounds.online_delay}",
+            margin=float(bounds.online_delay - replay_max),
+        )
+    else:
+        report.add(
+            "lemma3",
+            "Lemma 3",
+            None,
+            "skipped: workload carries no feasibility certificate "
+            f"(replayed max delay {replay_max})",
+        )
+
+    # -- Corollary 4: q_online <= q_offline + B_O * D_O ----------------------
+    if profile is not None and bounds.assume_feasible:
+        profile = np.asarray(profile, dtype=float)
+        horizon = min(len(profile), slots)
+        offline_backlog = lindley_backlog(kept[:horizon], profile[:horizon])
+        budget = bounds.offline_bandwidth * bounds.offline_delay
+        slack = offline_backlog + budget - backlog[:horizon]
+        bad = np.flatnonzero(slack < -_EPS * np.maximum(1.0, backlog[:horizon]))
+        report.add(
+            "corollary4",
+            "Corollary 4",
+            bool(bad.size == 0),
+            "q_online <= q_offline + B_O·D_O against the certificate profile"
+            if bad.size == 0
+            else f"online queue exceeds the offline bound at {bad.size} slots",
+            margin=float(slack.min(initial=math.inf)),
+            counterexamples=_collect(
+                bad,
+                lambda t: Counterexample(
+                    t,
+                    "q_online > q_offline + B_O·D_O",
+                    {
+                        "online": float(backlog[t]),
+                        "offline": float(offline_backlog[t]),
+                        "budget": float(budget),
+                    },
+                ),
+            ),
+        )
+    else:
+        report.add(
+            "corollary4",
+            "Corollary 4",
+            None,
+            "skipped: no offline certificate profile supplied"
+            if bounds.assume_feasible
+            else "skipped: workload carries no feasibility certificate",
+        )
+
+    # -- Lemma 5: existential window utilization -----------------------------
+    if (
+        bounds.assume_feasible
+        and bounds.online_utilization is not None
+        and bounds.online_window is not None
+    ):
+        best = best_window_utilizations(arrivals, allocation, bounds.online_window)
+        usable = best[np.isfinite(best)]
+        worst_best = float(usable.min()) if usable.size else math.inf
+        target = bounds.online_utilization
+        passed = worst_best >= target * (1 - _EPS)
+        bad = np.flatnonzero(np.isfinite(best) & (best < target * (1 - _EPS)))
+        report.add(
+            "lemma5",
+            "Lemma 5",
+            passed,
+            f"every slot has a window of <= {bounds.online_window} slots with "
+            f"utilization >= U_O/3 = {target:.4f} (worst best {worst_best:.4f})"
+            if passed
+            else f"{bad.size} slots have no qualifying utilization window",
+            margin=worst_best - target,
+            counterexamples=_collect(
+                bad,
+                lambda t: Counterexample(
+                    t,
+                    "best trailing window below U_O/3",
+                    {"best": float(best[t]), "target": target},
+                ),
+            ),
+        )
+    else:
+        report.add(
+            "lemma5",
+            "Lemma 5",
+            None,
+            "skipped: no utilization constraint"
+            if bounds.online_utilization is None
+            else "skipped: workload carries no feasibility certificate",
+        )
+
+    # -- max bandwidth --------------------------------------------------------
+    _check_max_bandwidth(report, allocation, bounds)
+
+    # -- change-log consistency ----------------------------------------------
+    strict = bool(np.array_equal(np.asarray(trace.requested, dtype=float), allocation))
+    _check_changes_single(report, trace, allocation, strict)
+    return report
+
+
+def _check_max_bandwidth(
+    report: CertificateReport, totals: np.ndarray, bounds: TheoremBounds
+) -> None:
+    if bounds.max_bandwidth is None:
+        report.add("max-bandwidth", "model", None, "skipped: no B_A supplied")
+        return
+    peak = float(totals.max(initial=0.0))
+    bad = np.flatnonzero(totals > bounds.max_bandwidth * (1 + _EPS) + _EPS)
+    report.add(
+        "max-bandwidth",
+        "model",
+        bool(bad.size == 0),
+        f"total allocation peak {peak:.4f} <= B_A={bounds.max_bandwidth:.4f}"
+        if bad.size == 0
+        else f"allocation exceeds B_A at {bad.size} slots (peak {peak:.4f})",
+        margin=bounds.max_bandwidth - peak,
+        counterexamples=_collect(
+            bad,
+            lambda t: Counterexample(
+                t,
+                "total allocation above B_A",
+                {"total": float(totals[t]), "cap": float(bounds.max_bandwidth)},
+            ),
+        ),
+    )
+
+
+def _check_changes_single(
+    report: CertificateReport, trace, allocation: np.ndarray, strict: bool
+) -> None:
+    derived = switch_count(allocation)
+    recorded = len(trace.changes)
+    problems: list[str] = []
+    previous = 0.0
+    last_t = -1
+    for change in trace.changes:
+        t = int(change.t)
+        if t < last_t:
+            problems.append(f"change log out of order at t={t}")
+            break
+        if t >= len(allocation):
+            problems.append(f"change at t={t} beyond the trace")
+            break
+        if strict and abs(float(change.new) - float(allocation[t])) > _CHANGE_EPS:
+            problems.append(
+                f"change at t={t} records new={change.new:.6g} but the "
+                f"series holds {allocation[t]:.6g}"
+            )
+        if strict and abs(float(change.old) - previous) > _CHANGE_EPS:
+            problems.append(
+                f"change at t={t} records old={change.old:.6g} but the "
+                f"previous level was {previous:.6g}"
+            )
+        previous = float(change.new)
+        last_t = t
+    if strict and derived != recorded:
+        problems.append(
+            f"allocation series implies {derived} changes, log records {recorded}"
+        )
+    if not strict and derived > recorded:
+        # Under an unreliable signaling plane a link may change more than
+        # once per slot, so the dense series can only under-count.
+        problems.append(
+            f"series implies {derived} changes but only {recorded} were logged"
+        )
+    report.add(
+        "changes",
+        "change accounting",
+        not problems,
+        f"change log ({recorded}) consistent with the allocation series "
+        f"({derived} derived{'' if strict else ', tolerant mode'})"
+        if not problems
+        else "; ".join(problems[:4]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-session certification
+
+
+def certify_multi(
+    trace,
+    bounds: TheoremBounds,
+    profiles: np.ndarray | None = None,
+    label: str = "multi-session trace",
+) -> CertificateReport:
+    """Certify a multi-session trace against the paper's bounds.
+
+    Args:
+        trace: a :class:`~repro.sim.recorder.MultiSessionTrace` lookalike.
+        bounds: theorem bounds (see :func:`phased_bounds` /
+            :func:`continuous_bounds` / :func:`combined_bounds`).
+        profiles: optional per-session offline certificate schedules
+            ``(horizon, k)``; enables the per-session Corollary-4-style
+            queue bound.
+        label: report heading.
+    """
+    report = CertificateReport(label=label)
+    arrivals = np.asarray(trace.arrivals, dtype=float)
+    regular = np.asarray(trace.regular_allocation, dtype=float)
+    overflow = np.asarray(trace.overflow_allocation, dtype=float)
+    delivered = np.asarray(trace.delivered, dtype=float)
+    backlog = np.asarray(trace.backlog, dtype=float)
+    extra = np.asarray(trace.extra_allocation, dtype=float)
+    dropped = np.asarray(trace.dropped, dtype=float)
+    slots, k = arrivals.shape
+
+    # Ingress faults drop a uniform fraction per slot; attribute it back.
+    offered_totals = arrivals.sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        keep = np.where(
+            offered_totals > _DUST, 1.0 - dropped / np.maximum(offered_totals, _DUST), 1.0
+        )
+    kept = arrivals * keep[:, None]
+
+    # -- conservation per session --------------------------------------------
+    bad_slots: list[tuple[int, int]] = []
+    worst = 0.0
+    for i in range(k):
+        q = 0.0
+        for t in range(slots):
+            q = max(0.0, q + kept[t, i] - delivered[t, i])
+            gap = abs(q - backlog[t, i]) / max(1.0, abs(backlog[t, i]))
+            if gap > _EPS:
+                bad_slots.append((t, i))
+                worst = max(worst, gap)
+                q = backlog[t, i]  # resynchronize so one slip reports once
+    report.add(
+        "conservation",
+        "flow conservation",
+        not bad_slots,
+        "every session's recorded backlog matches its Lindley recursion"
+        if not bad_slots
+        else f"{len(bad_slots)} (slot, session) pairs break conservation",
+        counterexamples=tuple(
+            Counterexample(
+                t, f"session {i} backlog diverges", {"session": float(i)}
+            )
+            for t, i in bad_slots[:_MAX_EXAMPLES]
+        ),
+    )
+
+    # -- delay: recorded histograms + FIFO replay consistency ----------------
+    histograms = [
+        {int(d): float(b) for d, b in dict(h).items()}
+        for h in trace.delay_histograms
+    ]
+    recorded_max = max((max(h, default=0) for h in histograms), default=0)
+    replay_issues: list[str] = []
+    for i in range(k):
+        replay_hist, excess = replay_fifo_delays(kept[:, i], delivered[:, i])
+        if excess > _EPS:
+            replay_issues.append(
+                f"session {i}: delivered {excess:.3g} bits it never held"
+            )
+        replay_bits = sum(replay_hist.values())
+        recorded_bits = sum(histograms[i].values())
+        if abs(replay_bits - recorded_bits) > _EPS * max(1.0, replay_bits):
+            replay_issues.append(
+                f"session {i}: histogram holds {recorded_bits:.6g} bits, "
+                f"delivered {replay_bits:.6g}"
+            )
+        replay_max = max(replay_hist, default=0)
+        recorded_session_max = max(histograms[i], default=0)
+        if replay_max > recorded_session_max:
+            # FIFO is delay-optimal for a fixed delivered series, so the
+            # replayed max can never exceed the recorded (actual) max.
+            replay_issues.append(
+                f"session {i}: FIFO replay max {replay_max} exceeds "
+                f"recorded max {recorded_session_max}"
+            )
+    report.add(
+        "delay-replay",
+        "recorder honesty",
+        not replay_issues,
+        "per-session delay histograms conserve bits and dominate the "
+        "FIFO replay"
+        if not replay_issues
+        else "; ".join(replay_issues[:4]),
+    )
+
+    if bounds.assume_feasible:
+        passed = recorded_max <= bounds.online_delay
+        report.add(
+            "lemma3",
+            "Lemma 11 / 15",
+            passed,
+            f"max bit delay {recorded_max} <= D_A={bounds.online_delay}"
+            if passed
+            else f"max bit delay {recorded_max} > D_A={bounds.online_delay}",
+            margin=float(bounds.online_delay - recorded_max),
+        )
+    else:
+        report.add(
+            "lemma3",
+            "Lemma 11 / 15",
+            None,
+            "skipped: workload carries no feasibility certificate "
+            f"(max delay {recorded_max})",
+        )
+
+    # -- Claim 9 arrival envelope --------------------------------------------
+    if bounds.assume_feasible:
+        excess, worst_t = claim9_excess(
+            offered_totals, bounds.offline_bandwidth, bounds.offline_delay
+        )
+        passed = excess <= _EPS * max(1.0, float(offered_totals.sum()))
+        report.add(
+            "claim9",
+            "Claim 9",
+            passed,
+            "arrivals respect the (Δ + D_O)·B_O interval envelope"
+            if passed
+            else f"envelope exceeded by {excess:.4f} bits at t={worst_t}",
+            margin=-excess,
+        )
+    else:
+        report.add(
+            "claim9",
+            "Claim 9",
+            None,
+            "skipped: workload carries no feasibility certificate",
+        )
+
+    # -- Lemma 10 / 16 overflow bound ----------------------------------------
+    overflow_totals = overflow.sum(axis=1)
+    if bounds.overflow_factor is not None:
+        cap = bounds.overflow_factor * bounds.offline_bandwidth
+        peak = float(overflow_totals.max(initial=0.0))
+        bad = np.flatnonzero(overflow_totals > cap * (1 + _EPS) + _EPS)
+        report.add(
+            "lemma10-16",
+            "Lemma 10 / 16",
+            bool(bad.size == 0),
+            f"overflow channel peak {peak:.4f} <= "
+            f"{bounds.overflow_factor:g}·B_O = {cap:.4f}"
+            if bad.size == 0
+            else f"overflow channel exceeds {cap:.4f} at {bad.size} slots",
+            margin=cap - peak,
+            counterexamples=_collect(
+                bad,
+                lambda t: Counterexample(
+                    t,
+                    "overflow above the lemma bound",
+                    {"overflow": float(overflow_totals[t]), "cap": cap},
+                ),
+            ),
+        )
+    else:
+        report.add(
+            "lemma10-16",
+            "Lemma 10 / 16",
+            None,
+            "skipped: no overflow-channel bound for this variant",
+        )
+
+    # -- regular-channel cap ---------------------------------------------------
+    regular_totals = regular.sum(axis=1)
+    if bounds.regular_bound is not None:
+        peak = float(regular_totals.max(initial=0.0))
+        bad = np.flatnonzero(regular_totals > bounds.regular_bound * (1 + _EPS) + _EPS)
+        report.add(
+            "regular-cap",
+            "phase invariant",
+            bool(bad.size == 0),
+            f"regular channel peak {peak:.4f} <= 2·B_O + B_O/k = "
+            f"{bounds.regular_bound:.4f}"
+            if bad.size == 0
+            else f"regular channel exceeds {bounds.regular_bound:.4f} "
+            f"at {bad.size} slots",
+            margin=bounds.regular_bound - peak,
+        )
+    else:
+        report.add(
+            "regular-cap",
+            "phase invariant",
+            None,
+            "skipped: no regular-channel bound for this variant",
+        )
+
+    # -- total bandwidth cap ----------------------------------------------------
+    totals = regular_totals + overflow_totals + extra
+    _check_max_bandwidth(report, totals, bounds)
+
+    # -- per-session queue bound against certificate profiles -------------------
+    if profiles is not None and bounds.assume_feasible:
+        profiles = np.asarray(profiles, dtype=float)
+        horizon = min(profiles.shape[0], slots)
+        budget = bounds.offline_bandwidth * bounds.offline_delay
+        bad_pairs: list[tuple[int, int]] = []
+        min_slack = math.inf
+        for i in range(k):
+            offline_q = lindley_backlog(kept[:horizon, i], profiles[:horizon, i])
+            slack = offline_q + budget - backlog[:horizon, i]
+            min_slack = min(min_slack, float(slack.min(initial=math.inf)))
+            for t in np.flatnonzero(
+                slack < -_EPS * np.maximum(1.0, backlog[:horizon, i])
+            ):
+                bad_pairs.append((int(t), i))
+        report.add(
+            "corollary4",
+            "Corollary 4 (per session)",
+            not bad_pairs,
+            "each session's queue stays within its offline queue + B_O·D_O"
+            if not bad_pairs
+            else f"{len(bad_pairs)} (slot, session) pairs exceed the bound",
+            margin=min_slack,
+            counterexamples=tuple(
+                Counterexample(t, f"session {i} queue above bound", {})
+                for t, i in bad_pairs[:_MAX_EXAMPLES]
+            ),
+        )
+    else:
+        report.add(
+            "corollary4",
+            "Corollary 4 (per session)",
+            None,
+            "skipped: no per-session certificate profiles supplied"
+            if bounds.assume_feasible
+            else "skipped: workload carries no feasibility certificate",
+        )
+
+    # -- change-log consistency -------------------------------------------------
+    _check_changes_multi(report, trace, regular, overflow, extra)
+    return report
+
+
+def _check_changes_multi(
+    report: CertificateReport,
+    trace,
+    regular: np.ndarray,
+    overflow: np.ndarray,
+    extra: np.ndarray,
+) -> None:
+    """Dense-vs-sparse change consistency, tolerant of intra-slot moves.
+
+    Multi-session policies may set a link more than once inside one slot
+    (phase-end adjustment followed by a stage RESET), so the dense series
+    can only *under-count* the log; the end-of-slot value of the last
+    logged change must still match the series.
+    """
+    k = regular.shape[1]
+    slots = regular.shape[0]
+    problems: list[str] = []
+    derived_total = 0
+    series_by_channel = {}
+    for i in range(k):
+        series_by_channel[(i, "regular")] = regular[:, i]
+        series_by_channel[(i, "overflow")] = overflow[:, i]
+    per_channel: dict[tuple[int, str], list] = {key: [] for key in series_by_channel}
+    for session, channel, change in trace.local_changes:
+        key = (int(session), str(channel))
+        if key not in per_channel:
+            problems.append(f"change log names unknown channel {key}")
+            continue
+        per_channel[key].append(change)
+    for key, series in series_by_channel.items():
+        derived = switch_count(series)
+        derived_total += derived
+        logged = per_channel[key]
+        if derived > len(logged):
+            problems.append(
+                f"{key}: series implies {derived} changes, log has {len(logged)}"
+            )
+            continue
+        last_at: dict[int, float] = {}
+        for change in logged:
+            last_at[int(change.t)] = float(change.new)
+        for t, value in last_at.items():
+            if 0 <= t < slots and abs(value - float(series[t])) > _CHANGE_EPS:
+                problems.append(
+                    f"{key}: last change at t={t} records {value:.6g} but "
+                    f"the series holds {float(series[t]):.6g}"
+                )
+                break
+    derived_extra = switch_count(extra)
+    if derived_extra > len(trace.extra_changes):
+        problems.append(
+            f"extra channel: series implies {derived_extra} changes, "
+            f"log has {len(trace.extra_changes)}"
+        )
+    recorded_total = len(trace.local_changes) + len(trace.extra_changes)
+    report.add(
+        "changes",
+        "change accounting",
+        not problems,
+        f"change log ({recorded_total}) consistent with the dense series "
+        f"({derived_total + derived_extra} derived)"
+        if not problems
+        else "; ".join(problems[:4]),
+    )
+
+
+def certify(trace, bounds: TheoremBounds, profile=None, label=None):
+    """Dispatch on trace shape: 1-D arrivals -> single, 2-D -> multi."""
+    arrivals = np.asarray(trace.arrivals)
+    if arrivals.ndim == 1:
+        return certify_single(
+            trace, bounds, profile=profile, label=label or "single-session trace"
+        )
+    if arrivals.ndim == 2:
+        return certify_multi(
+            trace, bounds, profiles=profile, label=label or "multi-session trace"
+        )
+    raise ConfigError(f"cannot certify a trace with {arrivals.ndim}-D arrivals")

@@ -1,0 +1,131 @@
+"""Structured results of certificate checking.
+
+A :class:`CertificateReport` is the verdict of replaying one recorded
+trace against the paper's theorem bounds: one :class:`CertificateCheck`
+per bound, each carrying per-slot :class:`Counterexample` evidence on
+failure and the observed worst-case margin on success.  Reports render
+both human-readable (CLI) and JSON-able (CI artifacts).
+
+A check's ``passed`` field is tri-state: ``True`` (bound certified),
+``False`` (bound violated — see counterexamples), ``None`` (not
+applicable to this trace, e.g. Corollary 4 without an offline
+certificate profile, or the conditional bounds on an uncertified
+workload).  A report *certifies* its trace when no check failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One slot where a re-derived series violates a theorem bound."""
+
+    t: int
+    detail: str
+    values: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        pairs = ", ".join(f"{k}={v:.6g}" for k, v in self.values.items())
+        suffix = f" ({pairs})" if pairs else ""
+        return f"t={self.t}: {self.detail}{suffix}"
+
+    def as_dict(self) -> dict:
+        return {"t": self.t, "detail": self.detail, "values": dict(self.values)}
+
+
+@dataclass(frozen=True)
+class CertificateCheck:
+    """Verdict for one theorem bound on one trace."""
+
+    name: str
+    theorem: str
+    passed: bool | None
+    detail: str
+    #: Worst-case slack observed (bound minus measured; >= 0 iff satisfied
+    #: where quantifiable, None where the check is structural).
+    margin: float | None = None
+    counterexamples: tuple[Counterexample, ...] = ()
+
+    @property
+    def skipped(self) -> bool:
+        return self.passed is None
+
+    def render(self) -> str:
+        status = "skip" if self.passed is None else ("PASS" if self.passed else "FAIL")
+        line = f"[{status}] {self.name} ({self.theorem}): {self.detail}"
+        if self.margin is not None and self.passed is not None:
+            line += f" [margin {self.margin:.6g}]"
+        if self.counterexamples:
+            shown = self.counterexamples[:3]
+            for example in shown:
+                line += "\n        " + example.render()
+            hidden = len(self.counterexamples) - len(shown)
+            if hidden > 0:
+                line += f"\n        ... and {hidden} more"
+        return line
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "theorem": self.theorem,
+            "passed": self.passed,
+            "detail": self.detail,
+            "margin": self.margin,
+            "counterexamples": [c.as_dict() for c in self.counterexamples],
+        }
+
+
+@dataclass
+class CertificateReport:
+    """All certificate checks for one replayed trace."""
+
+    label: str
+    checks: list[CertificateCheck] = field(default_factory=list)
+
+    @property
+    def certified(self) -> bool:
+        """True when no check failed (skipped checks do not count against)."""
+        return all(check.passed is not False for check in self.checks)
+
+    @property
+    def failures(self) -> list[CertificateCheck]:
+        return [check for check in self.checks if check.passed is False]
+
+    @property
+    def checked_count(self) -> int:
+        return sum(1 for check in self.checks if check.passed is not None)
+
+    def add(
+        self,
+        name: str,
+        theorem: str,
+        passed: bool | None,
+        detail: str,
+        margin: float | None = None,
+        counterexamples: tuple[Counterexample, ...] = (),
+    ) -> None:
+        self.checks.append(
+            CertificateCheck(
+                name=name,
+                theorem=theorem,
+                passed=passed,
+                detail=detail,
+                margin=margin,
+                counterexamples=counterexamples,
+            )
+        )
+
+    def render(self) -> str:
+        status = "CERTIFIED" if self.certified else "NOT CERTIFIED"
+        lines = [f"{self.label}: {status} " f"({self.checked_count} checks run)"]
+        lines.extend("  " + check.render() for check in self.checks)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "certified": self.certified,
+            "checks": [check.as_dict() for check in self.checks],
+        }

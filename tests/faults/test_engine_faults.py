@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.baselines import StaticAllocator
 from repro.core.phased import PhasedMultiSession
@@ -16,6 +15,7 @@ from repro.faults import (
     standard_plan,
 )
 from repro.sim.engine import run_multi_session, run_single_session
+from tests.strategies import seeds
 
 
 class TestLinkDegradation:
@@ -86,7 +86,7 @@ class TestZeroFaultIdentity:
     """ISSUE gate: a zero-intensity plan reproduces the fault-free trace."""
 
     @settings(max_examples=15, deadline=None)
-    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @given(seed=seeds)
     def test_null_plan_single_session_bit_identical(self, seed):
         arrivals = (
             np.random.default_rng(seed).poisson(6, 150).astype(float)

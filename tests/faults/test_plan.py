@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import ConfigError
+from tests.strategies import intensities, seeds
 from repro.faults import (
     FaultPlan,
     IngressDrop,
@@ -92,10 +92,7 @@ class TestStandardPlan:
 
 class TestDeterminism:
     @settings(max_examples=25, deadline=None)
-    @given(
-        seed=st.integers(min_value=0, max_value=2**31),
-        intensity=st.floats(min_value=0.05, max_value=1.0),
-    )
+    @given(seed=seeds, intensity=intensities)
     def test_same_seed_bit_identical(self, seed, intensity):
         """Two plans built from the same (seed, intensity) agree on every
         draw — the fingerprint digests drops, delays, jitter and factors

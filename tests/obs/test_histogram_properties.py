@@ -1,0 +1,134 @@
+"""Merge laws for the two histogram kinds in the codebase.
+
+* :func:`repro.sim.recorder.merge_histograms` — bits-weighted delay
+  histograms merged when sessions are aggregated;
+* :meth:`repro.obs.registry.MetricsRegistry.merge_snapshot` — telemetry
+  folded across worker processes by the batch runner.
+
+Both merges must be associative and conserve mass: any grouping of the
+worker snapshots yields the same aggregate, and nothing is dropped or
+double-counted.  The strategies use integer bit masses (exact in
+float64) so the laws hold with ``==`` rather than a tolerance.
+"""
+
+from hypothesis import given, settings
+
+from repro.obs.registry import MetricsRegistry
+from repro.sim.recorder import (
+    histogram_max_delay,
+    histogram_quantile,
+    merge_histograms,
+)
+from tests.strategies import integer_histograms
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+class TestDelayHistogramMerge:
+    @_SETTINGS
+    @given(a=integer_histograms(), b=integer_histograms(), c=integer_histograms())
+    def test_associative(self, a, b, c):
+        left = merge_histograms([merge_histograms([a, b]), c])
+        right = merge_histograms([a, merge_histograms([b, c])])
+        assert left == right
+        # ...and both equal the flat three-way merge.
+        assert left == merge_histograms([a, b, c])
+
+    @_SETTINGS
+    @given(a=integer_histograms(), b=integer_histograms())
+    def test_commutative(self, a, b):
+        assert merge_histograms([a, b]) == merge_histograms([b, a])
+
+    @_SETTINGS
+    @given(a=integer_histograms(), b=integer_histograms())
+    def test_mass_conserved(self, a, b):
+        merged = merge_histograms([a, b])
+        assert sum(merged.values()) == sum(a.values()) + sum(b.values())
+        assert set(merged) == set(a) | set(b)
+
+    @_SETTINGS
+    @given(h=integer_histograms())
+    def test_identity_and_copy(self, h):
+        assert merge_histograms([]) == {}
+        merged = merge_histograms([h])
+        assert merged == h
+        # The merge returns a fresh dict, never an alias of its input.
+        merged[99] = 1.0
+        assert 99 not in h
+
+    @_SETTINGS
+    @given(a=integer_histograms(), b=integer_histograms())
+    def test_max_delay_is_max_of_parts(self, a, b):
+        merged = merge_histograms([a, b])
+        assert histogram_max_delay(merged) == max(
+            histogram_max_delay(a), histogram_max_delay(b)
+        )
+
+    @_SETTINGS
+    @given(h=integer_histograms())
+    def test_quantile_bounds(self, h):
+        if not h:
+            return
+        q0 = histogram_quantile(h, 0.01)
+        q1 = histogram_quantile(h, 1.0)
+        assert min(h) <= q0 <= q1 <= max(h)
+        assert q1 == histogram_max_delay(h)
+
+
+def _registry_from(observations: dict[str, list[float]]) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, values in observations.items():
+        for value in values:
+            registry.histogram(name).observe(value)
+        registry.counter(name + ".count").inc(len(values))
+    return registry
+
+
+class TestSnapshotMerge:
+    """MetricsRegistry.merge_snapshot grouping-independence."""
+
+    @_SETTINGS
+    @given(a=integer_histograms(), b=integer_histograms(), c=integer_histograms())
+    def test_any_grouping_same_aggregate(self, a, b, c):
+        snaps = [
+            _registry_from({"queue": [float(k) for k in part]}).snapshot()
+            for part in (a, b, c)
+        ]
+
+        sequential = MetricsRegistry()
+        for snap in snaps:
+            sequential.merge_snapshot(snap)
+
+        paired = MetricsRegistry()
+        intermediate = MetricsRegistry()
+        intermediate.merge_snapshot(snaps[0])
+        intermediate.merge_snapshot(snaps[1])
+        paired.merge_snapshot(intermediate.snapshot())
+        paired.merge_snapshot(snaps[2])
+
+        assert sequential.snapshot() == paired.snapshot()
+
+    @_SETTINGS
+    @given(a=integer_histograms(), b=integer_histograms())
+    def test_counts_conserved(self, a, b):
+        merged = MetricsRegistry()
+        merged.merge_snapshot(_registry_from({"q": list(map(float, a))}).snapshot())
+        merged.merge_snapshot(_registry_from({"q": list(map(float, b))}).snapshot())
+        snap = merged.snapshot()
+        if not a and not b:
+            assert snap["histograms"] == {}
+            return
+        histogram = snap["histograms"]["q"]
+        assert histogram["count"] == len(a) + len(b)
+        assert histogram["total"] == float(sum(a) + sum(b))
+        assert sum(histogram["buckets"].values()) == len(a) + len(b)
+        assert snap["counters"]["q.count"] == len(a) + len(b)
+
+    def test_malformed_sections_skipped(self):
+        registry = MetricsRegistry()
+        registry.merge_snapshot({"counters": {"x": "not-a-number"}})
+        registry.merge_snapshot({"histograms": {"h": "nope"}})
+        registry.merge_snapshot("garbage")
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}

@@ -1,0 +1,128 @@
+"""Hypothesis round-trips for trace serialization.
+
+The example-based tests in ``test_serialize.py`` check one trace per
+shape; these drive randomized workloads through the engines and assert
+that ``save → load`` is the identity on every recorded field, that
+:func:`load_any_trace` dispatches on the stored kind, and that the two
+loaders reject each other's files regardless of content.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.phased import PhasedMultiSession
+from repro.core.single_session import SingleSessionOnline
+from repro.sim.engine import run_multi_session, run_single_session
+from repro.sim.recorder import MultiSessionTrace, SingleSessionTrace
+from repro.sim.serialize import (
+    load_any_trace,
+    load_multi_trace,
+    load_single_trace,
+    save_multi_trace,
+    save_single_trace,
+)
+from tests.strategies import arrival_streams, seeds
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _assert_single_equal(a: SingleSessionTrace, b: SingleSessionTrace) -> None:
+    for field in (
+        "arrivals",
+        "allocation",
+        "requested",
+        "effective",
+        "delivered",
+        "dropped",
+        "backlog",
+    ):
+        np.testing.assert_array_equal(
+            getattr(a, field), getattr(b, field), err_msg=field
+        )
+    assert a.delay_histogram == b.delay_histogram
+    assert a.stage_starts == b.stage_starts
+    assert a.resets == b.resets
+    assert a.horizon == b.horizon
+    assert [(c.t, c.old, c.new) for c in a.changes] == [
+        (c.t, c.old, c.new) for c in b.changes
+    ]
+
+
+def _assert_multi_equal(a: MultiSessionTrace, b: MultiSessionTrace) -> None:
+    for field in (
+        "arrivals",
+        "regular_allocation",
+        "overflow_allocation",
+        "extra_allocation",
+        "delivered",
+        "dropped",
+        "backlog",
+    ):
+        np.testing.assert_array_equal(
+            getattr(a, field), getattr(b, field), err_msg=field
+        )
+    assert a.delay_histograms == b.delay_histograms
+    assert a.local_changes == b.local_changes
+    assert a.extra_changes == b.extra_changes
+    assert a.stage_starts == b.stage_starts
+    assert a.horizon == b.horizon
+
+
+class TestSingleRoundTripProperties:
+    @_SETTINGS
+    @given(arrivals=arrival_streams(max_slots=120))
+    def test_save_load_is_identity(self, tmp_path, arrivals):
+        policy = SingleSessionOnline(64.0, 4, 0.25, 8)
+        trace = run_single_session(
+            policy, arrivals, max_drain_slots=200_000
+        )
+        path = tmp_path / "single.npz"
+        save_single_trace(path, trace)
+        _assert_single_equal(load_single_trace(path), trace)
+
+    @_SETTINGS
+    @given(arrivals=arrival_streams(max_slots=120))
+    def test_load_any_dispatches_single(self, tmp_path, arrivals):
+        policy = SingleSessionOnline(64.0, 4, 0.25, 8)
+        trace = run_single_session(
+            policy, arrivals, max_drain_slots=200_000
+        )
+        path = tmp_path / "single.npz"
+        save_single_trace(path, trace)
+        loaded = load_any_trace(path)
+        assert isinstance(loaded, SingleSessionTrace)
+        _assert_single_equal(loaded, trace)
+
+    @_SETTINGS
+    @given(arrivals=arrival_streams(max_slots=120))
+    def test_double_round_trip_is_stable(self, tmp_path, arrivals):
+        """Serialization is idempotent: load(save(load(save(t)))) == t."""
+        policy = SingleSessionOnline(64.0, 4, 0.25, 8)
+        trace = run_single_session(
+            policy, arrivals, max_drain_slots=200_000
+        )
+        first, second = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_single_trace(first, trace)
+        once = load_single_trace(first)
+        save_single_trace(second, once)
+        _assert_single_equal(load_single_trace(second), trace)
+
+
+class TestMultiRoundTripProperties:
+    @_SETTINGS
+    @given(seed=seeds)
+    def test_save_load_is_identity(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        arrivals = rng.poisson(2, size=(80, 3)).astype(float)
+        policy = PhasedMultiSession(3, offline_bandwidth=16.0, offline_delay=4)
+        trace = run_multi_session(policy, arrivals, max_drain_slots=200_000)
+        path = tmp_path / "multi.npz"
+        save_multi_trace(path, trace)
+        loaded = load_any_trace(path)
+        assert isinstance(loaded, MultiSessionTrace)
+        _assert_multi_equal(loaded, trace)
+        _assert_multi_equal(load_multi_trace(path), trace)

@@ -1,0 +1,136 @@
+"""Shared hypothesis strategies for the whole test-suite.
+
+One place for the domain's generators: parameter grids, random and
+certificate-backed workloads, fault plans.  The fault tests, traffic
+property tests and the differential fuzzing harness all draw from here,
+so shrunk counterexamples read the same everywhere.
+
+The example budget of the fuzz-grade tests is environment-driven:
+``REPRO_FUZZ_EXAMPLES`` (default 25) — CI sets 200, the nightly job
+1000 — so the same tests serve as quick local checks and deep fuzzing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.params import OfflineConstraints
+from repro.traffic.feasible import generate_feasible_stream
+from repro.traffic.multi import generate_multi_feasible
+
+#: Example budget for the fuzz-grade property tests (see module docstring).
+FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+
+#: RNG seeds — the full 31-bit space the generators accept.
+seeds = st.integers(min_value=0, max_value=2**31)
+
+#: Fault intensities that actually inject something (0 is the null plan).
+intensities = st.floats(min_value=0.05, max_value=1.0)
+
+#: Power-of-two offline bandwidths on the default quantizer grid.
+bandwidth_exponents = st.integers(min_value=3, max_value=8)
+
+#: Offline delay bounds the experiments sweep.
+delays = st.integers(min_value=2, max_value=8)
+
+
+@st.composite
+def offline_constraints(draw, utilization: bool = True) -> OfflineConstraints:
+    """An :class:`OfflineConstraints` on the power-of-two grid."""
+    bandwidth = float(2 ** draw(bandwidth_exponents))
+    delay = draw(delays)
+    if not utilization:
+        return OfflineConstraints(bandwidth=bandwidth, delay=delay)
+    window = delay * draw(st.integers(min_value=1, max_value=3))
+    u = draw(st.sampled_from([1 / 4, 1 / 8, 1 / 16]))
+    return OfflineConstraints(
+        bandwidth=bandwidth, delay=delay, utilization=u, window=window
+    )
+
+
+@st.composite
+def arrival_streams(draw, max_slots: int = 200, max_rate: float = 32.0):
+    """Raw (uncertified) non-negative arrival arrays, bursty by design."""
+    slots = draw(st.integers(min_value=1, max_value=max_slots))
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    shape = draw(st.sampled_from(["poisson", "onoff", "spiky"]))
+    if shape == "poisson":
+        arrivals = rng.poisson(max_rate / 4, slots).astype(float)
+    elif shape == "onoff":
+        on = rng.random(slots) < 0.3
+        arrivals = np.where(on, rng.uniform(0, max_rate, slots), 0.0)
+    else:
+        arrivals = np.zeros(slots)
+        spikes = rng.random(slots) < 0.05
+        arrivals[spikes] = rng.uniform(max_rate / 2, max_rate, spikes.sum())
+    return arrivals
+
+
+@st.composite
+def feasible_single_workloads(draw, max_segments: int = 4):
+    """A certificate-backed feasible stream plus its constraints.
+
+    Returns ``(stream, offline)`` where ``stream.profile`` certifies
+    feasibility — the premise of every conditional theorem bound.
+    """
+    offline = draw(offline_constraints())
+    min_segment = max(offline.window, 4 * offline.delay)
+    segments = draw(st.integers(min_value=2, max_value=max_segments))
+    horizon = segments * min_segment * draw(st.integers(min_value=1, max_value=3))
+    stream = generate_feasible_stream(
+        offline,
+        horizon,
+        segments=segments,
+        seed=draw(seeds),
+        burstiness=draw(st.sampled_from(["smooth", "blocks"])),
+    )
+    return stream, offline
+
+
+@st.composite
+def feasible_multi_workloads(draw, max_k: int = 4):
+    """A certified multi-session workload plus ``(B_O, D_O, k)``."""
+    k = draw(st.integers(min_value=2, max_value=max_k))
+    bandwidth = float(2 ** draw(st.integers(min_value=4, max_value=7)))
+    delay = draw(st.integers(min_value=2, max_value=6))
+    horizon = 4 * delay * draw(st.integers(min_value=8, max_value=20))
+    workload = generate_multi_feasible(
+        k,
+        offline_bandwidth=bandwidth,
+        offline_delay=delay,
+        horizon=horizon,
+        segments=draw(st.integers(min_value=2, max_value=4)),
+        seed=draw(seeds),
+        concentration=draw(st.sampled_from([0.5, 0.7, 1.0])),
+        burstiness=draw(st.sampled_from(["smooth", "blocks"])),
+    )
+    return workload, bandwidth, delay, k
+
+
+@st.composite
+def fault_plans(draw, horizon: int = 300):
+    """A seeded standard fault plan with nonzero intensity."""
+    from repro.faults import standard_plan
+
+    return standard_plan(draw(intensities), horizon, seed=draw(seeds))
+
+
+@st.composite
+def integer_histograms(draw, max_delay: int = 40):
+    """Delay histograms with integer bit masses.
+
+    Integer-valued floats below 2**53 make float addition exact, so
+    merge-associativity can be asserted with ``==`` instead of a
+    tolerance.
+    """
+    return draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=max_delay),
+            st.integers(min_value=1, max_value=2**40).map(float),
+            max_size=12,
+        )
+    )

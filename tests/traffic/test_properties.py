@@ -1,0 +1,224 @@
+"""Property-based tests over the whole traffic substrate.
+
+Every generator in :mod:`repro.traffic` must satisfy three laws:
+
+* **non-negativity** — arrivals are bits, never debts;
+* **shape** — ``materialize(horizon)`` returns exactly ``horizon`` slots;
+* **seed determinism** — the same integer seed reproduces the stream
+  bit-for-bit, and (for stochastic sources) different seeds diverge.
+
+The transform combinators additionally satisfy algebraic composition
+laws (scaling is multiplicative, clipping is a min-semilattice, shifts
+add, zero-jitter is the identity) which pin down their semantics far
+more tightly than example-based tests would.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.traffic import (
+    ClipTo,
+    CompoundPoisson,
+    ConstantRate,
+    Diurnal,
+    GeometricDoubling,
+    Jittered,
+    MarkovModulatedPoisson,
+    MpegVbr,
+    OnOffBursts,
+    ParetoBursts,
+    PoissonArrivals,
+    Ramp,
+    RepeatingPattern,
+    Scaled,
+    SelfSimilarAggregate,
+    Shaped,
+    Shifted,
+    Spikes,
+    SquareWave,
+    Superpose,
+    TraceReplay,
+    figure1_demand,
+)
+from tests.strategies import seeds
+
+# One representative instance of every ArrivalProcess in the package.
+# New generators must be added here — test_catalogue_is_exhaustive fails
+# otherwise.
+GENERATORS = {
+    "constant": ConstantRate(4.0),
+    "pattern": RepeatingPattern([1.0, 0.0, 3.0]),
+    "poisson": PoissonArrivals(6.0),
+    "compound": CompoundPoisson(0.5, 8.0),
+    "onoff": OnOffBursts(16.0, mean_on=5.0, mean_off=10.0, jitter=0.2),
+    "pareto": ParetoBursts(0.1, mean_burst=12.0, spread=2),
+    "mmpp": MarkovModulatedPoisson(
+        [[0.9, 0.1], [0.2, 0.8]], rates=[2.0, 20.0]
+    ),
+    "vbr": MpegVbr(8.0),
+    "square": SquareWave(1.0, 9.0, period=8),
+    "ramp": Ramp(0.0, 12.0),
+    "spikes": Spikes([3, 17, 40], height=30.0),
+    "doubling": GeometricDoubling(gap=6, cap=64.0),
+    "diurnal": Diurnal(PoissonArrivals(8.0), period=24),
+    "shaped": Shaped(ParetoBursts(0.2, 10.0), rate=6.0, burst=12.0),
+    "selfsimilar": SelfSimilarAggregate(sources=8),
+    "trace": TraceReplay([2.0, 0.0, 5.0, 1.0], loop=True),
+    "figure1": figure1_demand(),
+    "scaled": Scaled(PoissonArrivals(4.0), 2.5),
+    "shifted": Shifted(PoissonArrivals(4.0), 7),
+    "clipped": ClipTo(ParetoBursts(0.2, 20.0), 10.0),
+    "jittered": Jittered(PoissonArrivals(4.0), 0.3),
+    "superposed": Superpose([PoissonArrivals(2.0), SquareWave(0.0, 8.0, 6)]),
+}
+
+#: Sources whose output is a pure function of the horizon (no RNG draws).
+DETERMINISTIC = {
+    "constant", "pattern", "square", "ramp", "spikes", "doubling", "trace"
+}
+
+
+def test_catalogue_is_exhaustive():
+    """Every concrete ArrivalProcess subclass is represented above."""
+    import repro.traffic as traffic
+    from repro.traffic.base import ArrivalProcess
+
+    exported = {
+        getattr(traffic, name)
+        for name in traffic.__all__
+        if isinstance(getattr(traffic, name), type)
+        and issubclass(getattr(traffic, name), ArrivalProcess)
+        and getattr(traffic, name) is not ArrivalProcess
+    }
+    covered = {type(g) for g in GENERATORS.values()}
+    missing = {cls.__name__ for cls in exported - covered}
+    assert not missing, f"generators without property coverage: {missing}"
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestGeneratorLaws:
+    def test_non_negative_and_shaped(self, name):
+        for horizon in (0, 1, 17, 250):
+            arrivals = GENERATORS[name].materialize(horizon, seed=3)
+            assert arrivals.shape == (horizon,)
+            assert arrivals.dtype == float
+            if horizon:
+                assert arrivals.min() >= 0.0
+            assert np.isfinite(arrivals).all()
+
+    def test_seed_determinism(self, name):
+        gen = GENERATORS[name]
+        a = gen.materialize(300, seed=42)
+        b = gen.materialize(300, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_seeds_actually_matter(self, name):
+        gen = GENERATORS[name]
+        a = gen.materialize(400, seed=0)
+        b = gen.materialize(400, seed=1)
+        if name in DETERMINISTIC:
+            assert np.array_equal(a, b)
+        else:
+            assert not np.array_equal(a, b)
+
+    def test_prefix_stability_under_same_seed(self, name):
+        """Restarting with the same seed replays the same prefix."""
+        gen = GENERATORS[name]
+        long = gen.materialize(200, seed=9)
+        short = gen.materialize(200, seed=9)[:50]
+        assert np.array_equal(long[:50], short)
+
+
+class TestTransformLaws:
+    """Algebraic laws of the combinators, under shared RNG streams."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_scaling_composes_multiplicatively(self, seed):
+        base = PoissonArrivals(6.0)
+        nested = Scaled(Scaled(base, 1.5), 2.0).materialize(120, seed=seed)
+        flat = Scaled(base, 3.0).materialize(120, seed=seed)
+        assert np.allclose(nested, flat)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_scale_by_one_is_identity(self, seed):
+        base = ParetoBursts(0.2, 10.0)
+        assert np.array_equal(
+            Scaled(base, 1.0).materialize(120, seed=seed),
+            base.materialize(120, seed=seed),
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_clipping_composes_as_min(self, seed):
+        base = ParetoBursts(0.3, 25.0)
+        nested = ClipTo(ClipTo(base, 12.0), 5.0).materialize(150, seed=seed)
+        flat = ClipTo(base, 5.0).materialize(150, seed=seed)
+        assert np.array_equal(nested, flat)
+        # ...and clipping is idempotent and order-insensitive.
+        swapped = ClipTo(ClipTo(base, 5.0), 12.0).materialize(150, seed=seed)
+        assert np.array_equal(nested, swapped)
+        assert nested.max(initial=0.0) <= 5.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_shifts_add(self, seed):
+        base = PoissonArrivals(5.0)
+        nested = Shifted(Shifted(base, 3), 4).materialize(100, seed=seed)
+        flat = Shifted(base, 7).materialize(100, seed=seed)
+        assert np.array_equal(nested, flat)
+        assert np.array_equal(nested[:7], np.zeros(7))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_shift_by_zero_is_identity(self, seed):
+        base = PoissonArrivals(5.0)
+        assert np.array_equal(
+            Shifted(base, 0).materialize(80, seed=seed),
+            base.materialize(80, seed=seed),
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_zero_jitter_is_identity(self, seed):
+        base = PoissonArrivals(5.0)
+        assert np.array_equal(
+            Jittered(base, 0.0).materialize(90, seed=seed),
+            base.materialize(90, seed=seed),
+        )
+
+    def test_shift_longer_than_horizon_is_all_zero(self):
+        out = Shifted(ConstantRate(3.0), 50).materialize(20, seed=0)
+        assert np.array_equal(out, np.zeros(20))
+
+    def test_superpose_of_deterministic_parts_sums(self):
+        a, b = ConstantRate(2.0), SquareWave(1.0, 5.0, period=4)
+        combined = Superpose([a, b]).materialize(40, seed=0)
+        assert np.allclose(
+            combined,
+            a.materialize(40, seed=0) + b.materialize(40, seed=0),
+        )
+
+    def test_add_operator_builds_superpose(self):
+        combined = ConstantRate(1.0) + ConstantRate(2.0)
+        assert isinstance(combined, Superpose)
+        assert np.allclose(combined.materialize(10, seed=0), 3.0)
+
+
+class TestValidation:
+    def test_negative_horizon_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ConstantRate(1.0).materialize(-1)
+
+    def test_shaped_output_respects_token_bucket(self):
+        """Shaped output over any window w obeys burst + rate * w."""
+        shaped = Shaped(ParetoBursts(0.3, 30.0), rate=4.0, burst=10.0)
+        out = shaped.materialize(300, seed=5)
+        cumulative = np.concatenate([[0.0], np.cumsum(out)])
+        for width in (1, 5, 20, 100):
+            window_sums = cumulative[width:] - cumulative[:-width]
+            assert window_sums.max(initial=0.0) <= 10.0 + 4.0 * width + 1e-6

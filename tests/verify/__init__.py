@@ -1,0 +1,1 @@
+"""Tests for the verification subsystem (repro.verify)."""

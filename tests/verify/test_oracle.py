@@ -1,0 +1,142 @@
+"""The DP change-count oracle vs the exhaustive enumerator and certificates.
+
+``min_changes_oracle`` claims to be exact over its grid; the enumerator
+in :mod:`repro.core.opt_bruteforce` *is* exact by construction on tiny
+instances, so equality between them (same grid, no utilization
+constraint) is the oracle's ground truth.  The remaining tests pin the
+lower-bound relationship against generator certificates and the
+degenerate/edge cases.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.opt_bruteforce import min_changes_bruteforce
+from repro.errors import ConfigError
+from repro.params import OfflineConstraints
+from repro.traffic.feasible import generate_feasible_stream
+from repro.verify.oracle import (
+    competitive_ratio,
+    default_levels,
+    min_changes_oracle,
+)
+from tests.strategies import seeds
+
+
+class TestDefaultLevels:
+    def test_powers_of_two_down_to_one(self):
+        assert default_levels(8.0) == [8.0, 4.0, 2.0, 1.0]
+        assert default_levels(8.0, include_zero=True) == [8.0, 4.0, 2.0, 1.0, 0.0]
+
+    def test_non_power_of_two_bandwidth(self):
+        assert default_levels(6.0) == [6.0, 3.0, 1.5]
+
+    def test_sub_unit_bandwidth_grid_not_empty(self):
+        # Regression: the enumerator's historical inline grid was empty for
+        # B_O < 1 and raised ConfigError before any schedule was tried.
+        assert default_levels(0.5) == [0.5]
+        offline = OfflineConstraints(bandwidth=0.5, delay=2)
+        # A constant 0.5 schedule serves this with zero interior switches —
+        # what matters is that it no longer raises "empty level grid".
+        assert min_changes_bruteforce(np.array([0.4, 0.4]), offline) == 0
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            default_levels(0.0)
+
+
+class TestOracleExactness:
+    """Same grid, no utilization constraint ⇒ oracle == enumerator."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        horizon = int(rng.integers(3, 9))
+        arrivals = rng.integers(0, 7, horizon).astype(float)
+        offline = OfflineConstraints(bandwidth=8.0, delay=int(rng.integers(2, 4)))
+        levels = default_levels(offline.bandwidth)  # enumerator's grid (no 0)
+        oracle = min_changes_oracle(arrivals, offline, levels=levels)
+        brute = min_changes_bruteforce(arrivals, offline, levels=levels)
+        if brute is None:
+            # Enumerator capped at 3 changes; the oracle may go deeper.
+            assert oracle.changes is None or oracle.changes > 3
+        else:
+            assert oracle.feasible
+            assert oracle.changes == brute
+
+    def test_constant_feasible_load_needs_no_interior_switch(self):
+        offline = OfflineConstraints(bandwidth=8.0, delay=2)
+        oracle = min_changes_oracle(np.full(20, 6.0), offline)
+        assert oracle.changes == 0
+        assert np.all(oracle.schedule == oracle.schedule[0])
+
+    def test_burst_then_silence_forces_a_switch_down_or_none(self):
+        # The idle level is on the default grid, so after a hard burst the
+        # optimum may park at 0 — but serving the burst within the delay
+        # bound pins the level high while it lasts.
+        offline = OfflineConstraints(bandwidth=8.0, delay=2)
+        arrivals = np.concatenate([np.full(6, 8.0), np.zeros(20)])
+        oracle = min_changes_oracle(arrivals, offline)
+        assert oracle.feasible
+        assert oracle.changes <= 1
+        assert np.all(oracle.schedule[:5] == 8.0)
+
+
+class TestWitness:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_witness_shape_and_grid(self, seed):
+        rng = np.random.default_rng(seed)
+        arrivals = rng.integers(0, 6, 30).astype(float)
+        offline = OfflineConstraints(bandwidth=8.0, delay=3)
+        oracle = min_changes_oracle(arrivals, offline)
+        if not oracle.feasible:
+            return
+        assert oracle.schedule.shape == (30,)
+        assert set(np.unique(oracle.schedule)) <= set(oracle.levels)
+        # Interior switches of the witness equal the claimed optimum
+        # (min_changes_oracle already replays the witness internally; this
+        # re-checks from the outside).
+        switches = int(np.count_nonzero(np.abs(np.diff(oracle.schedule)) > 1e-12))
+        assert switches == oracle.changes
+
+    def test_infeasible_burst_reported(self):
+        # 100 bits must drain within 2 slots of arrival but the grid tops
+        # out at 4 bits/slot: no schedule exists.
+        offline = OfflineConstraints(bandwidth=4.0, delay=2)
+        oracle = min_changes_oracle(np.array([100.0]), offline)
+        assert not oracle.feasible
+        assert oracle.changes is None
+        assert oracle.schedule is None
+
+    def test_empty_horizon(self):
+        offline = OfflineConstraints(bandwidth=4.0, delay=2)
+        oracle = min_changes_oracle(np.array([]), offline)
+        assert oracle.feasible and oracle.changes == 0
+
+
+class TestLowerBound:
+    """oracle ≤ certificate profile changes — the Theorem 6/7 premise."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds)
+    def test_oracle_below_profile_changes(self, seed):
+        offline = OfflineConstraints(
+            bandwidth=16.0, delay=3, utilization=0.25, window=6
+        )
+        stream = generate_feasible_stream(offline, 96, segments=3, seed=seed)
+        oracle = min_changes_oracle(stream.arrivals, offline)
+        assert oracle.feasible, "certified streams must be oracle-servable"
+        assert oracle.changes <= stream.profile_changes
+
+
+class TestCompetitiveRatio:
+    def test_cases(self):
+        assert math.isnan(competitive_ratio(5, None))
+        assert competitive_ratio(0, 0) == 0.0
+        assert competitive_ratio(3, 0) == math.inf
+        assert competitive_ratio(6, 2) == pytest.approx(3.0)

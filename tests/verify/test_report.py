@@ -1,0 +1,88 @@
+"""CertificateReport / CertificateCheck / Counterexample semantics."""
+
+from repro.verify.report import CertificateCheck, CertificateReport, Counterexample
+
+
+class TestCounterexample:
+    def test_render_includes_slot_and_values(self):
+        ce = Counterexample(17, "queue too deep", {"queue": 12.5, "cap": 8.0})
+        text = ce.render()
+        assert "t=17" in text
+        assert "queue too deep" in text
+        assert "queue=12.5" in text
+
+    def test_render_without_values(self):
+        assert Counterexample(0, "bad").render() == "t=0: bad"
+
+    def test_as_dict_round(self):
+        ce = Counterexample(3, "x", {"a": 1.0})
+        assert ce.as_dict() == {"t": 3, "detail": "x", "values": {"a": 1.0}}
+
+
+class TestCertificateCheck:
+    def test_tri_state_render(self):
+        passed = CertificateCheck("c", "Claim 2", True, "ok", margin=1.5)
+        failed = CertificateCheck("c", "Claim 2", False, "bad", margin=-0.5)
+        skipped = CertificateCheck("c", "Claim 2", None, "n/a")
+        assert "[PASS]" in passed.render()
+        assert "[FAIL]" in failed.render()
+        assert "[skip]" in skipped.render()
+        assert skipped.skipped and not passed.skipped and not failed.skipped
+
+    def test_margin_suppressed_on_skip(self):
+        check = CertificateCheck("c", "t", None, "n/a", margin=2.0)
+        assert "margin" not in check.render()
+
+    def test_counterexamples_truncated_at_three(self):
+        examples = tuple(Counterexample(t, "x") for t in range(7))
+        check = CertificateCheck("c", "t", False, "bad", counterexamples=examples)
+        text = check.render()
+        assert "t=2" in text
+        assert "t=3" not in text
+        assert "... and 4 more" in text
+
+
+class TestCertificateReport:
+    def test_empty_report_certifies(self):
+        assert CertificateReport("empty").certified
+
+    def test_skips_do_not_block_certification(self):
+        report = CertificateReport("r")
+        report.add("a", "T", True, "ok")
+        report.add("b", "T", None, "skipped")
+        assert report.certified
+        assert report.checked_count == 1
+        assert report.failures == []
+
+    def test_single_failure_blocks(self):
+        report = CertificateReport("r")
+        report.add("a", "T", True, "ok")
+        report.add("b", "T", False, "bad")
+        assert not report.certified
+        assert [c.name for c in report.failures] == ["b"]
+        assert "NOT CERTIFIED" in report.render()
+
+    def test_render_lists_every_check(self):
+        report = CertificateReport("my trace")
+        report.add("alpha", "T1", True, "fine")
+        report.add("beta", "T2", None, "skipped")
+        text = report.render()
+        assert text.startswith("my trace: CERTIFIED")
+        assert "alpha" in text and "beta" in text
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        report = CertificateReport("r")
+        report.add(
+            "a",
+            "T",
+            False,
+            "bad",
+            margin=-1.0,
+            counterexamples=(Counterexample(1, "x", {"v": 2.0}),),
+        )
+        payload = report.as_dict()
+        assert payload["certified"] is False
+        assert payload["checks"][0]["counterexamples"][0]["t"] == 1
+        json.dumps(payload)  # must serialize untouched

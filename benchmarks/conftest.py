@@ -12,9 +12,17 @@ normal multi-round timing.
 The whole bench session runs inside one :mod:`repro.obs` telemetry
 session, and ``pytest_sessionfinish`` aggregates everything machine-
 readable into ``BENCH_OBS.json`` at the repo root: per-benchmark wall
-timings, the engines' profiling records (slots/sec throughput), and the
-session's metric counters.  That file is the repo's perf trajectory —
-compare it across commits to catch hot-path regressions.
+timings, per-experiment wall timings, the engines' profiling records
+(slots/sec throughput), and the session's metric counters.  The
+aggregation is *validated*, not best-effort: a session that executed
+benchmarks but produced empty ``benchmarks``/``experiments`` arrays
+(pytest-benchmark silently disables itself under xdist, for one) fails
+the run instead of shipping a hollow artifact.
+
+Each session also appends one record to the continuous performance
+history (``PERF_HISTORY.jsonl`` — see ``repro bench`` and
+:mod:`repro.obs.history`); that file, not BENCH_OBS.json, is the
+run-over-run trajectory.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ import pytest
 
 from repro.experiments import registry
 from repro.obs import Telemetry, set_telemetry
+from repro.obs.history import HistoryStore, history_path, record_from_bench_obs
 from repro.obs.manifest import git_revision
 from repro.version import __version__
 
@@ -36,6 +45,8 @@ BENCH_OBS_SCHEMA = 1
 
 _session_telemetry = Telemetry()
 _experiment_timings: list[dict] = []
+_benchmark_tests_ran = 0
+_experiment_benchmarks_ran = 0
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -58,6 +69,8 @@ def run_experiment(benchmark):
     """Time one experiment and assert all its guarantee checks pass."""
 
     def _run(experiment_id: str, scale: float = 0.5):
+        global _experiment_benchmarks_ran
+        _experiment_benchmarks_ran += 1
         started = time.perf_counter()
         result = benchmark.pedantic(
             registry.run,
@@ -81,8 +94,15 @@ def run_experiment(benchmark):
     return _run
 
 
+def pytest_runtest_setup(item):
+    """Count executed benchmark-fixture tests, for aggregation validation."""
+    global _benchmark_tests_ran
+    if "benchmark" in getattr(item, "fixturenames", ()):
+        _benchmark_tests_ran += 1
+
+
 def _benchmark_rows(session) -> list[dict]:
-    """Per-benchmark stats from pytest-benchmark's session (best effort)."""
+    """Per-benchmark stats from pytest-benchmark's session."""
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None:
         return []
@@ -95,8 +115,10 @@ def _benchmark_rows(session) -> list[dict]:
                     "name": bench.name,
                     "group": bench.group,
                     "mean_s": stats.mean,
+                    "median_s": stats.median,
                     "min_s": stats.min,
                     "max_s": stats.max,
+                    "stddev_s": stats.stddev,
                     "rounds": stats.rounds,
                 }
             )
@@ -105,8 +127,26 @@ def _benchmark_rows(session) -> list[dict]:
     return rows
 
 
+def _aggregation_errors(payload: dict) -> list[str]:
+    """Why this BENCH_OBS payload would be a hollow artifact (if any)."""
+    errors = []
+    if _benchmark_tests_ran and not payload["benchmarks"]:
+        errors.append(
+            f"{_benchmark_tests_ran} benchmark test(s) executed but no "
+            "pytest-benchmark stats were aggregated — pytest-benchmark is "
+            "probably disabled (it turns itself off under pytest-xdist; "
+            "run benchmarks/ without -n, and without --benchmark-disable)"
+        )
+    if _experiment_benchmarks_ran and not payload["experiments"]:
+        errors.append(
+            f"{_experiment_benchmarks_ran} experiment benchmark(s) executed "
+            "but the experiments array is empty"
+        )
+    return errors
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Write the BENCH_OBS.json perf snapshot at the repo root."""
+    """Write the BENCH_OBS.json perf snapshot + one history record."""
     payload = {
         "schema": BENCH_OBS_SCHEMA,
         "version": __version__,
@@ -119,8 +159,21 @@ def pytest_sessionfinish(session, exitstatus):
         "profiles": _session_telemetry.profile_summary(),
         "counters": _session_telemetry.registry.snapshot()["counters"],
     }
+    errors = _aggregation_errors(payload)
+    if errors:
+        for error in errors:
+            print(f"\nBENCH_OBS aggregation error: {error}", file=sys.stderr)
+        session.exitstatus = 1
+        return
     out = session.config.rootpath / "BENCH_OBS.json"
     with open(out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nwrote {out} ({len(payload['profiles'])} profile records)")
+
+    if int(exitstatus) == 0 and (payload["benchmarks"] or payload["experiments"]):
+        hist = history_path(session.config.rootpath)
+        if hist is not None:
+            store = HistoryStore(hist)
+            store.append(record_from_bench_obs(payload))
+            print(f"appended perf-history record to {store.path}")

@@ -11,7 +11,12 @@ Subcommands:
 * ``report`` — run everything and write EXPERIMENTS.md; ``--jobs N``
   fans out across worker processes (see :mod:`repro.cli_report`).
 * ``trace`` — summarize a telemetry export written by ``simulate
-  --telemetry`` / ``run --telemetry`` (see :mod:`repro.cli_trace`).
+  --telemetry`` / ``run --telemetry``; ``--perfetto`` / ``--flame``
+  convert it for external viewers (see :mod:`repro.cli_trace`).
+* ``metrics`` — render a telemetry export's metrics snapshot as
+  OpenMetrics/Prometheus text (see :mod:`repro.cli_metrics`).
+* ``bench`` — record/compare/show the continuous performance history
+  (see :mod:`repro.cli_bench`).
 * ``cache`` — inspect or clear the content-addressed workload/result
   cache (see :mod:`repro.cli_cache`).
 * ``verify`` — certify theorem bounds (Claim 2, Lemma 3, Corollary 4,
@@ -26,7 +31,9 @@ import sys
 import time
 from contextlib import nullcontext
 
+from repro.cli_bench import add_bench_parser, run_bench
 from repro.cli_cache import add_cache_parser, run_cache
+from repro.cli_metrics import add_metrics_parser, run_metrics
 from repro.cli_report import add_report_parser, run_report
 from repro.cli_simulate import add_simulate_parser, run_simulate
 from repro.cli_trace import add_trace_parser, run_trace
@@ -76,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_simulate_parser(sub)
     add_report_parser(sub)
     add_trace_parser(sub)
+    add_metrics_parser(sub)
+    add_bench_parser(sub)
     add_cache_parser(sub)
     add_verify_parser(sub)
     return parser
@@ -93,6 +102,10 @@ def main(argv: list[str] | None = None) -> int:
         return run_report(args)
     if args.command == "trace":
         return run_trace(args)
+    if args.command == "metrics":
+        return run_metrics(args)
+    if args.command == "bench":
+        return run_bench(args)
     if args.command == "cache":
         return run_cache(args)
     if args.command == "verify":

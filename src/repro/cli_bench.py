@@ -1,0 +1,256 @@
+"""The ``bench`` CLI subcommand: drive the continuous performance history.
+
+Three verbs over the append-only JSONL store (``PERF_HISTORY.jsonl`` by
+default, ``REPRO_HISTORY_FILE`` to relocate/disable)::
+
+    repro-bandwidth bench record            # BENCH_OBS.json -> one record
+    repro-bandwidth bench compare           # newest record vs rolling baseline
+    repro-bandwidth bench show              # the recorded trajectory
+
+``compare`` is warn-only by default (exit 0, regressions printed as
+warnings) so it can sit in CI without flaking the build on a noisy
+runner; ``--strict`` turns a detected regression into exit 1.  The
+detector is rolling median ± MAD per metric — see
+:mod:`repro.obs.history` for the exact semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.analysis.report import render_table
+from repro.errors import ConfigError
+from repro.obs.history import (
+    HistoryStore,
+    compare_records,
+    history_path,
+    record_from_bench_obs,
+)
+
+
+def add_bench_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``bench`` subcommand."""
+    parser = sub.add_parser(
+        "bench",
+        help="record/compare/show the continuous performance history",
+    )
+    verbs = parser.add_subparsers(dest="bench_command", required=True)
+
+    record = verbs.add_parser(
+        "record", help="append a BENCH_OBS.json snapshot to the history"
+    )
+    record.add_argument(
+        "--input",
+        type=str,
+        default="BENCH_OBS.json",
+        help="benchmark aggregate to record (default: BENCH_OBS.json)",
+    )
+    record.add_argument(
+        "--label", type=str, default="bench", help="record label"
+    )
+
+    compare = verbs.add_parser(
+        "compare", help="compare the newest record against its history"
+    )
+    compare.add_argument(
+        "--label", type=str, default="bench", help="records to compare"
+    )
+    compare.add_argument(
+        "--window", type=int, default=8, help="rolling baseline size"
+    )
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=4.0,
+        help="regression threshold in MAD units",
+    )
+    compare.add_argument(
+        "--metric",
+        type=str,
+        default=None,
+        help="only consider metrics containing this substring",
+    )
+    compare.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when a regression is detected (default: warn only)",
+    )
+
+    show = verbs.add_parser("show", help="print the recorded trajectory")
+    show.add_argument(
+        "--label", type=str, default=None, help="only records with this label"
+    )
+    show.add_argument(
+        "--metric",
+        type=str,
+        default=None,
+        help="trace one metric (substring match) across the history",
+    )
+    show.add_argument(
+        "--last", type=int, default=10, help="how many records to show"
+    )
+
+    for verb in (record, compare, show):
+        verb.add_argument(
+            "--history",
+            type=str,
+            default=None,
+            metavar="FILE",
+            help="history file (default: $REPRO_HISTORY_FILE or "
+            "./PERF_HISTORY.jsonl)",
+        )
+
+
+def _store(args) -> HistoryStore:
+    path = args.history if args.history else history_path()
+    if path is None:
+        raise ConfigError(
+            "performance history is disabled (REPRO_HISTORY_FILE is off); "
+            "pass --history FILE"
+        )
+    return HistoryStore(path)
+
+
+def _run_record(args) -> int:
+    try:
+        with open(args.input) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ConfigError(
+            f"no benchmark aggregate at {args.input} — run "
+            "'pytest benchmarks/ --benchmark-only' first"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{args.input}: not valid JSON ({exc})") from exc
+    record = record_from_bench_obs(payload, label=args.label)
+    if not record.values:
+        raise ConfigError(
+            f"{args.input} carries no perf metrics (empty benchmarks/"
+            "experiments/profiles) — refusing to record an empty point"
+        )
+    store = _store(args)
+    store.append(record)
+    print(
+        f"recorded {len(record.values)} metrics to {store.path} "
+        f"(label={record.label}, git_rev="
+        f"{str(record.git_rev)[:12]}, total records="
+        f"{len(store.load())})"
+    )
+    return 0
+
+
+def _run_compare(args) -> int:
+    store = _store(args)
+    records = store.load(label=args.label)
+    if len(records) < 2:
+        print(
+            f"need at least 2 '{args.label}' records in {store.path} to "
+            f"compare (have {len(records)}) — run 'bench record' again later"
+        )
+        return 0
+    history, current = records[:-1], records[-1]
+    deltas = compare_records(
+        history, current, window=args.window, threshold=args.threshold
+    )
+    if args.metric:
+        deltas = [d for d in deltas if args.metric in d.metric]
+    if not deltas:
+        print("no comparable metrics")
+        return 0
+    rows = []
+    for delta in deltas:
+        rows.append(
+            [
+                delta.metric,
+                f"{delta.baseline:g}",
+                f"{delta.current:g}",
+                "n/a" if delta.ratio != delta.ratio else f"{delta.ratio:.3f}x",
+                f"{delta.deviation:+.1f}",
+                str(delta.samples),
+                "REGRESSION" if delta.regression else "ok",
+            ]
+        )
+    print(
+        render_table(
+            ["metric", "baseline", "current", "ratio", "MADs", "n", "status"],
+            rows,
+            title=f"bench compare: {store.path} "
+            f"(window {args.window}, threshold {args.threshold} MADs)",
+        )
+    )
+    regressions = [delta for delta in deltas if delta.regression]
+    for delta in regressions:
+        print(f"warning: perf regression: {delta.describe()}")
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+def _run_show(args) -> int:
+    store = _store(args)
+    records = store.load(label=args.label)
+    if not records:
+        print(f"no records in {store.path}")
+        return 0
+    records = records[-args.last:]
+    if args.metric:
+        metrics = sorted(
+            {
+                name
+                for record in records
+                for name in record.values
+                if args.metric in name
+            }
+        )
+        if not metrics:
+            print(f"no metric matching {args.metric!r} in {store.path}")
+            return 1
+        rows = []
+        for index, record in enumerate(records):
+            for name in metrics:
+                if name in record.values:
+                    rows.append(
+                        [
+                            str(index - len(records) + 1),
+                            str(record.git_rev)[:12],
+                            name,
+                            f"{record.values[name]:g}",
+                        ]
+                    )
+        print(
+            render_table(
+                ["rel", "git_rev", "metric", "value"],
+                rows,
+                title=f"bench show: {store.path} (last {len(records)})",
+            )
+        )
+        return 0
+    rows = [
+        [
+            str(index - len(records) + 1),
+            str(record.git_rev)[:12],
+            record.label,
+            record.version,
+            str(len(record.values)),
+            record.config_hash[:12],
+        ]
+        for index, record in enumerate(records)
+    ]
+    print(
+        render_table(
+            ["rel", "git_rev", "label", "version", "metrics", "config_hash"],
+            rows,
+            title=f"bench show: {store.path} (last {len(records)} records)",
+        )
+    )
+    return 0
+
+
+def run_bench(args) -> int:
+    """Execute the subcommand; returns the process exit code."""
+    if args.bench_command == "record":
+        return _run_record(args)
+    if args.bench_command == "compare":
+        return _run_compare(args)
+    return _run_show(args)

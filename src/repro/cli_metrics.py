@@ -1,0 +1,135 @@
+"""The ``metrics`` CLI subcommand: a telemetry export as OpenMetrics text.
+
+Reads the metrics snapshot out of a run manifest (written by ``simulate
+--telemetry DIR`` / ``run --telemetry DIR``) and renders it either as
+OpenMetrics/Prometheus text exposition — scrapeable, diffable, pushable
+to a gateway — or as a human table with histogram percentiles::
+
+    repro-bandwidth metrics out/tele                     # OpenMetrics text
+    repro-bandwidth metrics out/tele --format table      # humans
+    repro-bandwidth metrics out/tele --out metrics.prom  # write a file
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.analysis.report import render_table
+from repro.errors import ConfigError
+from repro.obs.export import render_openmetrics
+from repro.obs.manifest import load_manifest
+from repro.obs.registry import bucket_percentile
+
+
+def add_metrics_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``metrics`` subcommand."""
+    parser = sub.add_parser(
+        "metrics",
+        help="render a telemetry export's metrics as OpenMetrics text",
+    )
+    parser.add_argument(
+        "path",
+        help="telemetry directory (containing manifest.json) or a "
+        "manifest.json file",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("openmetrics", "table"),
+        default="openmetrics",
+        help="output format (default: openmetrics text exposition)",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+
+
+def _resolve_manifest(path_arg: str) -> Path:
+    path = Path(path_arg)
+    if path.is_dir():
+        path = path / "manifest.json"
+    if not path.is_file():
+        raise ConfigError(f"no manifest at {path}")
+    return path
+
+
+def _table(snapshot: dict) -> str:
+    sections = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        sections.append(
+            render_table(
+                ["counter", "value"],
+                [[name, f"{value:g}"] for name, value in sorted(counters.items())],
+                title="counters",
+            )
+        )
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        sections.append(
+            render_table(
+                ["gauge", "value", "min", "max", "updates"],
+                [
+                    [
+                        name,
+                        f"{raw.get('value', 0.0):g}",
+                        f"{raw.get('min', 0.0):g}",
+                        f"{raw.get('max', 0.0):g}",
+                        str(raw.get("updates", 0)),
+                    ]
+                    for name, raw in sorted(gauges.items())
+                ],
+                title="gauges",
+            )
+        )
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name, raw in sorted(histograms.items()):
+            count = int(raw.get("count", 0))
+            buckets = raw.get("buckets") or {}
+            maximum = float(raw.get("max", 0.0))
+            rows.append(
+                [
+                    name,
+                    str(count),
+                    f"{raw.get('mean', 0.0):g}",
+                    f"{bucket_percentile(buckets, count, 0.5, maximum=maximum):g}",
+                    f"{bucket_percentile(buckets, count, 0.95, maximum=maximum):g}",
+                    f"{bucket_percentile(buckets, count, 0.99, maximum=maximum):g}",
+                    f"{maximum:g}",
+                ]
+            )
+        sections.append(
+            render_table(
+                ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+                rows,
+                title="histograms (power-of-two buckets)",
+            )
+        )
+    if not sections:
+        return "no metrics recorded"
+    return "\n\n".join(sections)
+
+
+def run_metrics(args) -> int:
+    """Execute the subcommand; returns the process exit code."""
+    manifest = load_manifest(_resolve_manifest(args.path))
+    snapshot = manifest.get("metrics") or {}
+    if args.format == "table":
+        output = _table(snapshot)
+        if not output.endswith("\n"):
+            output += "\n"
+    else:
+        output = render_openmetrics(snapshot)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+        print(f"wrote {args.out}")
+    else:
+        print(output, end="")
+    return 0

@@ -7,6 +7,11 @@ manifest's provenance/violation highlights::
 
     repro-bandwidth trace out/telemetry
     repro-bandwidth trace out/telemetry/spans.jsonl --kind signaling --spans 20
+
+and converts the span log into external viewers' formats:
+
+    repro-bandwidth trace out/telemetry --perfetto trace.json   # ui.perfetto.dev
+    repro-bandwidth trace out/telemetry --flame stacks.txt      # flamegraph.pl
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from pathlib import Path
 
 from repro.analysis.report import render_table
 from repro.errors import ConfigError
+from repro.obs.export import export_flamegraph, export_perfetto_json
 from repro.obs.manifest import load_manifest
 from repro.obs.tracing import Span, load_spans_jsonl
 
@@ -41,6 +47,22 @@ def add_trace_parser(sub: argparse._SubParsersAction) -> None:
         default=0,
         metavar="N",
         help="also print the first N matching spans verbatim",
+    )
+    parser.add_argument(
+        "--perfetto",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="export the (filtered) spans as Chrome trace-event JSON, "
+        "loadable in ui.perfetto.dev / chrome://tracing",
+    )
+    parser.add_argument(
+        "--flame",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="export the (filtered) spans as collapsed stacks for "
+        "flamegraph.pl / speedscope",
     )
 
 
@@ -88,6 +110,13 @@ def run_trace(args) -> int:
         print(f"no spans{f' of kind {args.kind!r}' if args.kind else ''} "
               f"in {spans_path}")
         return 1
+
+    if args.perfetto:
+        events = export_perfetto_json(args.perfetto, spans)
+        print(f"perfetto trace written to {args.perfetto} ({events} events)")
+    if args.flame:
+        stacks = export_flamegraph(args.flame, spans)
+        print(f"flamegraph stacks written to {args.flame} ({stacks} stacks)")
 
     print(
         render_table(

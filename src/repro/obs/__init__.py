@@ -16,6 +16,26 @@ See docs/OBSERVABILITY.md for the registry API, span schema, and manifest
 format, and the ``repro trace`` CLI subcommand for reading exports back.
 """
 
+from repro.obs.export import (
+    collapse_spans,
+    export_flamegraph,
+    export_perfetto_json,
+    openmetrics_name,
+    parse_openmetrics,
+    render_openmetrics,
+    spans_to_trace_events,
+)
+from repro.obs.history import (
+    Delta,
+    HistoryRecord,
+    HistoryStore,
+    compare_records,
+    detect_regressions,
+    history_path,
+    metric_direction,
+    record_from_bench_obs,
+    record_from_manifest,
+)
 from repro.obs.manifest import (
     RunManifest,
     build_manifest,
@@ -26,12 +46,22 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.profiling import ProfileRecord, ProfileTimer
+from repro.obs.progress import (
+    CollectingProgress,
+    JsonlProgress,
+    ProgressEvent,
+    ProgressTracker,
+    TtyProgress,
+    progress_sink,
+    snapshot_slots,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    bucket_percentile,
 )
 from repro.obs.runtime import (
     DISABLED,
@@ -51,30 +81,54 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CollectingProgress",
     "Counter",
     "DISABLED",
+    "Delta",
     "Gauge",
     "Histogram",
+    "HistoryRecord",
+    "HistoryStore",
+    "JsonlProgress",
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
     "ProfileRecord",
     "ProfileTimer",
+    "ProgressEvent",
+    "ProgressTracker",
     "RunManifest",
     "Span",
     "Telemetry",
     "Tracer",
+    "TtyProgress",
+    "bucket_percentile",
     "build_manifest",
+    "collapse_spans",
+    "compare_records",
     "config_hash",
     "count",
+    "detect_regressions",
+    "export_flamegraph",
+    "export_perfetto_json",
     "export_run",
     "export_spans_jsonl",
     "get_telemetry",
     "git_revision",
+    "history_path",
     "load_manifest",
     "load_spans_jsonl",
+    "metric_direction",
     "observe",
+    "openmetrics_name",
+    "parse_openmetrics",
+    "progress_sink",
+    "record_from_bench_obs",
+    "record_from_manifest",
+    "render_openmetrics",
     "set_telemetry",
+    "snapshot_slots",
+    "spans_to_trace_events",
     "telemetry_session",
     "write_manifest",
 ]

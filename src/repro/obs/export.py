@@ -1,0 +1,291 @@
+"""Telemetry exporters: OpenMetrics text, Chrome trace events, flamegraphs.
+
+PR 2 made the instrumentation *record*; this module makes it *consumable*
+by standard tooling:
+
+* :func:`render_openmetrics` — a :meth:`MetricsRegistry.snapshot` as
+  OpenMetrics / Prometheus text exposition (counters end in ``_total``,
+  histograms get cumulative ``le`` buckets, the document ends in
+  ``# EOF``).  :func:`parse_openmetrics` reads the format back, so the
+  round trip is testable without a Prometheus server.
+* :func:`spans_to_trace_events` / :func:`export_perfetto_json` — the span
+  log as Chrome trace-event JSON, loadable in ``chrome://tracing`` and
+  ui.perfetto.dev.  One simulation slot maps to one microsecond of trace
+  time; span kinds become named tracks.
+* :func:`collapse_spans` / :func:`export_flamegraph` — the span log as
+  collapsed stacks (``run;stage 412`` per line), the input format of
+  Brendan Gregg's ``flamegraph.pl`` and ``speedscope``.  Weights are
+  *self* slots: a parent's weight excludes the slots covered by its
+  children, so total weight equals total covered slots.
+
+Everything here is pure text/JSON over already-captured data — exporters
+never touch a live run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.errors import ConfigError
+from repro.obs.tracing import Span
+
+#: Default metric-name prefix for the OpenMetrics exposition.
+OPENMETRICS_PREFIX = "repro"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def openmetrics_name(name: str, prefix: str = OPENMETRICS_PREFIX) -> str:
+    """A registry metric name as a legal OpenMetrics metric name.
+
+    Dots (the registry's namespace separator) and any other illegal
+    characters become underscores; the prefix keeps every exported family
+    under one namespace.
+    """
+    flat = _NAME_OK.sub("_", name)
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _fmt(value: float) -> str:
+    """OpenMetrics-safe number formatting (no trailing junk, inf spelled)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return f"{value:g}"
+
+
+def render_openmetrics(snapshot: dict, prefix: str = OPENMETRICS_PREFIX) -> str:
+    """A metrics snapshot as OpenMetrics text exposition.
+
+    ``snapshot`` is :meth:`MetricsRegistry.snapshot` output (also stored
+    under ``metrics`` in run manifests).  Gauges export their last value
+    plus ``_min`` / ``_max`` companion gauges when they saw updates;
+    histograms export cumulative ``le`` buckets, ``_sum`` and ``_count``.
+    """
+    if not isinstance(snapshot, dict):
+        raise ConfigError("metrics snapshot must be a dict")
+    lines: list[str] = []
+
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        family = openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family}_total {_fmt(float(value))}")
+
+    for name, raw in sorted((snapshot.get("gauges") or {}).items()):
+        if not isinstance(raw, dict):
+            continue
+        family = openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_fmt(float(raw.get('value', 0.0)))}")
+        if raw.get("updates"):
+            for suffix in ("min", "max"):
+                companion = f"{family}_{suffix}"
+                lines.append(f"# TYPE {companion} gauge")
+                lines.append(f"{companion} {_fmt(float(raw.get(suffix, 0.0)))}")
+
+    for name, raw in sorted((snapshot.get("histograms") or {}).items()):
+        if not isinstance(raw, dict):
+            continue
+        family = openmetrics_name(name, prefix)
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        buckets = raw.get("buckets") or {}
+        for bound in sorted(buckets, key=float):
+            cumulative += int(buckets[bound])
+            lines.append(
+                f'{family}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        count = int(raw.get("count", 0))
+        lines.append(f'{family}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{family}_sum {_fmt(float(raw.get('total', 0.0)))}")
+        lines.append(f"{family}_count {count}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Parse OpenMetrics text back into a snapshot-shaped dict.
+
+    Returns ``{"counters", "gauges", "histograms"}`` keyed by the
+    *exported* (sanitized, prefixed) family names; histogram buckets are
+    de-cumulated back to per-bucket hit counts (the ``+Inf`` bucket is
+    dropped — its mass is the count).  Used by the round-trip tests and by
+    anyone scraping an exposition file without a Prometheus client.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+
+    def _hist(family: str) -> dict:
+        return histograms.setdefault(
+            family, {"count": 0, "total": 0.0, "buckets": {}, "_cum": []}
+        )
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ConfigError(f"line {line_number}: not an OpenMetrics sample: "
+                              f"{line[:80]!r}")
+        name, le, value = match.group("name", "le", "value")
+        number = math.inf if value == "+Inf" else float(value)
+        if le is not None and name.endswith("_bucket"):
+            family = name[: -len("_bucket")]
+            if le != "+Inf":
+                _hist(family)["_cum"].append((float(le), number))
+            continue
+        if name.endswith("_total") and types.get(name[: -len("_total")]) == "counter":
+            counters[name[: -len("_total")]] = number
+        elif name.endswith("_sum") and types.get(name[: -len("_sum")]) == "histogram":
+            _hist(name[: -len("_sum")])["total"] = number
+        elif name.endswith("_count") and types.get(name[: -len("_count")]) == "histogram":
+            _hist(name[: -len("_count")])["count"] = int(number)
+        else:
+            gauges[name] = number
+
+    for family, data in histograms.items():
+        previous = 0.0
+        buckets: dict[float, int] = {}
+        for bound, cumulative in sorted(data.pop("_cum")):
+            hits = int(cumulative - previous)
+            previous = cumulative
+            if hits:
+                buckets[bound] = hits
+        data["buckets"] = buckets
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+# -- Chrome trace events (Perfetto) ---------------------------------------
+
+#: Trace time scale: one simulation slot rendered as one microsecond.
+SLOT_US = 1.0
+
+
+def spans_to_trace_events(spans: list[Span], slot_us: float = SLOT_US) -> dict:
+    """Spans as a Chrome trace-event document (JSON-ready dict).
+
+    Closed spans become complete (``"ph": "X"``) events; still-open spans
+    become instant (``"ph": "i"``) events at their start slot.  Each span
+    *kind* gets its own track (tid) with a thread-name metadata record, so
+    Perfetto renders run / stage / phase / signaling as separate lanes.
+    """
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro simulation (slot time)"},
+        }
+    )
+    for span in spans:
+        tid = tids.get(span.kind)
+        if tid is None:
+            tid = tids[span.kind] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": span.kind},
+                }
+            )
+        base = {
+            "name": span.name,
+            "cat": span.kind,
+            "pid": 1,
+            "tid": tid,
+            "ts": span.t0 * slot_us,
+            "args": dict(span.attrs),
+        }
+        if span.t1 is None:
+            events.append({**base, "ph": "i", "s": "t"})
+        else:
+            events.append(
+                {**base, "ph": "X", "dur": max(span.t1 - span.t0, 0) * slot_us}
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_perfetto_json(
+    path, spans: list[Span], slot_us: float = SLOT_US
+) -> int:
+    """Write spans as a Perfetto-loadable trace file; returns event count."""
+    document = spans_to_trace_events(spans, slot_us)
+    with open(path, "w") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+# -- collapsed-stack flamegraphs ------------------------------------------
+
+
+def collapse_spans(spans: list[Span]) -> dict[str, int]:
+    """Fold spans into collapsed stacks weighted by *self* slots.
+
+    Containment defines the stack: span B is a child of span A when B
+    starts before A ends (spans are swept in start order, so the engine's
+    run span naturally parents its stage/phase/signaling spans).  A
+    frame's weight is its duration minus its children's — flamegraph
+    width then reads as "slots spent here, not deeper".  Open and
+    zero-length spans carry no area and are skipped.
+    """
+    closed = sorted(
+        (s for s in spans if s.t1 is not None and s.t1 > s.t0),
+        key=lambda s: (s.t0, -(s.t1 - s.t0)),
+    )
+    stacks: dict[str, int] = {}
+    stack: list[list] = []  # [span, slots covered by its children]
+
+    def _close() -> None:
+        span, child_slots = stack.pop()
+        path = ";".join([entry[0].name for entry in stack] + [span.name])
+        weight = max(span.duration - child_slots, 0)
+        if weight:
+            stacks[path] = stacks.get(path, 0) + weight
+        if stack:
+            stack[-1][1] += span.duration
+
+    for span in closed:
+        while stack and stack[-1][0].t1 <= span.t0:
+            _close()
+        stack.append([span, 0])
+    while stack:
+        _close()
+    return stacks
+
+
+def export_flamegraph(path, spans: list[Span]) -> int:
+    """Write collapsed stacks (``stack weight`` lines); returns line count.
+
+    The output is directly consumable by ``flamegraph.pl`` and
+    speedscope's "collapsed stacks" importer.
+    """
+    stacks = collapse_spans(spans)
+    with open(path, "w") as handle:
+        for stack, weight in sorted(stacks.items()):
+            handle.write(f"{stack} {weight}\n")
+    return len(stacks)

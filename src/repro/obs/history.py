@@ -1,0 +1,385 @@
+"""Continuous performance history: an append-only JSONL store + detector.
+
+``BENCH_OBS.json`` / ``BENCH_PERF.json`` are *snapshots* — each run
+overwrites the last, so the repo had no run-over-run perf trajectory.
+This module gives the telemetry a time axis:
+
+* :class:`HistoryRecord` — one run's scalar perf metrics (slots/sec,
+  run seconds, change counts, ...), keyed by git revision + a config hash
+  (the same canonical-JSON sha256 run manifests use), so records are
+  comparable exactly when they measured the same workload.
+* :class:`HistoryStore` — an append-only JSONL file (one record per
+  line).  Appends never rewrite; malformed lines are skipped on load so a
+  truncated append can't poison the history.
+* :func:`compare_records` / :func:`detect_regressions` — a statistical
+  regression detector: each metric's current value is compared against
+  the rolling median of its recent history, with the MAD (median absolute
+  deviation) as the noise scale.  A metric regresses only when it moves
+  in its *bad* direction (throughput down, seconds/changes up) by more
+  than ``threshold`` noise-scales *and* more than ``rel_floor``
+  relatively — so noise-level jitter stays quiet and a 2x slowdown is
+  unmissable even against a noisy baseline.
+
+``benchmarks/conftest.py`` appends a record per bench session,
+``repro report`` appends one per report, and the ``repro bench
+record|compare|show`` subcommands drive the store from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.obs.manifest import config_hash as _config_hash
+from repro.version import __version__
+
+#: History record schema version (bump on breaking layout changes).
+HISTORY_SCHEMA = 1
+
+#: Default history file name (repo/working-directory root).
+DEFAULT_HISTORY_FILE = "PERF_HISTORY.jsonl"
+
+#: Env var overriding the history location ("", "0", "off" disable it).
+HISTORY_ENV = "REPRO_HISTORY_FILE"
+
+
+def history_path(root: str | Path | None = None) -> Path | None:
+    """Where history records go (None = appending is disabled)."""
+    env = os.environ.get(HISTORY_ENV)
+    if env is not None:
+        if env.strip().lower() in ("", "0", "off", "none"):
+            return None
+        return Path(env)
+    return Path(root if root is not None else ".") / DEFAULT_HISTORY_FILE
+
+
+@dataclass
+class HistoryRecord:
+    """One run's perf metrics plus the provenance to compare them by."""
+
+    label: str
+    values: dict[str, float]
+    git_rev: str | None = None
+    config_hash: str = ""
+    created_unix: float = 0.0
+    version: str = __version__
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": HISTORY_SCHEMA,
+            "label": self.label,
+            "values": self.values,
+            "git_rev": self.git_rev,
+            "config_hash": self.config_hash,
+            "created_unix": self.created_unix,
+            "version": self.version,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "HistoryRecord":
+        if not isinstance(raw, dict) or "values" not in raw or "label" not in raw:
+            raise ConfigError(f"not a history record: {str(raw)[:80]!r}")
+        values = {}
+        for name, value in (raw.get("values") or {}).items():
+            try:
+                number = float(value)
+            except (TypeError, ValueError):
+                continue
+            if math.isfinite(number):
+                values[str(name)] = number
+        return cls(
+            label=str(raw["label"]),
+            values=values,
+            git_rev=raw.get("git_rev"),
+            config_hash=str(raw.get("config_hash", "")),
+            created_unix=float(raw.get("created_unix", 0.0) or 0.0),
+            version=str(raw.get("version", "")),
+            meta=dict(raw.get("meta") or {}),
+        )
+
+
+class HistoryStore:
+    """The append-only JSONL perf history at one path."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def append(self, record: HistoryRecord) -> Path:
+        """Append one record (creating the file/directories as needed)."""
+        if record.created_unix == 0.0:
+            record.created_unix = time.time()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+        return self.path
+
+    def load(self, label: str | None = None) -> list[HistoryRecord]:
+        """All parseable records in append order (optionally one label).
+
+        Malformed lines are skipped, never fatal: the history file is
+        written by many processes over months and one bad append must not
+        take the whole trajectory down with it.
+        """
+        if not self.path.is_file():
+            return []
+        records: list[HistoryRecord] = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = HistoryRecord.from_dict(json.loads(line))
+                except (json.JSONDecodeError, ConfigError):
+                    continue
+                if label is None or record.label == label:
+                    records.append(record)
+        return records
+
+    def series(self, metric: str, label: str | None = None) -> list[float]:
+        """One metric's values across the history, in append order."""
+        return [
+            record.values[metric]
+            for record in self.load(label)
+            if metric in record.values
+        ]
+
+
+# -- regression detection --------------------------------------------------
+
+#: Metric-name fragments whose *higher* values are better (throughput).
+_HIGHER_BETTER = ("slots_per_sec", "ops_per_sec", "throughput")
+
+
+def metric_direction(name: str) -> int:
+    """+1 when higher is better (throughput), -1 when lower is (latency)."""
+    return 1 if any(tag in name for tag in _HIGHER_BETTER) else -1
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's current value against its rolling baseline."""
+
+    metric: str
+    current: float
+    baseline: float      # rolling median of the history window
+    mad: float           # median absolute deviation of that window
+    ratio: float         # current / baseline (inf when baseline is 0)
+    deviation: float     # harmful movement in noise-scale units
+    direction: int       # +1 higher-better, -1 lower-better
+    samples: int         # history points behind the baseline
+    regression: bool
+
+    def describe(self) -> str:
+        arrow = "↑" if self.current >= self.baseline else "↓"
+        return (
+            f"{self.metric}: {self.baseline:g} -> {self.current:g} "
+            f"({arrow}{abs(self.ratio - 1) * 100:.1f}%, "
+            f"{self.deviation:+.1f} MADs, n={self.samples})"
+        )
+
+
+def compare_records(
+    history: list[HistoryRecord],
+    current: HistoryRecord,
+    window: int = 8,
+    threshold: float = 4.0,
+    min_history: int = 3,
+    rel_floor: float = 0.10,
+) -> list[Delta]:
+    """Every current metric against its rolling median ± MAD baseline.
+
+    ``history`` is the prior records (oldest first); only the most recent
+    ``window`` values of each metric form the baseline.  A metric with
+    fewer than ``min_history`` baseline points is reported with
+    ``regression=False`` — the detector never cries wolf on a cold store.
+
+    The regression predicate is two-sided on purpose: the harmful
+    movement must exceed ``threshold`` MADs (statistical significance
+    against observed run-to-run jitter) *and* ``rel_floor`` relative
+    change (practical significance when the history is so stable that
+    MAD ~ 0).  The MAD is floored at 1% of the baseline so a
+    zero-variance history cannot flag a 0.01% wiggle.
+    """
+    deltas: list[Delta] = []
+    for metric in sorted(current.values):
+        value = current.values[metric]
+        series = [
+            record.values[metric]
+            for record in history
+            if metric in record.values
+        ][-window:]
+        direction = metric_direction(metric)
+        if len(series) < min_history:
+            baseline = statistics.median(series) if series else math.nan
+            deltas.append(
+                Delta(
+                    metric=metric,
+                    current=value,
+                    baseline=baseline,
+                    mad=0.0,
+                    ratio=_ratio(value, baseline),
+                    deviation=0.0,
+                    direction=direction,
+                    samples=len(series),
+                    regression=False,
+                )
+            )
+            continue
+        baseline = statistics.median(series)
+        mad = statistics.median(abs(x - baseline) for x in series)
+        harmful = (baseline - value) if direction > 0 else (value - baseline)
+        scale = max(mad, 0.01 * abs(baseline), 1e-12)
+        deviation = harmful / scale
+        relative = harmful / abs(baseline) if baseline else math.inf
+        deltas.append(
+            Delta(
+                metric=metric,
+                current=value,
+                baseline=baseline,
+                mad=mad,
+                ratio=_ratio(value, baseline),
+                deviation=deviation,
+                direction=direction,
+                samples=len(series),
+                regression=deviation > threshold and relative > rel_floor,
+            )
+        )
+    return deltas
+
+
+def _ratio(current: float, baseline: float) -> float:
+    if not baseline or math.isnan(baseline):
+        return math.inf if current else 1.0
+    return current / baseline
+
+
+def detect_regressions(
+    history: list[HistoryRecord],
+    current: HistoryRecord,
+    window: int = 8,
+    threshold: float = 4.0,
+    min_history: int = 3,
+    rel_floor: float = 0.10,
+) -> list[Delta]:
+    """The flagged subset of :func:`compare_records`."""
+    return [
+        delta
+        for delta in compare_records(
+            history,
+            current,
+            window=window,
+            threshold=threshold,
+            min_history=min_history,
+            rel_floor=rel_floor,
+        )
+        if delta.regression
+    ]
+
+
+# -- record builders -------------------------------------------------------
+
+
+def record_from_bench_obs(payload: dict, label: str = "bench") -> HistoryRecord:
+    """A history record distilled from a ``BENCH_OBS.json`` payload.
+
+    Metric families (all scalar, all comparable run-over-run):
+
+    * ``bench.<name>.mean_s`` — pytest-benchmark mean per benchmark;
+    * ``experiment.<id>.seconds`` — wall-clock per timed experiment;
+    * ``profile.<name>.slots_per_sec`` — engine throughput, aggregated as
+      total slots over total seconds across a profile name's records;
+    * ``counter.<name>`` — the session counters (changes, slots, ...).
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError("BENCH_OBS payload must be a dict")
+    values: dict[str, float] = {}
+    for row in payload.get("benchmarks") or []:
+        try:
+            values[f"bench.{row['name']}.mean_s"] = float(row["mean_s"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    for row in payload.get("experiments") or []:
+        try:
+            values[f"experiment.{row['experiment']}.seconds"] = float(
+                row["seconds"]
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+    totals: dict[str, list[float]] = {}
+    for row in payload.get("profiles") or []:
+        try:
+            slots, seconds = float(row["slots"]), float(row["seconds"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        bucket = totals.setdefault(str(row.get("name", "unnamed")), [0.0, 0.0])
+        bucket[0] += slots
+        bucket[1] += seconds
+    for name, (slots, seconds) in totals.items():
+        if slots > 0 and seconds > 0:
+            values[f"profile.{name}.slots_per_sec"] = slots / seconds
+    for name, value in (payload.get("counters") or {}).items():
+        try:
+            values[f"counter.{name}"] = float(value)
+        except (TypeError, ValueError):
+            continue
+    fingerprint = {
+        "benchmarks": sorted(
+            str(row.get("name"))
+            for row in payload.get("benchmarks") or []
+            if isinstance(row, dict)
+        ),
+        "experiments": sorted(
+            (str(row.get("experiment")), row.get("scale"))
+            for row in payload.get("experiments") or []
+            if isinstance(row, dict)
+        ),
+    }
+    return HistoryRecord(
+        label=label,
+        values=values,
+        git_rev=payload.get("git_rev"),
+        config_hash=_config_hash(fingerprint),
+        meta={
+            "python": payload.get("python"),
+            "platform": payload.get("platform"),
+            "exitstatus": payload.get("exitstatus"),
+        },
+    )
+
+
+def record_from_manifest(manifest: dict, label: str | None = None) -> HistoryRecord:
+    """A history record distilled from a run manifest dict."""
+    if not isinstance(manifest, dict) or "config_hash" not in manifest:
+        raise ConfigError("not a run manifest")
+    values: dict[str, float] = {}
+    for row in manifest.get("profiles") or []:
+        try:
+            values[f"profile.{row['name']}.slots_per_sec"] = float(
+                row["slots_per_sec"]
+            )
+            values[f"profile.{row['name']}.seconds"] = float(row["seconds"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    for name, value in (
+        (manifest.get("metrics") or {}).get("counters") or {}
+    ).items():
+        try:
+            values[f"counter.{name}"] = float(value)
+        except (TypeError, ValueError):
+            continue
+    return HistoryRecord(
+        label=label if label is not None else str(manifest.get("label", "run")),
+        values=values,
+        git_rev=manifest.get("git_rev"),
+        config_hash=str(manifest.get("config_hash", "")),
+        meta={"seed": manifest.get("seed")},
+    )

@@ -17,6 +17,7 @@ no-op calls per *run*, not per slot.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
@@ -31,8 +32,17 @@ class ProfileRecord:
 
     @property
     def slots_per_sec(self) -> float:
-        """Throughput (0 when no slots were attributed or time was ~0)."""
+        """Throughput (0 when no slots were attributed or time was ~0).
+
+        Zero-slot runs (an empty arrival stream), zero-duration timings
+        (a clock too coarse to see the section), and non-finite inputs
+        all report 0.0 rather than dividing blind — a throughput of 0 is
+        the documented "nothing measurable" value downstream consumers
+        (exporters, the regression detector) rely on.
+        """
         if self.slots <= 0 or self.seconds <= 0.0:
+            return 0.0
+        if not math.isfinite(self.seconds):
             return 0.0
         return self.slots / self.seconds
 
@@ -62,9 +72,15 @@ class ProfileTimer:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        elapsed = time.perf_counter() - self._start
+        # Clamp defensively: a stepped/adjusted clock must not produce a
+        # negative duration, and a bogus .slots must not poison the sink.
+        elapsed = max(time.perf_counter() - self._start, 0.0)
+        try:
+            slots = max(int(self.slots), 0)
+        except (TypeError, ValueError):
+            slots = 0
         self.record = ProfileRecord(
-            name=self.name, seconds=elapsed, slots=int(self.slots)
+            name=self.name, seconds=elapsed, slots=slots
         )
         self._sink.append(self.record)
 

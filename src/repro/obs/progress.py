@@ -1,0 +1,241 @@
+"""Live progress events for long-running batch work.
+
+A multi-minute ``repro report --jobs 8`` fan-out used to be completely
+silent until it finished.  This module is the event layer between the
+batch runner and a terminal (or a log collector):
+
+* :class:`ProgressEvent` — one observation: jobs completed/total, slots
+  folded out of worker telemetry snapshots so far, slots/sec, and an ETA
+  extrapolated from the completion rate.
+* :class:`ProgressTracker` — the thread-safe fold.  The batch runner
+  calls :meth:`job_done` from executor done-callbacks (worker threads),
+  the tracker computes rates under a lock and hands a fresh event to its
+  sink.  An optional heartbeat thread re-emits the latest state on an
+  interval so the display stays alive through a long silent job.
+* :class:`TtyProgress` / :class:`JsonlProgress` — render sinks: a
+  carriage-return status line for humans, one JSON object per line for
+  machines (``repro report --progress jsonl``).
+
+Progress is strictly observational: events never feed back into the
+batch, and the runner's results stay byte-identical with progress on or
+off.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Seconds between keep-alive re-emissions while no job completes.
+HEARTBEAT_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress observation over a batch run."""
+
+    kind: str            # "start" | "job" | "heartbeat" | "done"
+    completed: int
+    total: int
+    label: str = ""      # what just finished, e.g. "E-T6[3]" (shard 3)
+    elapsed_s: float = 0.0
+    slots: float = 0.0   # cumulative slots seen in worker snapshots
+    slots_per_sec: float = 0.0
+    eta_s: float | None = None
+    cache_hits: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "completed": self.completed,
+            "total": self.total,
+            "label": self.label,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "slots": self.slots,
+            "slots_per_sec": round(self.slots_per_sec, 1),
+            "eta_s": None if self.eta_s is None else round(self.eta_s, 1),
+            "cache_hits": self.cache_hits,
+        }
+
+
+def snapshot_slots(snapshot: dict | None) -> float:
+    """Processed slots recorded in a worker's metrics snapshot (or 0)."""
+    if not isinstance(snapshot, dict):
+        return 0.0
+    slots = 0.0
+    for name, value in (snapshot.get("counters") or {}).items():
+        if name.endswith(".slots"):
+            try:
+                slots += float(value)
+            except (TypeError, ValueError):
+                continue
+    return slots
+
+
+class ProgressTracker:
+    """Folds job completions into :class:`ProgressEvent` emissions.
+
+    ``sink`` is any callable taking one event; a sink that raises is
+    silently dropped from then on — progress must never fail a batch.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        sink,
+        heartbeat_s: float | None = None,
+        clock=time.monotonic,
+    ):
+        self.total = int(total)
+        self._sink = sink
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self.completed = 0
+        self.slots = 0.0
+        self.cache_hits = 0
+        self._stop = threading.Event()
+        self._beat: threading.Thread | None = None
+        if heartbeat_s is not None and heartbeat_s > 0:
+            self._beat = threading.Thread(
+                target=self._heartbeat, args=(heartbeat_s,), daemon=True
+            )
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        self._emit(self._event("start"))
+        if self._beat is not None:
+            self._beat.start()
+
+    def job_done(self, label: str, slots: float = 0.0, cached: bool = False) -> None:
+        """One job finished (called from any thread)."""
+        with self._lock:
+            self.completed += 1
+            self.slots += float(slots)
+            if cached:
+                self.cache_hits += 1
+            event = self._event("job", label=label)
+        self._emit(event)
+
+    def finish(self) -> None:
+        self._stop.set()
+        if self._beat is not None and self._beat.is_alive():
+            self._beat.join(timeout=1.0)
+        with self._lock:
+            event = self._event("done")
+        self._emit(event)
+
+    def __enter__(self) -> "ProgressTracker":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    # -- internals --------------------------------------------------------
+
+    def _event(self, kind: str, label: str = "") -> ProgressEvent:
+        elapsed = max(self._clock() - self._started, 0.0)
+        remaining = max(self.total - self.completed, 0)
+        eta = (
+            elapsed / self.completed * remaining
+            if self.completed and remaining
+            else (0.0 if self.total and not remaining else None)
+        )
+        return ProgressEvent(
+            kind=kind,
+            completed=self.completed,
+            total=self.total,
+            label=label,
+            elapsed_s=elapsed,
+            slots=self.slots,
+            slots_per_sec=self.slots / elapsed if elapsed > 0 else 0.0,
+            eta_s=eta,
+            cache_hits=self.cache_hits,
+        )
+
+    def _emit(self, event: ProgressEvent) -> None:
+        sink = self._sink
+        if sink is None:
+            return
+        try:
+            sink(event)
+        except Exception:
+            self._sink = None  # a broken sink must not fail the batch
+
+    def _heartbeat(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            with self._lock:
+                if self.completed >= self.total:
+                    return
+                event = self._event("heartbeat")
+            self._emit(event)
+
+
+# -- render sinks ----------------------------------------------------------
+
+
+class TtyProgress:
+    """A single carriage-return status line on a terminal."""
+
+    def __init__(self, stream=None, width: int = 79):
+        self.stream = stream if stream is not None else sys.stderr
+        self.width = width
+
+    def __call__(self, event: ProgressEvent) -> None:
+        parts = [f"[{event.completed:>3}/{event.total}]"]
+        if event.slots_per_sec > 0:
+            parts.append(f"{event.slots_per_sec / 1000:.1f}k slots/s")
+        if event.eta_s is not None and event.kind not in ("done",):
+            parts.append(f"ETA {event.eta_s:.0f}s")
+        if event.cache_hits:
+            parts.append(f"{event.cache_hits} cached")
+        if event.label:
+            parts.append(event.label)
+        line = " · ".join(parts)[: self.width]
+        self.stream.write("\r" + line.ljust(self.width))
+        if event.kind == "done":
+            self.stream.write("\n")
+        self.stream.flush()
+
+
+class JsonlProgress:
+    """One JSON object per event — pipeable, tail-able, machine-readable."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.stream.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+        self.stream.flush()
+
+
+@dataclass
+class CollectingProgress:
+    """A sink that keeps every event (tests and programmatic callers)."""
+
+    events: list = field(default_factory=list)
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.events.append(event)
+
+
+def progress_sink(mode: str, stream=None):
+    """Map a ``--progress`` CLI mode to a sink (None = no progress).
+
+    ``auto`` renders the TTY line when the stream is a terminal and stays
+    silent otherwise, so redirected/CI output is never littered with
+    carriage returns.
+    """
+    stream = stream if stream is not None else sys.stderr
+    if mode == "tty":
+        return TtyProgress(stream)
+    if mode == "jsonl":
+        return JsonlProgress(stream)
+    if mode == "auto":
+        return TtyProgress(stream) if stream.isatty() else None
+    return None

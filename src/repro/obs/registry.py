@@ -24,6 +24,38 @@ from __future__ import annotations
 import math
 
 
+def bucket_percentile(
+    buckets: dict, count: int, q: float, maximum: float | None = None
+) -> float:
+    """Nearest-rank percentile over a power-of-two bucket dict.
+
+    ``buckets`` maps upper bounds to hit counts (keys may be floats or
+    the stringified bounds a snapshot carries).  Returns the smallest
+    bucket bound whose cumulative count reaches rank ``ceil(q * count)``
+    — exactly numpy's ``inverted_cdf`` quantile when every observation
+    sits on a bucket boundary — clamped to the observed ``maximum`` so an
+    estimate never exceeds reality.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
+    count = int(count)
+    if count <= 0 or not buckets:
+        return 0.0
+    rank = max(1, math.ceil(q * count))
+    cumulative = 0
+    result = 0.0
+    for bound in sorted(buckets, key=float):
+        cumulative += int(buckets[bound])
+        if cumulative >= rank:
+            result = float(bound)
+            break
+    else:
+        result = float(max(buckets, key=float))
+    if maximum is not None and result > maximum:
+        return maximum
+    return result
+
+
 class Counter:
     """A monotonically increasing total."""
 
@@ -95,6 +127,16 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]) from the bucket counts.
+
+        Nearest-rank over the power-of-two buckets: the answer is a
+        bucket upper bound (clamped to the observed max), so it is exact
+        whenever observations land on bucket boundaries and otherwise
+        over-estimates by at most one bucket (a factor of 2).
+        """
+        return bucket_percentile(self.buckets, self.count, q, maximum=self.max)
+
     def as_dict(self) -> dict:
         """JSON-ready summary (buckets keyed by their upper bound)."""
         return {
@@ -142,6 +184,9 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
 
     def as_dict(self) -> dict:
         return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.errors import ExperimentError
 from repro.experiments import registry
 from repro.experiments.common import ExperimentResult
+from repro.obs.progress import HEARTBEAT_SECONDS, ProgressTracker, snapshot_slots
 from repro.obs.runtime import Telemetry, get_telemetry, set_telemetry
 from repro.runner.cache import ContentCache, get_cache, use_cache
 
@@ -126,6 +127,7 @@ def run_batch(
     scale: float = 1.0,
     jobs: int = 1,
     telemetry: bool = False,
+    progress=None,
 ) -> BatchReport:
     """Run experiments, fanning work across ``jobs`` worker processes.
 
@@ -133,6 +135,12 @@ def run_batch(
     uses the result cache; ``jobs == 0`` means auto (one per CPU).  The
     returned results are in ``experiment_ids`` order regardless of worker
     scheduling, and are byte-identical for every ``jobs`` value.
+
+    ``progress`` is an optional sink (any callable taking a
+    :class:`~repro.obs.progress.ProgressEvent`): per-job completion
+    events carry completed/total counts, worker slots/sec (when
+    ``telemetry`` is on), and an ETA.  Progress is observational only —
+    it never changes what is computed or in what order it is merged.
     """
     if jobs < 0:
         raise ExperimentError(f"jobs must be >= 0, got {jobs!r}")
@@ -145,6 +153,15 @@ def run_batch(
     cache_root = str(cache.root) if cache is not None else None
     report = BatchReport(
         results=[], jobs=jobs, experiments=len(experiment_ids)
+    )
+    tracker = (
+        ProgressTracker(
+            total=len(experiment_ids),
+            sink=progress,
+            heartbeat_s=HEARTBEAT_SECONDS,
+        )
+        if progress is not None
+        else None
     )
 
     # Resolve full-result cache hits up front; what remains is the work.
@@ -168,13 +185,26 @@ def run_batch(
             pending.append(experiment_id)
 
     computed: dict[str, ExperimentResult] = {}
-    if pending and jobs <= 1:
-        for experiment_id in pending:
-            computed[experiment_id] = registry.run(
-                experiment_id, seed=seed, scale=scale
+    try:
+        if jobs <= 1 or not pending:
+            if tracker is not None:
+                tracker.start()
+                for experiment_id in cached_results:
+                    tracker.job_done(experiment_id, cached=True)
+            for experiment_id in pending:
+                computed[experiment_id] = registry.run(
+                    experiment_id, seed=seed, scale=scale
+                )
+                if tracker is not None:
+                    tracker.job_done(experiment_id)
+        else:
+            computed = _run_pool(
+                pending, seed, scale, jobs, cache, telemetry, report,
+                tracker=tracker, cached_results=cached_results,
             )
-    elif pending:
-        computed = _run_pool(pending, seed, scale, jobs, cache, telemetry, report)
+    finally:
+        if tracker is not None:
+            tracker.finish()
 
     for experiment_id, result in computed.items():
         if cache is not None:
@@ -190,6 +220,29 @@ def run_batch(
     return report
 
 
+def _notify_done(tracker: ProgressTracker | None, label: str):
+    """A done-callback emitting one progress heartbeat per finished job.
+
+    Runs on executor callback threads: it must never raise, and it only
+    *reads* the already-completed future (worker slots come out of the
+    returned telemetry snapshot), so merging stays deterministic.
+    """
+
+    def _callback(future) -> None:
+        if tracker is None:
+            return
+        slots = 0.0
+        try:
+            if not future.cancelled() and future.exception() is None:
+                _, snapshot = future.result()
+                slots = snapshot_slots(snapshot)
+        except Exception:
+            slots = 0.0
+        tracker.job_done(label, slots=slots)
+
+    return _callback
+
+
 def _run_pool(
     pending: list[str],
     seed: int,
@@ -198,6 +251,8 @@ def _run_pool(
     cache: ContentCache | None,
     telemetry: bool,
     report: BatchReport,
+    tracker: ProgressTracker | None = None,
+    cached_results: dict[str, ExperimentResult] | None = None,
 ) -> dict[str, ExperimentResult]:
     """Dispatch pending experiments to a process pool and merge in order."""
     cache_root = str(cache.root) if cache is not None else None
@@ -242,6 +297,27 @@ def _run_pool(
                 run_futures[experiment_id] = pool.submit(
                     _worker_run, experiment_id, seed, scale, cache_root, telemetry
                 )
+
+        if tracker is not None:
+            # Job granularity: one per shard/monolithic run, plus the
+            # cache hits (counted as instantly-completed work).
+            tracker.total = (
+                len(point_futures)
+                + len(run_futures)
+                + len(cached_payloads)
+                + len(cached_results or {})
+            )
+            tracker.start()
+            for experiment_id in (cached_results or {}):
+                tracker.job_done(experiment_id, cached=True)
+            for experiment_id, index in cached_payloads:
+                tracker.job_done(f"{experiment_id}[{index}]", cached=True)
+            for (experiment_id, index), future in point_futures.items():
+                future.add_done_callback(
+                    _notify_done(tracker, f"{experiment_id}[{index}]")
+                )
+            for experiment_id, future in run_futures.items():
+                future.add_done_callback(_notify_done(tracker, experiment_id))
 
         # Collect in submission order; completion order never matters.
         parent_registry = get_telemetry().registry

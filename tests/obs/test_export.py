@@ -1,0 +1,182 @@
+"""Tests for the telemetry exporters (OpenMetrics, Perfetto, flamegraph)."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.export import (
+    collapse_spans,
+    export_flamegraph,
+    export_perfetto_json,
+    openmetrics_name,
+    parse_openmetrics,
+    render_openmetrics,
+    spans_to_trace_events,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Span
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("engine.single.slots").inc(5000)
+    registry.counter("engine.single.changes").inc(17)
+    registry.gauge("engine.single.max_backlog").set(12.0)
+    registry.gauge("engine.single.max_backlog").set(48.0)
+    for value in (0.0, 0.5, 1.0, 3.0, 4.0, 100.0):
+        registry.histogram("engine.single.queue_depth").observe(value)
+    return registry.snapshot()
+
+
+class TestOpenMetricsRender:
+    def test_counters_render_with_total_suffix_and_type(self):
+        text = render_openmetrics(_snapshot())
+        assert "# TYPE repro_engine_single_slots counter" in text
+        assert "repro_engine_single_slots_total 5000" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_with_inf(self):
+        text = render_openmetrics(_snapshot())
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_engine_single_queue_depth_bucket")
+        ]
+        counts = [int(line.split()[-1]) for line in lines]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert 'le="+Inf"' in lines[-1]
+        assert counts[-1] == 6
+        assert "repro_engine_single_queue_depth_count 6" in text
+
+    def test_document_ends_with_eof_marker(self):
+        assert render_openmetrics(_snapshot()).rstrip().endswith("# EOF")
+
+    def test_empty_snapshot_is_just_eof(self):
+        text = render_openmetrics(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        assert text == "# EOF\n"
+
+    def test_gauge_companions_only_after_updates(self):
+        registry = MetricsRegistry()
+        registry.gauge("touched").set(3.0)
+        registry.gauge("untouched")
+        text = render_openmetrics(registry.snapshot())
+        assert "repro_touched_min" in text and "repro_touched_max" in text
+        assert "repro_untouched_min" not in text
+
+    def test_name_sanitization(self):
+        assert openmetrics_name("engine.single.slots") == (
+            "repro_engine_single_slots"
+        )
+        assert openmetrics_name("weird-name with spaces") == (
+            "repro_weird_name_with_spaces"
+        )
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ConfigError, match="snapshot"):
+            render_openmetrics("nope")
+
+
+class TestOpenMetricsRoundTrip:
+    def test_parse_back_recovers_everything(self):
+        snapshot = _snapshot()
+        parsed = parse_openmetrics(render_openmetrics(snapshot))
+        for name, value in snapshot["counters"].items():
+            assert parsed["counters"][openmetrics_name(name)] == value
+        for name, raw in snapshot["gauges"].items():
+            assert parsed["gauges"][openmetrics_name(name)] == raw["value"]
+        for name, raw in snapshot["histograms"].items():
+            histogram = parsed["histograms"][openmetrics_name(name)]
+            assert histogram["count"] == raw["count"]
+            assert histogram["total"] == pytest.approx(raw["total"])
+            assert histogram["buckets"] == {
+                float(bound): hits for bound, hits in raw["buckets"].items()
+            }
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ConfigError, match="not an OpenMetrics sample"):
+            parse_openmetrics("this is { not a sample\n")
+
+
+SPANS = [
+    Span(name="run", kind="run", t0=0, t1=100, attrs={"horizon": 100}),
+    Span(name="stage", kind="stage", t0=0, t1=60, attrs={"index": 0}),
+    Span(name="signaling", kind="signaling", t0=10, t1=14),
+    Span(name="stage", kind="stage", t0=60, t1=100, attrs={"index": 1}),
+    Span(name="open", kind="stage", t0=80, t1=None),
+]
+
+
+class TestTraceEvents:
+    def test_schema_of_complete_and_instant_events(self):
+        document = spans_to_trace_events(SPANS)
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instant = [e for e in events if e["ph"] == "i"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 4 and len(instant) == 1
+        for event in complete:
+            assert event["dur"] >= 0 and "ts" in event and "cat" in event
+        assert instant[0]["name"] == "open"
+        # one process_name + one thread_name per kind
+        assert {m["args"]["name"] for m in metadata} >= {"run", "stage",
+                                                         "signaling"}
+
+    def test_kinds_map_to_stable_tids(self):
+        events = spans_to_trace_events(SPANS)["traceEvents"]
+        by_kind = {}
+        for event in events:
+            if event["ph"] in ("X", "i"):
+                by_kind.setdefault(event["cat"], set()).add(event["tid"])
+        assert all(len(tids) == 1 for tids in by_kind.values())
+
+    def test_attrs_become_args(self):
+        events = spans_to_trace_events(SPANS)["traceEvents"]
+        run = next(e for e in events if e.get("cat") == "run")
+        assert run["args"] == {"horizon": 100}
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = export_perfetto_json(path, SPANS)
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count
+        assert math.isfinite(document["traceEvents"][-1]["ts"])
+
+
+class TestFlamegraph:
+    def test_containment_builds_stacks_and_self_time(self):
+        stacks = collapse_spans(SPANS)
+        # run: 100 slots total, stages cover all of it -> self 0 (absent).
+        # stage[0]: 60 minus the 4-slot signaling child.
+        assert stacks == {
+            "run;stage": 56 + 40,
+            "run;stage;signaling": 4,
+        }
+
+    def test_total_weight_equals_covered_slots(self):
+        stacks = collapse_spans(SPANS)
+        assert sum(stacks.values()) == 100
+
+    def test_open_and_zero_length_spans_skipped(self):
+        spans = [
+            Span(name="open", kind="run", t0=0, t1=None),
+            Span(name="zero", kind="run", t0=5, t1=5),
+        ]
+        assert collapse_spans(spans) == {}
+
+    def test_disjoint_spans_are_siblings(self):
+        spans = [
+            Span(name="a", kind="run", t0=0, t1=10),
+            Span(name="b", kind="run", t0=20, t1=30),
+        ]
+        assert collapse_spans(spans) == {"a": 10, "b": 10}
+
+    def test_export_format(self, tmp_path):
+        path = tmp_path / "flame.txt"
+        count = export_flamegraph(path, SPANS)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count == 2
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack and int(weight) > 0

@@ -11,9 +11,12 @@ double-counted.  The strategies use integer bit masses (exact in
 float64) so the laws hold with ``==`` rather than a tolerance.
 """
 
+import numpy as np
+import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import Histogram, MetricsRegistry, bucket_percentile
 from repro.sim.recorder import (
     histogram_max_delay,
     histogram_quantile,
@@ -132,3 +135,98 @@ class TestSnapshotMerge:
         snap = registry.snapshot()
         assert snap["counters"] == {}
         assert snap["histograms"] == {}
+
+
+#: Observations that sit exactly on power-of-two bucket boundaries (plus
+#: 0, the underflow bucket), where the bucket percentile is *exact*.
+boundary_values = st.lists(
+    st.sampled_from([0.0] + [2.0**e for e in range(-6, 12)]),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestHistogramPercentile:
+    """``Histogram.percentile`` vs exact numpy quantiles.
+
+    On bucket boundaries the nearest-rank bucket percentile must equal
+    ``np.quantile(values, q, method="inverted_cdf")`` — same rank rule,
+    and boundary observations file under their own value as the bucket
+    upper bound.  Off-boundary it may only over-estimate, bounded by one
+    bucket (a factor of 2).
+    """
+
+    @_SETTINGS
+    @given(
+        values=boundary_values,
+        q=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    def test_exact_on_bucket_boundaries(self, values, q):
+        histogram = Histogram("h")
+        for value in values:
+            histogram.observe(value)
+        expected = float(np.quantile(values, q, method="inverted_cdf"))
+        assert histogram.percentile(q) == expected
+
+    @_SETTINGS
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=4096.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        q=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    def test_overestimates_by_at_most_one_bucket(self, values, q):
+        histogram = Histogram("h")
+        for value in values:
+            histogram.observe(value)
+        exact = float(np.quantile(values, q, method="inverted_cdf"))
+        estimate = histogram.percentile(q)
+        assert estimate >= exact or estimate == pytest.approx(exact)
+        assert estimate <= max(2.0 * exact, max(values), 0.0)
+
+    @_SETTINGS
+    @given(values=boundary_values)
+    def test_monotone_in_q(self, values):
+        histogram = Histogram("h")
+        for value in values:
+            histogram.observe(value)
+        quantiles = [histogram.percentile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[-1] == max(values)
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h").percentile(0.5) == 0.0
+        assert bucket_percentile({}, 0, 0.5) == 0.0
+
+    def test_q_out_of_range_rejected(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+
+    def test_snapshot_buckets_work_with_string_bounds(self):
+        # as_dict() stringifies bucket bounds; bucket_percentile must
+        # sort them numerically, not lexically ("16" < "2" lexically).
+        histogram = Histogram("h")
+        for value in [1.0, 2.0, 16.0, 16.0]:
+            histogram.observe(value)
+        raw = histogram.as_dict()
+        assert bucket_percentile(
+            raw["buckets"], raw["count"], 1.0, maximum=raw["max"]
+        ) == 16.0
+        assert bucket_percentile(raw["buckets"], raw["count"], 0.25) == 1.0
+
+    def test_percentile_clamped_to_observed_max(self):
+        # 5.0 files under bucket 8, but the observed max is 5.0.
+        histogram = Histogram("h")
+        histogram.observe(5.0)
+        assert histogram.percentile(1.0) == 5.0

@@ -1,0 +1,230 @@
+"""Tests for the continuous performance history store and detector."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.history import (
+    HISTORY_ENV,
+    HistoryRecord,
+    HistoryStore,
+    compare_records,
+    detect_regressions,
+    history_path,
+    metric_direction,
+    record_from_bench_obs,
+    record_from_manifest,
+)
+
+
+def _record(label="bench", **values):
+    return HistoryRecord(label=label, values=dict(values))
+
+
+class TestHistoryStore:
+    def test_append_then_load_round_trips(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist.jsonl")
+        record = HistoryRecord(
+            label="bench",
+            values={"a.seconds": 1.5},
+            git_rev="abc123",
+            config_hash="deadbeef",
+            meta={"jobs": 4},
+        )
+        store.append(record)
+        loaded = store.load()
+        assert len(loaded) == 1
+        assert loaded[0].values == {"a.seconds": 1.5}
+        assert loaded[0].git_rev == "abc123"
+        assert loaded[0].config_hash == "deadbeef"
+        assert loaded[0].meta == {"jobs": 4}
+        assert loaded[0].created_unix > 0  # stamped on append
+
+    def test_append_only_never_rewrites(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist.jsonl")
+        store.append(_record(**{"x": 1.0}))
+        first = store.path.read_text()
+        store.append(_record(**{"x": 2.0}))
+        assert store.path.read_text().startswith(first)
+        assert [r.values["x"] for r in store.load()] == [1.0, 2.0]
+
+    def test_malformed_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        store = HistoryStore(path)
+        store.append(_record(**{"x": 1.0}))
+        with open(path, "a") as handle:
+            handle.write("{truncated garba\n")
+            handle.write('{"no_values_key": true}\n')
+        store.append(_record(**{"x": 2.0}))
+        assert [r.values["x"] for r in store.load()] == [1.0, 2.0]
+
+    def test_load_filters_by_label_and_series_extracts(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist.jsonl")
+        store.append(_record(label="bench", **{"x": 1.0}))
+        store.append(_record(label="report", **{"x": 9.0}))
+        store.append(_record(label="bench", **{"x": 2.0}))
+        assert len(store.load("bench")) == 2
+        assert store.series("x", label="bench") == [1.0, 2.0]
+        assert store.series("missing") == []
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert HistoryStore(tmp_path / "nope.jsonl").load() == []
+
+    def test_non_finite_values_dropped_on_parse(self):
+        record = HistoryRecord.from_dict(
+            {"label": "b", "values": {"ok": 1.0, "bad": "NaN", "worse": "x"}}
+        )
+        assert record.values == {"ok": 1.0}
+
+
+class TestHistoryPath:
+    def test_default_is_repo_root_file(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(HISTORY_ENV, raising=False)
+        assert history_path(tmp_path) == tmp_path / "PERF_HISTORY.jsonl"
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HISTORY_ENV, str(tmp_path / "other.jsonl"))
+        assert history_path(tmp_path) == tmp_path / "other.jsonl"
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", "OFF"])
+    def test_env_disables(self, value, monkeypatch):
+        monkeypatch.setenv(HISTORY_ENV, value)
+        assert history_path() is None
+
+
+class TestRegressionDetector:
+    def _history(self, values):
+        return [_record(**{"run.seconds": v}) for v in values]
+
+    def test_flags_synthetic_2x_slowdown(self):
+        # A realistic noisy baseline: ~2% jitter around 10s.
+        history = self._history(
+            [10.0, 10.2, 9.9, 10.1, 9.8, 10.0, 10.15, 9.95]
+        )
+        flagged = detect_regressions(history, _record(**{"run.seconds": 20.0}))
+        assert [d.metric for d in flagged] == ["run.seconds"]
+        delta = flagged[0]
+        assert delta.ratio == pytest.approx(2.0, rel=0.05)
+        assert delta.deviation > 4.0
+        assert "run.seconds" in delta.describe()
+
+    def test_quiet_on_noise_level_jitter(self):
+        history = self._history(
+            [10.0, 10.2, 9.9, 10.1, 9.8, 10.0, 10.15, 9.95]
+        )
+        # +3% is inside the observed jitter band — stay quiet.
+        assert detect_regressions(
+            history, _record(**{"run.seconds": 10.3})
+        ) == []
+
+    def test_quiet_on_improvement(self):
+        history = self._history([10.0, 10.1, 9.9, 10.0])
+        assert detect_regressions(
+            history, _record(**{"run.seconds": 5.0})
+        ) == []
+
+    def test_throughput_direction_flags_halving_not_doubling(self):
+        history = [
+            _record(**{"engine.slots_per_sec": v})
+            for v in [1e6, 1.02e6, 0.99e6, 1.01e6]
+        ]
+        slow = detect_regressions(
+            history, _record(**{"engine.slots_per_sec": 0.5e6})
+        )
+        fast = detect_regressions(
+            history, _record(**{"engine.slots_per_sec": 2e6})
+        )
+        assert [d.metric for d in slow] == ["engine.slots_per_sec"]
+        assert fast == []
+
+    def test_never_flags_below_min_history(self):
+        history = self._history([10.0, 10.0])
+        deltas = compare_records(history, _record(**{"run.seconds": 100.0}))
+        assert len(deltas) == 1
+        assert deltas[0].samples == 2
+        assert not deltas[0].regression
+
+    def test_zero_variance_history_needs_rel_floor(self):
+        # MAD = 0; the 1%-of-baseline floor keeps a 5% wiggle quiet under
+        # the default 10% relative floor.
+        history = self._history([10.0] * 8)
+        assert detect_regressions(
+            history, _record(**{"run.seconds": 10.5})
+        ) == []
+        flagged = detect_regressions(
+            history, _record(**{"run.seconds": 12.0})
+        )
+        assert [d.metric for d in flagged] == ["run.seconds"]
+
+    def test_window_limits_baseline(self):
+        # Old slow records age out of the window; baseline is the recent 8.
+        history = self._history([100.0] * 5 + [10.0] * 8)
+        deltas = compare_records(history, _record(**{"run.seconds": 10.0}))
+        assert deltas[0].baseline == pytest.approx(10.0)
+        assert deltas[0].samples == 8
+
+    def test_direction_classifier(self):
+        assert metric_direction("profile.engine.slots_per_sec") == 1
+        assert metric_direction("pipeline.throughput") == 1
+        assert metric_direction("experiment.E-T6.seconds") == -1
+        assert metric_direction("counter.engine.changes") == -1
+
+
+class TestRecordBuilders:
+    PAYLOAD = {
+        "git_rev": "abc",
+        "python": "3.11.7",
+        "platform": "linux",
+        "exitstatus": 0,
+        "benchmarks": [{"name": "test_report", "mean_s": 1.25}],
+        "experiments": [{"experiment": "E-T6", "scale": 0.5, "seconds": 3.5}],
+        "profiles": [
+            {"name": "engine", "slots": 1000.0, "seconds": 0.5},
+            {"name": "engine", "slots": 3000.0, "seconds": 0.5},
+        ],
+        "counters": {"engine.single.changes": 42},
+    }
+
+    def test_record_from_bench_obs(self):
+        record = record_from_bench_obs(self.PAYLOAD)
+        assert record.label == "bench"
+        assert record.values["bench.test_report.mean_s"] == 1.25
+        assert record.values["experiment.E-T6.seconds"] == 3.5
+        # profiles aggregate: (1000+3000) slots / (0.5+0.5) s
+        assert record.values["profile.engine.slots_per_sec"] == 4000.0
+        assert record.values["counter.engine.single.changes"] == 42.0
+        assert record.git_rev == "abc"
+        assert record.config_hash  # fingerprint over names, non-empty
+
+    def test_config_hash_tracks_workload_not_timings(self):
+        faster = json.loads(json.dumps(self.PAYLOAD))
+        faster["experiments"][0]["seconds"] = 99.0
+        other = json.loads(json.dumps(self.PAYLOAD))
+        other["experiments"][0]["experiment"] = "E-T14"
+        base = record_from_bench_obs(self.PAYLOAD).config_hash
+        assert record_from_bench_obs(faster).config_hash == base
+        assert record_from_bench_obs(other).config_hash != base
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ConfigError):
+            record_from_bench_obs([1, 2])
+
+    def test_record_from_manifest(self):
+        manifest = {
+            "label": "simulate",
+            "seed": 7,
+            "git_rev": "abc",
+            "config_hash": "beef",
+            "profiles": [
+                {"name": "engine", "slots_per_sec": 2e6, "seconds": 0.25}
+            ],
+            "metrics": {"counters": {"engine.single.slots": 500}},
+        }
+        record = record_from_manifest(manifest)
+        assert record.label == "simulate"
+        assert record.config_hash == "beef"
+        assert record.values["profile.engine.slots_per_sec"] == 2e6
+        assert record.values["counter.engine.single.slots"] == 500.0
+        with pytest.raises(ConfigError):
+            record_from_manifest({"label": "no-hash"})

@@ -1,0 +1,184 @@
+"""Tests for the live batch-progress event layer."""
+
+import io
+import json
+import time
+
+from repro.obs.progress import (
+    CollectingProgress,
+    JsonlProgress,
+    ProgressEvent,
+    ProgressTracker,
+    TtyProgress,
+    progress_sink,
+    snapshot_slots,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def _tracker(total, sink, clock=None):
+    return ProgressTracker(
+        total, sink, heartbeat_s=None, clock=clock or FakeClock()
+    )
+
+
+class TestSnapshotSlots:
+    def test_sums_slot_counters_only(self):
+        snapshot = {
+            "counters": {
+                "engine.single.slots": 100,
+                "engine.phased.slots": 50,
+                "engine.single.changes": 999,
+            }
+        }
+        assert snapshot_slots(snapshot) == 150.0
+
+    def test_tolerates_garbage(self):
+        assert snapshot_slots(None) == 0.0
+        assert snapshot_slots({"counters": {"x.slots": "bogus"}}) == 0.0
+
+
+class TestProgressTracker:
+    def test_event_sequence_and_counts(self):
+        sink = CollectingProgress()
+        with _tracker(2, sink) as tracker:
+            tracker.job_done("E-T6", slots=1000)
+            tracker.job_done("E-T14", slots=500)
+        kinds = [event.kind for event in sink.events]
+        assert kinds == ["start", "job", "job", "done"]
+        assert [e.completed for e in sink.events] == [0, 1, 2, 2]
+        assert sink.events[-1].slots == 1500.0
+        assert sink.events[1].label == "E-T6"
+
+    def test_eta_extrapolates_from_completion_rate(self):
+        clock = FakeClock()
+        sink = CollectingProgress()
+        tracker = _tracker(4, sink, clock)
+        tracker.start()
+        clock.now += 10.0
+        tracker.job_done("a")
+        # 1 of 4 done in 10s -> 3 remaining at 10 s/job.
+        assert sink.events[-1].eta_s == 30.0
+        clock.now += 10.0
+        tracker.job_done("b")
+        assert sink.events[-1].eta_s == 20.0
+        tracker.job_done("c")
+        tracker.job_done("d")
+        assert sink.events[-1].eta_s == 0.0
+
+    def test_slots_per_sec(self):
+        clock = FakeClock()
+        sink = CollectingProgress()
+        tracker = _tracker(1, sink, clock)
+        tracker.start()
+        clock.now += 2.0
+        tracker.job_done("a", slots=5000)
+        assert sink.events[-1].slots_per_sec == 2500.0
+
+    def test_cached_jobs_counted(self):
+        sink = CollectingProgress()
+        with _tracker(2, sink) as tracker:
+            tracker.job_done("a", cached=True)
+            tracker.job_done("b")
+        assert sink.events[-1].cache_hits == 1
+
+    def test_broken_sink_is_dropped_not_raised(self):
+        calls = []
+
+        def bad_sink(event):
+            calls.append(event)
+            raise RuntimeError("display went away")
+
+        tracker = _tracker(1, bad_sink)
+        tracker.start()           # first emit raises -> sink dropped
+        tracker.job_done("a")     # must not raise
+        tracker.finish()
+        assert len(calls) == 1
+
+    def test_none_sink_is_a_noop(self):
+        tracker = _tracker(1, None)
+        tracker.start()
+        tracker.job_done("a")
+        tracker.finish()
+
+    def test_heartbeat_emits_between_jobs(self):
+        sink = CollectingProgress()
+        tracker = ProgressTracker(2, sink, heartbeat_s=0.01)
+        tracker.start()
+        deadline = time.monotonic() + 2.0
+        while (
+            not any(e.kind == "heartbeat" for e in sink.events)
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        tracker.job_done("a")
+        tracker.job_done("b")
+        tracker.finish()
+        assert any(e.kind == "heartbeat" for e in sink.events)
+        assert sink.events[-1].kind == "done"
+
+
+class TestRenderSinks:
+    EVENT = ProgressEvent(
+        kind="job",
+        completed=3,
+        total=17,
+        label="E-T6[1]",
+        elapsed_s=4.5,
+        slots=84200.0,
+        slots_per_sec=42100.0,
+        eta_s=12.0,
+        cache_hits=2,
+    )
+
+    def test_tty_line_is_carriage_return_status(self):
+        stream = io.StringIO()
+        TtyProgress(stream)(self.EVENT)
+        line = stream.getvalue()
+        assert line.startswith("\r")
+        assert "[  3/17]" in line
+        assert "42.1k slots/s" in line
+        assert "ETA 12s" in line
+        assert "2 cached" in line
+        assert "E-T6[1]" in line
+        assert "\n" not in line
+
+    def test_tty_done_ends_the_line(self):
+        stream = io.StringIO()
+        done = ProgressEvent(kind="done", completed=17, total=17)
+        TtyProgress(stream)(done)
+        assert stream.getvalue().endswith("\n")
+
+    def test_jsonl_emits_one_parseable_object_per_event(self):
+        stream = io.StringIO()
+        sink = JsonlProgress(stream)
+        sink(self.EVENT)
+        sink(ProgressEvent(kind="done", completed=17, total=17))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "job"
+        assert first["completed"] == 3
+        assert first["slots_per_sec"] == 42100.0
+        assert json.loads(lines[1])["kind"] == "done"
+
+    def test_progress_sink_modes(self):
+        not_a_tty = io.StringIO()
+        assert isinstance(progress_sink("tty", not_a_tty), TtyProgress)
+        assert isinstance(progress_sink("jsonl", not_a_tty), JsonlProgress)
+        assert progress_sink("none", not_a_tty) is None
+        assert progress_sink("auto", not_a_tty) is None  # not a terminal
+
+    def test_progress_sink_auto_on_terminal(self):
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        assert isinstance(progress_sink("auto", FakeTty()), TtyProgress)

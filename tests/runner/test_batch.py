@@ -166,3 +166,108 @@ class TestReportCli:
     def test_cache_cli_without_dir_errors(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert main(["cache", "info"]) == 2
+
+
+class TestBatchProgress:
+    """The live progress layer: observational, complete, deterministic."""
+
+    def _events(self, **kwargs):
+        from repro.obs.progress import CollectingProgress
+
+        sink = CollectingProgress()
+        report = run_batch(IDS, seed=7, scale=SCALE, progress=sink, **kwargs)
+        return report, sink.events
+
+    def test_inline_emits_one_event_per_experiment(self):
+        report, events = self._events(jobs=1)
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "start" and kinds[-1] == "done"
+        jobs = [event for event in events if event.kind == "job"]
+        assert [event.label for event in jobs] == IDS
+        assert events[-1].completed == events[-1].total == len(IDS)
+        assert report.results
+
+    def test_pool_counts_shards_as_jobs(self):
+        report, events = self._events(jobs=2)
+        done = events[-1]
+        assert done.kind == "done"
+        # Shards are individual jobs: total exceeds the experiment count.
+        assert done.total == report.shard_jobs + 1  # E-F2 is monolithic
+        assert done.completed == done.total
+        labels = {event.label for event in events if event.kind == "job"}
+        assert any("[0]" in label for label in labels), labels
+
+    def test_cached_jobs_reported_as_cache_hits(self, tmp_path):
+        use_cache(tmp_path / "cache")
+        run_batch(IDS, seed=7, scale=SCALE, jobs=1)  # warm the cache
+        report, events = self._events(jobs=1)
+        assert report.result_cache_hits == len(IDS)
+        assert events[-1].cache_hits == len(IDS)
+        assert events[-1].completed == len(IDS)
+
+    def test_telemetry_slots_fold_into_progress(self):
+        with telemetry_session():
+            report, events = self._events(jobs=2, telemetry=True)
+        assert report.worker_snapshots > 0
+        assert events[-1].slots > 0
+
+    def test_progress_does_not_change_results(self):
+        from repro.obs.progress import CollectingProgress
+
+        silent = run_batch(IDS, seed=7, scale=SCALE, jobs=2)
+        watched = run_batch(
+            IDS, seed=7, scale=SCALE, jobs=2, progress=CollectingProgress()
+        )
+        assert _render(silent) == _render(watched)
+
+    def test_broken_sink_does_not_fail_the_batch(self):
+        def explode(event):
+            raise RuntimeError("sink died")
+
+        report = run_batch(IDS, seed=7, scale=SCALE, jobs=2, progress=explode)
+        assert len(report.results) == len(IDS)
+
+    def test_report_cli_progress_jsonl(self, tmp_path, capsys):
+        import json as _json
+
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report", "--seed", "3", "--scale", str(SCALE),
+                    "--jobs", "2", "--progress", "jsonl",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        lines = [
+            line for line in captured.err.splitlines() if line.startswith("{")
+        ]
+        assert lines, "jsonl progress must stream to stderr"
+        events = [_json.loads(line) for line in lines]
+        assert events[0]["kind"] == "start"
+        assert events[-1]["kind"] == "done"
+        assert events[-1]["completed"] == events[-1]["total"] > 0
+
+    def test_report_cli_history_flag_appends(self, tmp_path, capsys):
+        from repro.obs.history import HistoryStore
+
+        hist = tmp_path / "hist.jsonl"
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report", "--seed", "3", "--scale", str(SCALE),
+                    "--jobs", "2", "--history", str(hist),
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "appended perf-history record" in capsys.readouterr().out
+        records = HistoryStore(hist).load(label="report")
+        assert len(records) == 1
+        assert records[0].values["report.seconds"] > 0
+        assert records[0].values["report.experiments"] > 0

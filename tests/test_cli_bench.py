@@ -1,0 +1,208 @@
+"""Tests for the ``bench`` CLI subcommand (perf history record/compare/show)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.obs.history import HISTORY_ENV, HistoryStore
+
+
+def _payload(seconds=3.5, slots_per_sec=1e6):
+    return {
+        "schema": 1,
+        "git_rev": "abc123",
+        "python": "3.11",
+        "platform": "linux",
+        "exitstatus": 0,
+        "benchmarks": [
+            {"name": "test_report_benchmark", "mean_s": seconds / 2}
+        ],
+        "experiments": [
+            {"experiment": "E-T6", "scale": 0.5, "seconds": seconds}
+        ],
+        "profiles": [
+            {"name": "engine", "slots": slots_per_sec, "seconds": 1.0}
+        ],
+        "counters": {"engine.single.changes": 42},
+    }
+
+
+def _write_obs(tmp_path, **kwargs):
+    obs = tmp_path / "BENCH_OBS.json"
+    obs.write_text(json.dumps(_payload(**kwargs)))
+    return obs
+
+
+def _record(tmp_path, hist, **kwargs):
+    obs = _write_obs(tmp_path, **kwargs)
+    return main(
+        ["bench", "record", "--input", str(obs), "--history", str(hist)]
+    )
+
+
+class TestBenchRecord:
+    def test_record_appends_one_history_line(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        assert _record(tmp_path, hist) == 0
+        assert "recorded" in capsys.readouterr().out
+        records = HistoryStore(hist).load()
+        assert len(records) == 1
+        assert records[0].values["experiment.E-T6.seconds"] == 3.5
+        assert records[0].git_rev == "abc123"
+
+    def test_record_twice_then_compare_reports_deltas(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        assert _record(tmp_path, hist) == 0
+        assert _record(tmp_path, hist, seconds=3.6) == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", "--history", str(hist)]) == 0
+        printed = capsys.readouterr().out
+        assert "bench compare" in printed
+        assert "experiment.E-T6.seconds" in printed
+        assert "REGRESSION" not in printed  # 2 records < min_history
+
+    def test_missing_input_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="no benchmark aggregate"):
+            main(
+                [
+                    "bench", "record",
+                    "--input", str(tmp_path / "absent.json"),
+                    "--history", str(tmp_path / "h.jsonl"),
+                ]
+            )
+
+    def test_hollow_payload_refused(self, tmp_path):
+        obs = tmp_path / "hollow.json"
+        obs.write_text(json.dumps({"benchmarks": [], "experiments": []}))
+        with pytest.raises(ConfigError, match="no perf metrics"):
+            main(
+                [
+                    "bench", "record",
+                    "--input", str(obs),
+                    "--history", str(tmp_path / "h.jsonl"),
+                ]
+            )
+
+    def test_disabled_history_needs_explicit_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HISTORY_ENV, "off")
+        obs = _write_obs(tmp_path)
+        with pytest.raises(ConfigError, match="disabled"):
+            main(["bench", "record", "--input", str(obs)])
+
+
+class TestBenchCompare:
+    def _seed_history(self, tmp_path, seconds_series):
+        hist = tmp_path / "hist.jsonl"
+        for seconds in seconds_series:
+            assert _record(tmp_path, hist, seconds=seconds) == 0
+        return hist
+
+    def test_flags_2x_regression_warn_only(self, tmp_path, capsys):
+        hist = self._seed_history(
+            tmp_path, [3.5, 3.6, 3.45, 3.55, 3.5, 7.0]
+        )
+        capsys.readouterr()
+        assert main(["bench", "compare", "--history", str(hist)]) == 0
+        printed = capsys.readouterr().out
+        assert "REGRESSION" in printed
+        assert "warning: perf regression: experiment.E-T6.seconds" in printed
+
+    def test_strict_turns_regression_into_exit_1(self, tmp_path, capsys):
+        hist = self._seed_history(
+            tmp_path, [3.5, 3.6, 3.45, 3.55, 3.5, 7.0]
+        )
+        capsys.readouterr()
+        assert (
+            main(["bench", "compare", "--history", str(hist), "--strict"])
+            == 1
+        )
+
+    def test_quiet_on_stable_history(self, tmp_path, capsys):
+        hist = self._seed_history(
+            tmp_path, [3.5, 3.6, 3.45, 3.55, 3.5, 3.52]
+        )
+        capsys.readouterr()
+        assert (
+            main(["bench", "compare", "--history", str(hist), "--strict"])
+            == 0
+        )
+        assert "REGRESSION" not in capsys.readouterr().out
+
+    def test_metric_filter(self, tmp_path, capsys):
+        hist = self._seed_history(tmp_path, [3.5, 3.6, 3.45, 3.55])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "bench", "compare",
+                    "--history", str(hist),
+                    "--metric", "profile.",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "profile.engine.slots_per_sec" in printed
+        assert "experiment.E-T6.seconds" not in printed
+
+    def test_single_record_is_not_comparable(self, tmp_path, capsys):
+        hist = self._seed_history(tmp_path, [3.5])
+        capsys.readouterr()
+        assert main(["bench", "compare", "--history", str(hist)]) == 0
+        assert "need at least 2" in capsys.readouterr().out
+
+
+class TestBenchShow:
+    def test_show_lists_records(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        for seconds in (3.5, 3.6):
+            assert _record(tmp_path, hist, seconds=seconds) == 0
+        capsys.readouterr()
+        assert main(["bench", "show", "--history", str(hist)]) == 0
+        printed = capsys.readouterr().out
+        assert "bench show" in printed
+        assert "abc123" in printed
+
+    def test_show_traces_one_metric(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        for seconds in (3.5, 7.0):
+            assert _record(tmp_path, hist, seconds=seconds) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "bench", "show",
+                    "--history", str(hist),
+                    "--metric", "E-T6.seconds",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "3.5" in printed and "7" in printed
+
+    def test_show_empty_store(self, tmp_path, capsys):
+        assert (
+            main(
+                ["bench", "show", "--history", str(tmp_path / "none.jsonl")]
+            )
+            == 0
+        )
+        assert "no records" in capsys.readouterr().out
+
+    def test_show_unknown_metric_fails(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        assert _record(tmp_path, hist) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "bench", "show",
+                    "--history", str(hist),
+                    "--metric", "nonexistent",
+                ]
+            )
+            == 1
+        )

@@ -1,0 +1,66 @@
+"""Tests for the ``metrics`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.obs.export import parse_openmetrics
+
+
+def _export(tmp_path):
+    out = tmp_path / "telemetry"
+    assert (
+        main(
+            [
+                "simulate",
+                "--horizon",
+                "500",
+                "--traffic",
+                "onoff",
+                "--telemetry",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    return out
+
+
+class TestMetricsSubcommand:
+    def test_openmetrics_output_from_real_run(self, tmp_path, capsys):
+        out = _export(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_engine_single_slots counter" in text
+        assert text.rstrip().endswith("# EOF")
+        parsed = parse_openmetrics(text)
+        assert parsed["counters"]["repro_engine_single_slots"] == 500.0
+        assert parsed["counters"]["repro_engine_single_runs"] == 1.0
+
+    def test_accepts_manifest_file_directly(self, tmp_path, capsys):
+        out = _export(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(out / "manifest.json")]) == 0
+        assert "# EOF" in capsys.readouterr().out
+
+    def test_table_format_shows_percentiles(self, tmp_path, capsys):
+        out = _export(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(out), "--format", "table"]) == 0
+        printed = capsys.readouterr().out
+        assert "counters" in printed
+        assert "p50" in printed and "p95" in printed and "p99" in printed
+        assert "engine.single.queue_depth" in printed
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        out = _export(tmp_path)
+        capsys.readouterr()
+        target = tmp_path / "metrics.prom"
+        assert main(["metrics", str(out), "--out", str(target)]) == 0
+        assert f"wrote {target}" in capsys.readouterr().out
+        assert target.read_text().rstrip().endswith("# EOF")
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="no manifest"):
+            main(["metrics", str(tmp_path / "absent")])

@@ -104,6 +104,62 @@ class TestTraceSubcommand:
         with pytest.raises(ConfigError, match="no span file"):
             main(["trace", str(tmp_path / "absent")])
 
+    def test_perfetto_export_from_real_run(self, tmp_path, capsys):
+        out = _export(tmp_path)
+        capsys.readouterr()
+        trace_file = tmp_path / "trace.json"
+        assert main(["trace", str(out), "--perfetto", str(trace_file)]) == 0
+        assert "perfetto trace written to" in capsys.readouterr().out
+        document = json.loads(trace_file.read_text())
+        events = document["traceEvents"]
+        assert events, "a real run must produce events"
+        phases = {event["ph"] for event in events}
+        assert phases <= {"X", "i", "M"}
+        for event in events:
+            assert isinstance(event["name"], str)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_flame_export_from_real_run(self, tmp_path, capsys):
+        out = _export(tmp_path)
+        capsys.readouterr()
+        flame_file = tmp_path / "stacks.txt"
+        assert main(["trace", str(out), "--flame", str(flame_file)]) == 0
+        assert "flamegraph stacks written to" in capsys.readouterr().out
+        lines = flame_file.read_text().splitlines()
+        assert lines
+        # The engine nests stages under the run-loop span.
+        assert any(
+            line.startswith("run_single_session;stage ") for line in lines
+        )
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+
+    def test_exports_respect_kind_filter(self, tmp_path, capsys):
+        out = _export(tmp_path)
+        capsys.readouterr()
+        trace_file = tmp_path / "stages.json"
+        assert (
+            main(
+                [
+                    "trace", str(out),
+                    "--kind", "stage",
+                    "--perfetto", str(trace_file),
+                ]
+            )
+            == 0
+        )
+        events = json.loads(trace_file.read_text())["traceEvents"]
+        assert all(
+            event["cat"] == "stage"
+            for event in events
+            if event["ph"] in ("X", "i")
+        )
+
     def test_violation_counters_surfaced(self, tmp_path, capsys):
         # A faulted run records soft violations only when monitors are
         # softened; the simulate CLI doesn't do that, so synthesize the

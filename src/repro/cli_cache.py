@@ -1,6 +1,8 @@
-"""The ``cache`` CLI subcommand: inspect and clear the content cache.
+"""The ``cache`` CLI subcommand: inspect, verify, and clear the cache.
 
 * ``repro cache info`` — entry counts and byte totals per section.
+* ``repro cache verify`` — digest-check every entry; corrupt entries are
+  moved to ``quarantine/`` and reported (exit 1 if any were found).
 * ``repro cache clear`` — delete every entry.
 
 The cache directory is ``--cache-dir`` if given, else ``REPRO_CACHE_DIR``.
@@ -23,7 +25,7 @@ def add_cache_parser(sub: argparse._SubParsersAction) -> None:
     parser = sub.add_parser(
         "cache", help="inspect or clear the content-addressed cache"
     )
-    parser.add_argument("action", choices=["info", "clear"])
+    parser.add_argument("action", choices=["info", "verify", "clear"])
     parser.add_argument(
         "--cache-dir",
         type=str,
@@ -43,6 +45,10 @@ def run_cache(args) -> int:
     if args.action == "info":
         print(json.dumps(cache.info(), indent=2, sort_keys=True))
         return 0
+    if args.action == "verify":
+        verdict = cache.verify()
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        return 1 if verdict["corrupt"] else 0
     removed = cache.clear()
     print(f"cleared {removed} entries from {cache.root}")
     return 0

@@ -49,3 +49,17 @@ class SignalingError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no results."""
+
+
+class ResilienceError(ReproError, RuntimeError):
+    """A batch shard exhausted its retry budget in strict mode.
+
+    Raised only when :class:`repro.runner.resilience.RunPolicy` is
+    configured with ``strict=True``; the default keep-going mode
+    quarantines exhausted shards into ``BatchReport.failed`` instead.
+    ``failed`` carries the structured reports gathered so far.
+    """
+
+    def __init__(self, message: str, failed=()):
+        self.failed = list(failed)
+        super().__init__(message)

@@ -37,7 +37,7 @@ HEARTBEAT_SECONDS = 2.0
 class ProgressEvent:
     """One progress observation over a batch run."""
 
-    kind: str            # "start" | "job" | "heartbeat" | "done"
+    kind: str            # "start" | "job" | "retry" | "fail" | "heartbeat" | "done"
     completed: int
     total: int
     label: str = ""      # what just finished, e.g. "E-T6[3]" (shard 3)
@@ -46,6 +46,8 @@ class ProgressEvent:
     slots_per_sec: float = 0.0
     eta_s: float | None = None
     cache_hits: int = 0
+    retries: int = 0     # shard attempts re-queued by the resilience layer
+    failures: int = 0    # shards quarantined after exhausting their budget
 
     def as_dict(self) -> dict:
         return {
@@ -58,6 +60,8 @@ class ProgressEvent:
             "slots_per_sec": round(self.slots_per_sec, 1),
             "eta_s": None if self.eta_s is None else round(self.eta_s, 1),
             "cache_hits": self.cache_hits,
+            "retries": self.retries,
+            "failures": self.failures,
         }
 
 
@@ -97,6 +101,8 @@ class ProgressTracker:
         self.completed = 0
         self.slots = 0.0
         self.cache_hits = 0
+        self.retries = 0
+        self.failures = 0
         self._stop = threading.Event()
         self._beat: threading.Thread | None = None
         if heartbeat_s is not None and heartbeat_s > 0:
@@ -119,6 +125,21 @@ class ProgressTracker:
             if cached:
                 self.cache_hits += 1
             event = self._event("job", label=label)
+        self._emit(event)
+
+    def job_retry(self, label: str) -> None:
+        """One shard attempt failed and was re-queued (degradation signal)."""
+        with self._lock:
+            self.retries += 1
+            event = self._event("retry", label=label)
+        self._emit(event)
+
+    def job_failed(self, label: str) -> None:
+        """One shard exhausted its retry budget and was quarantined."""
+        with self._lock:
+            self.completed += 1
+            self.failures += 1
+            event = self._event("fail", label=label)
         self._emit(event)
 
     def finish(self) -> None:
@@ -156,6 +177,8 @@ class ProgressTracker:
             slots_per_sec=self.slots / elapsed if elapsed > 0 else 0.0,
             eta_s=eta,
             cache_hits=self.cache_hits,
+            retries=self.retries,
+            failures=self.failures,
         )
 
     def _emit(self, event: ProgressEvent) -> None:
@@ -164,8 +187,17 @@ class ProgressTracker:
             return
         try:
             sink(event)
-        except Exception:
-            self._sink = None  # a broken sink must not fail the batch
+        except Exception as exc:
+            # A broken sink must not fail the batch — but it must not
+            # vanish silently either (that hid real accounting bugs).
+            self._sink = None
+            from repro.obs.runtime import count
+
+            count("runner.callback_errors")
+            print(
+                f"warning: progress sink failed and was disabled: {exc!r}",
+                file=sys.stderr,
+            )
 
     def _heartbeat(self, interval: float) -> None:
         while not self._stop.wait(interval):
@@ -194,6 +226,10 @@ class TtyProgress:
             parts.append(f"ETA {event.eta_s:.0f}s")
         if event.cache_hits:
             parts.append(f"{event.cache_hits} cached")
+        if event.retries:
+            parts.append(f"{event.retries} retried")
+        if event.failures:
+            parts.append(f"{event.failures} FAILED")
         if event.label:
             parts.append(event.label)
         line = " · ".join(parts)[: self.width]

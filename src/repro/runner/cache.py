@@ -23,14 +23,27 @@ or the CLI passes ``--cache-dir``.  All writes are atomic
 (temp file + ``os.replace``), so concurrent workers racing on the same
 key at worst duplicate work, never corrupt an entry.  Hits and misses are
 counted on the process telemetry registry under ``runner.cache.*``.
+
+Every entry carries a sha256 digest (:func:`payload_digest` over the
+canonical JSON for ``.json`` entries; a ``.sha256`` sidecar over the file
+bytes for ``.npz`` arrays) that is verified on load.  "Absent" and
+"corrupt" are distinct outcomes: a missing file is a silent miss, while a
+file that is unreadable, unparseable, or digest-mismatched is *moved* to
+a ``quarantine/`` subdirectory (preserved for forensics, never silently
+overwritten) and counted under ``runner.cache.corrupt`` /
+``runner.cache.quarantined``.  ``repro cache verify`` sweeps every entry
+on demand.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
 import shutil
 import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -44,12 +57,50 @@ from repro.traffic.multi import MultiSessionWorkload, generate_multi_feasible
 from repro.version import __version__
 
 #: Bump when the on-disk layout or key derivation changes.
-CACHE_SCHEMA = 1
+#: Schema 2: JSON entries wrap ``{"digest", "value"}``; npz entries carry
+#: a ``.sha256`` sidecar; corrupt entries move to ``quarantine/``.
+CACHE_SCHEMA = 2
 
 #: Environment variable naming the cache root (cache disabled when unset).
 CACHE_ENV = "REPRO_CACHE_DIR"
 
 _SECTIONS = ("workloads", "results", "shards")
+
+#: Subdirectory corrupt entries are moved to (never a lookup target).
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_digest(payload) -> str:
+    """sha256 over the canonical JSON encoding of a payload.
+
+    The shared integrity fingerprint of the execution layer: cache
+    entries, sweep-journal records, and worker return values all carry
+    it, so corruption anywhere between a worker and the merged report is
+    detected instead of trusted.
+    """
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def _parse_entry(data: str) -> dict | None:
+    """Decode and digest-check one stored JSON entry (None = corrupt)."""
+    try:
+        doc = json.loads(data)
+    except ValueError:
+        return None
+    if not isinstance(doc, dict):
+        return None
+    value = doc.get("value")
+    digest = doc.get("digest")
+    if not isinstance(value, dict) or not isinstance(digest, str):
+        return None
+    if digest != payload_digest(value):
+        return None
+    return value
+
+
+def _sidecar(path: Path) -> Path:
+    return path.parent / (path.name + ".sha256")
 
 
 class ContentCache:
@@ -84,26 +135,49 @@ class ContentCache:
     # -- JSON entries (results, shard payloads) ---------------------------
 
     def load_json(self, section: str, key: str) -> dict | None:
+        """Load one JSON entry; absent → None silently, corrupt → None
+        after the file is quarantined and counted."""
         path = self._path(section, key, ".json")
         try:
-            with open(path) as handle:
-                value = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            with open(path, encoding="utf-8") as handle:
+                data = handle.read()
+        except FileNotFoundError:
             return None
-        return value if isinstance(value, dict) else None
+        except OSError:
+            self._quarantine(path)
+            return None
+        value = _parse_entry(data)
+        if value is None:
+            self._quarantine(path)
+            return None
+        return value
 
     def store_json(self, section: str, key: str, value: dict) -> None:
         path = self._path(section, key, ".json")
-        _atomic_write(path, json.dumps(value, sort_keys=True).encode("utf-8"))
+        doc = {"digest": payload_digest(value), "value": value}
+        _atomic_write(path, json.dumps(doc, sort_keys=True).encode("utf-8"))
 
     # -- array entries (workloads) ----------------------------------------
 
     def load_arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load one npz entry; absent → None silently, corrupt (bad bytes,
+        missing or mismatched sidecar digest) → None after quarantine."""
         path = self._path("workloads", key, ".npz")
         try:
-            with np.load(path) as bundle:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._quarantine(path)
+            return None
+        if hashlib.sha256(data).hexdigest() != self._read_sidecar(path):
+            self._quarantine(path)
+            return None
+        try:
+            with np.load(io.BytesIO(data)) as bundle:
                 return {name: bundle[name].copy() for name in bundle.files}
-        except (OSError, ValueError):
+        except (OSError, ValueError, zipfile.BadZipFile):
+            self._quarantine(path)
             return None
 
     def store_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> None:
@@ -115,17 +189,100 @@ class ContentCache:
         os.close(handle)
         try:
             np.savez(tmp, **arrays)
+            with open(tmp, "rb") as stream:
+                digest = hashlib.sha256(stream.read()).hexdigest()
             os.replace(tmp, path)
+            _atomic_write(_sidecar(path), digest.encode("utf-8"))
         except BaseException:
             _unlink_quietly(tmp)
             raise
 
+    # -- integrity --------------------------------------------------------
+
+    @staticmethod
+    def _read_sidecar(path: Path) -> str | None:
+        try:
+            return _sidecar(path).read_text(encoding="utf-8").strip()
+        except OSError:
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry (and its sidecar) into ``quarantine/``.
+
+        The bad bytes are preserved for forensics instead of being left
+        in place to be overwritten; the event is counted so corruption is
+        observable (``runner.cache.corrupt`` / ``.quarantined``).
+        """
+        _count("corrupt")
+        target_dir = self.root / QUARANTINE_DIR
+        for victim in (path, _sidecar(path)):
+            if not victim.exists():
+                continue
+            try:
+                target_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(
+                    victim, target_dir / f"{path.parent.name}__{victim.name}"
+                )
+                _count("quarantined")
+            except OSError:
+                continue
+
+    def verify(self, quarantine: bool = True) -> dict:
+        """Digest-check every entry; quarantine (by default) the corrupt.
+
+        Returns ``{"checked", "ok", "corrupt", "quarantined": [names]}``.
+        Backs ``repro cache verify``.
+        """
+        checked = ok = 0
+        bad: list[str] = []
+        for section in _SECTIONS:
+            directory = self.root / section
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.iterdir()):
+                if (
+                    not path.is_file()
+                    or path.name.startswith(".tmp-")
+                    or path.name.endswith(".sha256")
+                ):
+                    continue
+                checked += 1
+                good = False
+                try:
+                    if path.suffix == ".json":
+                        good = (
+                            _parse_entry(path.read_text(encoding="utf-8"))
+                            is not None
+                        )
+                    elif path.suffix == ".npz":
+                        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+                        good = digest == self._read_sidecar(path)
+                except OSError:
+                    good = False
+                if good:
+                    ok += 1
+                else:
+                    bad.append(f"{section}/{path.name}")
+                    if quarantine:
+                        self._quarantine(path)
+        return {
+            "root": str(self.root),
+            "checked": checked,
+            "ok": ok,
+            "corrupt": len(bad),
+            "quarantined": bad if quarantine else [],
+        }
+
     # -- maintenance ------------------------------------------------------
 
     def info(self) -> dict:
-        """Entry counts and byte totals per section."""
+        """Entry counts and byte totals per section.
+
+        ``.sha256`` sidecars ride along with their entry (counted in
+        bytes, not as entries); quarantined files get their own section.
+        """
         sections = {}
-        for section in _SECTIONS:
+        for section in _SECTIONS + (QUARANTINE_DIR,):
             directory = self.root / section
             entries = 0
             size = 0
@@ -133,8 +290,9 @@ class ContentCache:
                 for path in directory.iterdir():
                     if path.name.startswith(".tmp-") or not path.is_file():
                         continue
-                    entries += 1
                     size += path.stat().st_size
+                    if not path.name.endswith(".sha256"):
+                        entries += 1
             sections[section] = {"entries": entries, "bytes": size}
         return {
             "root": str(self.root),
@@ -144,12 +302,20 @@ class ContentCache:
         }
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry; returns how many were removed.
+
+        Sidecars are deleted with their entry but not counted; the
+        quarantine directory is swept too.
+        """
         removed = 0
-        for section in _SECTIONS:
+        for section in _SECTIONS + (QUARANTINE_DIR,):
             directory = self.root / section
             if directory.is_dir():
-                removed += sum(1 for p in directory.iterdir() if p.is_file())
+                removed += sum(
+                    1
+                    for p in directory.iterdir()
+                    if p.is_file() and not p.name.endswith(".sha256")
+                )
                 shutil.rmtree(directory)
         return removed
 

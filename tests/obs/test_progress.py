@@ -102,6 +102,51 @@ class TestProgressTracker:
         tracker.finish()
         assert len(calls) == 1
 
+    def test_broken_sink_is_counted_and_warned(self, capsys):
+        from repro.obs import telemetry_session
+
+        def bad_sink(event):
+            raise RuntimeError("display went away")
+
+        with telemetry_session() as tele:
+            tracker = _tracker(1, bad_sink)
+            tracker.start()
+        counters = tele.registry.snapshot()["counters"]
+        assert counters.get("runner.callback_errors", 0) == 1
+        assert "progress sink failed" in capsys.readouterr().err
+
+    def test_retry_events(self):
+        sink = CollectingProgress()
+        with _tracker(1, sink) as tracker:
+            tracker.job_retry("a")
+            tracker.job_retry("a")
+            tracker.job_done("a")
+        retries = [e for e in sink.events if e.kind == "retry"]
+        assert len(retries) == 2
+        # A retry is not progress: completed does not advance.
+        assert all(e.completed == 0 for e in retries)
+        assert sink.events[-1].retries == 2
+        assert sink.events[-1].completed == 1
+
+    def test_failed_events_complete_the_bar(self):
+        sink = CollectingProgress()
+        with _tracker(2, sink) as tracker:
+            tracker.job_done("a")
+            tracker.job_failed("b")
+        fails = [e for e in sink.events if e.kind == "fail"]
+        assert len(fails) == 1 and fails[0].label == "b"
+        done = sink.events[-1]
+        assert done.completed == done.total == 2
+        assert done.failures == 1
+
+    def test_as_dict_includes_resilience_fields(self):
+        event = ProgressEvent(
+            kind="retry", completed=1, total=4, retries=2, failures=1
+        )
+        doc = event.as_dict()
+        assert doc["retries"] == 2
+        assert doc["failures"] == 1
+
     def test_none_sink_is_a_noop(self):
         tracker = _tracker(1, None)
         tracker.start()
@@ -149,6 +194,16 @@ class TestRenderSinks:
         assert "2 cached" in line
         assert "E-T6[1]" in line
         assert "\n" not in line
+
+    def test_tty_shows_degradation(self):
+        stream = io.StringIO()
+        event = ProgressEvent(
+            kind="job", completed=3, total=17, retries=2, failures=1
+        )
+        TtyProgress(stream)(event)
+        line = stream.getvalue()
+        assert "2 retried" in line
+        assert "1 FAILED" in line
 
     def test_tty_done_ends_the_line(self):
         stream = io.StringIO()

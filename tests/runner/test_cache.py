@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.experiments.common import Check, ExperimentResult
+from repro.obs import telemetry_session
 from repro.params import OfflineConstraints
 from repro.runner.cache import (
+    QUARANTINE_DIR,
     ContentCache,
     cached_feasible_stream,
     cached_multi_feasible,
@@ -118,6 +120,94 @@ class TestCachedGenerators:
         use_cache(None)
         stream = cached_feasible_stream(_offline(), 800, segments=3, seed=5)
         assert stream.horizon == 800
+
+
+class TestIntegrity:
+    """Corrupt entries are distinguished from absent ones, quarantined
+    (never silently overwritten), counted, and sweepable via verify()."""
+
+    def test_corrupt_json_is_quarantined_not_left_in_place(self, cache):
+        cache.store_json("shards", "k", {"x": 1})
+        path = cache.root / "shards" / "k.json"
+        path.write_text("{not json")
+        assert cache.load_json("shards", "k") is None
+        assert not path.exists()
+        quarantined = list((cache.root / QUARANTINE_DIR).iterdir())
+        assert [p.name for p in quarantined] == ["shards__k.json"]
+
+    def test_digest_mismatch_is_corrupt(self, cache):
+        cache.store_json("results", "k", {"x": 1})
+        path = cache.root / "results" / "k.json"
+        # Valid JSON, valid shape — but the value was flipped.
+        path.write_text(
+            path.read_text().replace('"x": 1', '"x": 2').replace('"x":1', '"x":2')
+        )
+        assert cache.load_json("results", "k") is None
+        assert (cache.root / QUARANTINE_DIR / "results__k.json").exists()
+
+    def test_corrupt_loads_are_counted(self, cache):
+        cache.store_json("shards", "k", {"x": 1})
+        (cache.root / "shards" / "k.json").write_text("junk")
+        with telemetry_session() as tele:
+            assert cache.load_json("shards", "k") is None
+        counters = tele.registry.snapshot()["counters"]
+        assert counters.get("runner.cache.corrupt", 0) == 1
+        assert counters.get("runner.cache.quarantined", 0) == 1
+
+    def test_absent_is_not_counted_as_corrupt(self, cache):
+        with telemetry_session() as tele:
+            assert cache.load_json("shards", "nope") is None
+        assert tele.registry.snapshot()["counters"].get(
+            "runner.cache.corrupt", 0
+        ) == 0
+
+    def test_npz_sidecar_written_and_verified(self, cache):
+        cache.store_arrays("k", {"x": np.zeros(4)})
+        path = cache.root / "workloads" / "k.npz"
+        assert (cache.root / "workloads" / "k.npz.sha256").exists()
+        assert cache.load_arrays("k") is not None
+        # Flip a byte: the sidecar digest no longer matches.
+        data = path.read_bytes()
+        path.write_bytes(data[:-1] + bytes([data[-1] ^ 0xFF]))
+        assert cache.load_arrays("k") is None
+        assert not path.exists()
+        names = {p.name for p in (cache.root / QUARANTINE_DIR).iterdir()}
+        assert names == {"workloads__k.npz", "workloads__k.npz.sha256"}
+
+    def test_npz_missing_sidecar_is_corrupt(self, cache):
+        cache.store_arrays("k", {"x": np.zeros(4)})
+        (cache.root / "workloads" / "k.npz.sha256").unlink()
+        assert cache.load_arrays("k") is None
+        assert not (cache.root / "workloads" / "k.npz").exists()
+
+    def test_verify_sweeps_every_section(self, cache):
+        cache.store_json("results", "good", {"x": 1})
+        cache.store_json("shards", "bad", {"x": 1})
+        cache.store_arrays("w", {"x": np.zeros(4)})
+        (cache.root / "shards" / "bad.json").write_text("junk")
+        verdict = cache.verify()
+        assert verdict["checked"] == 3
+        assert verdict["ok"] == 2
+        assert verdict["corrupt"] == 1
+        assert verdict["quarantined"] == ["shards/bad.json"]
+        assert (cache.root / QUARANTINE_DIR / "shards__bad.json").exists()
+        # A second sweep is clean.
+        assert cache.verify()["corrupt"] == 0
+
+    def test_verify_without_quarantine_leaves_files(self, cache):
+        cache.store_json("shards", "bad", {"x": 1})
+        (cache.root / "shards" / "bad.json").write_text("junk")
+        verdict = cache.verify(quarantine=False)
+        assert verdict["corrupt"] == 1
+        assert verdict["quarantined"] == []
+        assert (cache.root / "shards" / "bad.json").exists()
+
+    def test_quarantine_shows_up_in_info(self, cache):
+        cache.store_json("shards", "bad", {"x": 1})
+        (cache.root / "shards" / "bad.json").write_text("junk")
+        cache.load_json("shards", "bad")
+        info = cache.info()
+        assert info["sections"][QUARANTINE_DIR]["entries"] == 1
 
 
 class TestMaintenance:

@@ -1,7 +1,11 @@
 """Tests for the ``report`` CLI subcommand (EXPERIMENTS.md generation)."""
 
+import numpy as np
+import pytest
+
 from repro.cli import main
 from repro.experiments import all_ids
+from repro.runner.resilience import SweepJournal
 
 
 class TestReport:
@@ -27,3 +31,63 @@ class TestReport:
         main(["report", "--scale", "0.3", "--seed", "5", "--out", str(a)])
         main(["report", "--scale", "0.3", "--seed", "5", "--out", str(b)])
         assert a.read_text() == b.read_text()
+
+
+class TestResilienceFlags:
+    """`repro report --retries/--run-timeout/--resume/--strict` and
+    `repro cache verify`."""
+
+    BASE = ["report", "--scale", "0.3", "--seed", "0", "--progress", "none"]
+
+    def test_resume_journal_written_then_skipped(self, tmp_path, capsys):
+        out = tmp_path / "EXPERIMENTS.md"
+        journal = tmp_path / "sweep.jsonl"
+        args = self.BASE + [
+            "--out", str(out), "--jobs", "2", "--resume", str(journal),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        checkpointed = len(SweepJournal(journal))
+        assert checkpointed > 0
+        assert "recovery:" not in first.err
+
+        rerun = tmp_path / "rerun.md"
+        assert main(args[:-4] + ["--out", str(rerun)] + args[-4:]) == 0
+        second = capsys.readouterr()
+        assert f"{checkpointed} journal skips" in second.err
+        assert rerun.read_bytes() == out.read_bytes()
+
+    def test_retries_run_timeout_and_strict_accepted(self, tmp_path):
+        out = tmp_path / "EXPERIMENTS.md"
+        assert (
+            main(
+                self.BASE + [
+                    "--out", str(out), "--retries", "1",
+                    "--run-timeout", "600", "--jobs", "2", "--strict",
+                ]
+            )
+            == 0
+        )
+        assert out.exists()
+
+    def test_keep_going_is_the_default_and_exclusive_with_strict(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--strict", "--keep-going"])
+
+    def test_cache_verify_clean_and_corrupt(self, tmp_path, capsys):
+        from repro.runner.cache import ContentCache
+
+        cache_dir = str(tmp_path / "cache")
+        cache = ContentCache(cache_dir)
+        cache.store_json("results", "k", {"x": 1})
+        cache.store_arrays("w", {"a": np.zeros(8)})
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 0
+        verdict = capsys.readouterr().out
+        assert '"checked": 2' in verdict
+        assert '"corrupt": 0' in verdict
+
+        (cache.root / "results" / "k.json").write_text("junk")
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 1
+        assert '"corrupt": 1' in capsys.readouterr().out
+        # The bad entry was quarantined: a re-verify is clean again.
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 0

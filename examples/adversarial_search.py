@@ -1,0 +1,62 @@
+"""Scenario: hunt the Figure 3 algorithm with an attack campaign.
+
+Instead of checking the paper's guarantees on nice workloads, go looking
+for the workloads that hurt: run a small :mod:`repro.adversary` campaign
+against the single-session algorithm — seeded attack families
+(leaky-bucket burst trains, threshold-straddling oscillators, the
+Remark §1.1 sawtooth, the doubling ladder) refined by deterministic
+hill-climbing — then print the ranked worst cases and the tightness
+report comparing what the search *measured* against what the theorems
+*allow*.
+
+Every reported ratio is certified: each attack trace carries a witness
+offline schedule that provably serves it, so ``online changes / witness
+changes`` can only understate the true competitive ratio.  A "kind" of
+``unbounded`` marks the Remark §1.1 signature — a zero-change offline
+witness while the online algorithm keeps paying.
+
+Run:  python examples/adversarial_search.py
+"""
+
+from repro.adversary import CampaignConfig, run_campaign
+
+BUDGET = 20
+SEED = 7
+
+
+def main() -> None:
+    config = CampaignConfig(
+        algorithm="single",
+        budget=BUDGET,
+        seed=SEED,
+        bandwidth=64.0,
+        delay=4,
+        utilization=0.25,
+        window=8,
+    )
+    result = run_campaign(config)
+
+    print(f"searched {result.search.evaluations} candidates "
+          f"(budget {BUDGET}, seed {SEED} — rerun and you get these exact "
+          f"numbers back)\n")
+    print("ranked worst cases:")
+    for entry in result.corpus:
+        score = entry.score
+        print(
+            f"  #{entry.rank}  {entry.candidate.family:<14} "
+            f"ratio {score.ratio:5.2f} ({score.verdict_kind}); "
+            f"online paid {score.online_changes} changes vs witness "
+            f"{score.opt_upper}"
+        )
+    print()
+    print(result.tightness.render())
+    best = result.best_score
+    print(
+        f"\nbest attack: {result.search.best.family} — the online algorithm "
+        f"paid {best.ratio:.2f}x its clairvoyant witness, while the "
+        f"theorems keep every stage under {result.tightness.bound:g} changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,450 @@
+"""Attack campaigns: per-algorithm search plus an empirical tightness report.
+
+:func:`run_campaign` seeds every adversary family that applies to the
+target algorithm, hill-climbs the remaining budget, and folds the ranked
+survivors into two artifacts:
+
+* a **corpus** of :class:`~repro.adversary.corpus.CorpusEntry` —
+  worst-case traces pinned with their scoring context, ready to be saved
+  as regression fixtures;
+* a :class:`TightnessReport` — for each surviving trace, the measured
+  per-stage change count against the proved per-stage envelope
+  (Theorem 6/7's ``log2 B_A + 2`` for Figure 3, Theorem 14/17's ``3k``
+  for the multi-session algorithms), i.e. *how much of the theorem the
+  adversary actually extracts*; plus the Remark §1.1 control: the
+  no-slack tracker's change count on sawtooth streams of growing
+  horizon, which must diverge while the slacked algorithm's stays flat.
+
+Everything is deterministic in ``(config, seed)``; pass a
+``SweepJournal`` to make a campaign resumable and a ``ProgressTracker``
+to watch it live.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.adversary.corpus import CorpusEntry
+from repro.adversary.generators import (
+    AttackCandidate,
+    doubling_attack,
+    leaky_bucket_attack,
+    leaky_bucket_multi_attack,
+    phase_resonant_attack,
+    sawtooth_attack,
+    threshold_oscillator_attack,
+)
+from repro.adversary.mutators import mutate_multi, mutate_single
+from repro.adversary.search import (
+    AttackScore,
+    SearchResult,
+    hill_climb,
+    score_multi,
+    score_single,
+)
+from repro.errors import ConfigError
+from repro.params import OfflineConstraints
+from repro.sim.engine import run_single_session
+from repro.traffic.adversary import TightTrackingAllocator
+
+ALGORITHMS = ("single", "phased", "continuous")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One attack campaign's full parameterization."""
+
+    algorithm: str = "single"
+    budget: int = 24
+    seed: int = 0
+    bandwidth: float = 64.0
+    delay: int = 4
+    utilization: float = 0.25
+    window: int = 8
+    k: int = 4
+    stages: int = 3
+    horizon: int = 256
+    top_n: int = 5
+    fifo: bool = False
+    no_slack_cycles: tuple[int, ...] = (2, 4, 8, 16)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigError(
+                f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}"
+            )
+        if self.budget < 1:
+            raise ConfigError(f"budget must be >= 1, got {self.budget!r}")
+        if self.top_n < 1:
+            raise ConfigError(f"top_n must be >= 1, got {self.top_n!r}")
+
+    @property
+    def offline(self) -> OfflineConstraints:
+        """The single-session offline side (utilization-constrained)."""
+        return OfflineConstraints(
+            bandwidth=self.bandwidth,
+            delay=self.delay,
+            utilization=self.utilization,
+            window=self.window,
+        )
+
+    def scoring_context(self) -> dict:
+        """The corpus ``config`` dict reproducing this campaign's scoring."""
+        if self.algorithm == "single":
+            return {
+                "bandwidth": self.bandwidth,
+                "delay": self.delay,
+                "utilization": self.utilization,
+                "window": self.window,
+            }
+        return {
+            "bandwidth": self.bandwidth,
+            "delay": self.delay,
+            "fifo": self.fifo,
+        }
+
+
+def tightness_bound(
+    algorithm: str,
+    *,
+    bandwidth: float = 64.0,
+    utilization: float | None = None,
+    k: int = 4,
+) -> float:
+    """The proved per-stage change envelope the report compares against.
+
+    * ``single`` — Figure 3 climbs its power-of-two ladder at most once
+      per stage: ``ceil(log2 B_A) + 2`` changes, the Theorem 6 envelope
+      the repo's own stage diagnostics enforce.
+    * ``phased`` / ``continuous`` — Theorem 14/17 prove ``O(k)`` changes
+      per stage (``3k`` in the paper's accounting, which charges a
+      bump's down-then-up pair once); the implementation counts every
+      regular *and* overflow link change separately, so its enforced
+      per-stage envelope is ``6k`` (the constant the certificate suite
+      asserts).  The report measures against the enforced ``6k``.
+    """
+    if algorithm == "single":
+        return math.ceil(math.log2(max(2.0, bandwidth))) + 2
+    if algorithm in ("phased", "continuous"):
+        return 6.0 * k
+    raise ConfigError(f"algorithm must be one of {ALGORITHMS}, got {algorithm!r}")
+
+
+@dataclass(frozen=True)
+class TightnessEntry:
+    """How much of the proved envelope one trace extracts."""
+
+    algorithm: str
+    family: str
+    digest: str
+    ratio: float
+    verdict_kind: str
+    max_stage_changes: int
+    stages: int
+    bound: float
+
+    @property
+    def fraction(self) -> float:
+        """measured / proved per-stage envelope (1.0 = theorem is tight)."""
+        return self.max_stage_changes / self.bound if self.bound else math.nan
+
+    @property
+    def within_bound(self) -> bool:
+        return self.max_stage_changes <= self.bound + 1e-9
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "digest": self.digest,
+            "ratio": self.ratio,
+            "verdict_kind": self.verdict_kind,
+            "max_stage_changes": self.max_stage_changes,
+            "stages": self.stages,
+            "bound": self.bound,
+            "fraction": self.fraction,
+            "within_bound": self.within_bound,
+        }
+
+
+@dataclass(frozen=True)
+class NoSlackSeries:
+    """Remark §1.1 control: the no-slack tracker vs growing horizons.
+
+    The witness is constant ``B_O`` (zero offline changes), so each
+    entry's ratio is simply the online change count — ``diverges`` says
+    the series keeps growing with the horizon, the Remark's claim.
+    """
+
+    cycles: tuple[int, ...]
+    online_changes: tuple[int, ...]
+
+    @property
+    def ratios(self) -> tuple[float, ...]:
+        return tuple(float(c) for c in self.online_changes)
+
+    @property
+    def diverges(self) -> bool:
+        counts = self.online_changes
+        if len(counts) < 2:
+            return False
+        monotone = all(b >= a for a, b in zip(counts, counts[1:]))
+        return monotone and counts[-1] > counts[0]
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles": list(self.cycles),
+            "online_changes": list(self.online_changes),
+            "ratios": list(self.ratios),
+            "diverges": self.diverges,
+        }
+
+
+def no_slack_divergence(
+    offline: OfflineConstraints, cycles: tuple[int, ...] = (2, 4, 8, 16)
+) -> NoSlackSeries:
+    """Measure the no-slack tracker's change count on growing sawtooths."""
+    if offline.utilization is None or offline.window is None:
+        raise ConfigError("no_slack_divergence needs a utilization constraint")
+    counts = []
+    for n in cycles:
+        candidate = sawtooth_attack(offline, n)
+        tracker = TightTrackingAllocator(
+            max_bandwidth=offline.bandwidth,
+            delay=offline.delay,
+            utilization=offline.utilization,
+            window=offline.window,
+        )
+        trace = run_single_session(tracker, candidate.arrivals)
+        counts.append(trace.change_count)
+    return NoSlackSeries(cycles=tuple(cycles), online_changes=tuple(counts))
+
+
+@dataclass(frozen=True)
+class TightnessReport:
+    """The campaign's empirical verdict on the paper's bounds."""
+
+    algorithm: str
+    entries: tuple[TightnessEntry, ...]
+    no_slack: NoSlackSeries | None
+    bound: float
+
+    @property
+    def best_fraction(self) -> float:
+        return max((e.fraction for e in self.entries), default=0.0)
+
+    @property
+    def all_within_bounds(self) -> bool:
+        return all(e.within_bound for e in self.entries)
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "bound": self.bound,
+            "best_fraction": self.best_fraction,
+            "all_within_bounds": self.all_within_bounds,
+            "entries": [e.as_dict() for e in self.entries],
+            "no_slack": self.no_slack.as_dict() if self.no_slack else None,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"tightness report — {self.algorithm} "
+            f"(per-stage envelope {self.bound:g})",
+            f"{'family':<20} {'ratio':>7} {'kind':>12} "
+            f"{'stage-chg':>9} {'bound':>6} {'frac':>6}",
+        ]
+        for e in self.entries:
+            lines.append(
+                f"{e.family:<20} {e.ratio:>7.2f} {e.verdict_kind:>12} "
+                f"{e.max_stage_changes:>9d} {e.bound:>6g} {e.fraction:>6.2f}"
+            )
+        if self.no_slack is not None:
+            counts = ", ".join(str(c) for c in self.no_slack.online_changes)
+            trend = "diverges" if self.no_slack.diverges else "flat"
+            lines.append(
+                f"no-slack control (cycles {list(self.no_slack.cycles)}): "
+                f"changes [{counts}] — {trend}"
+            )
+        verdict = "within" if self.all_within_bounds else "EXCEEDS"
+        lines.append(
+            f"verdict: measured per-stage changes {verdict} the proved "
+            f"envelope; best extraction {self.best_fraction:.0%}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    config: CampaignConfig
+    search: SearchResult
+    corpus: tuple[CorpusEntry, ...]
+    tightness: TightnessReport
+
+    @property
+    def best_score(self) -> AttackScore:
+        return self.search.best_score
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.config.algorithm,
+            "budget": self.config.budget,
+            "seed": self.config.seed,
+            "search": self.search.as_dict(),
+            "corpus": [entry.name for entry in self.corpus],
+            "tightness": self.tightness.as_dict(),
+        }
+
+
+def _diverse_top(
+    top: tuple[tuple[AttackCandidate, AttackScore], ...], n: int
+) -> list[tuple[AttackCandidate, AttackScore]]:
+    """Best of each family first, then remaining by rank.
+
+    The raw leaderboard fills up with near-duplicate mutants of whichever
+    family wins; the corpus and the report want the best *per* family so
+    regressions in a weaker attack family are still caught.
+    """
+    picked: list[tuple[AttackCandidate, AttackScore]] = []
+    seen_families: set[str] = set()
+    seen_digests: set[str] = set()
+    for candidate, score in top:
+        if candidate.family not in seen_families:
+            picked.append((candidate, score))
+            seen_families.add(candidate.family)
+            seen_digests.add(candidate.digest)
+    for candidate, score in top:
+        if len(picked) >= n:
+            break
+        if candidate.digest not in seen_digests:
+            picked.append((candidate, score))
+            seen_digests.add(candidate.digest)
+    return picked[:n]
+
+
+def _seed_candidates(config: CampaignConfig) -> list[AttackCandidate]:
+    """The deterministic opening book for each algorithm."""
+    if config.algorithm == "single":
+        offline = config.offline
+        return [
+            threshold_oscillator_attack(
+                offline, max(1, config.stages), seed=config.seed
+            ),
+            leaky_bucket_attack(offline, config.horizon, seed=config.seed),
+            sawtooth_attack(offline, max(2, config.stages + 1)),
+            doubling_attack(offline),
+        ]
+    # Two phase-resonant stage counts: stage-boundary alignment is touchy
+    # enough that the shorter build sometimes dominates the longer one.
+    stage_counts = {max(1, config.stages), max(1, config.stages - 1)}
+    return [
+        phase_resonant_attack(
+            config.k,
+            config.bandwidth,
+            config.delay,
+            stages,
+            seed=config.seed,
+        )
+        for stages in sorted(stage_counts)
+    ] + [
+        leaky_bucket_multi_attack(
+            config.k,
+            config.bandwidth,
+            config.delay,
+            config.horizon,
+            seed=config.seed,
+        ),
+    ]
+
+
+def run_campaign(
+    config: CampaignConfig,
+    *,
+    journal=None,
+    tracker=None,
+) -> CampaignResult:
+    """Run one attack campaign end to end (search → corpus → report)."""
+    initial = _seed_candidates(config)
+    if config.algorithm == "single":
+        offline = config.offline
+
+        def score_fn(candidate):
+            return score_single(candidate, offline)
+
+        def mutate_fn(candidate, rng):
+            return mutate_single(candidate, offline, rng)
+
+    else:
+
+        def score_fn(candidate):
+            return score_multi(
+                candidate,
+                config.bandwidth,
+                config.delay,
+                engine=config.algorithm,
+                fifo=config.fifo,
+            )
+
+        def mutate_fn(candidate, rng):
+            return mutate_multi(candidate, config.bandwidth, config.delay, rng)
+
+    search = hill_climb(
+        initial,
+        score_fn,
+        mutate_fn,
+        budget=config.budget,
+        seed=config.seed,
+        journal=journal,
+        tracker=tracker,
+        keep_top=max(2 * config.top_n, 8),
+    )
+
+    ranked = _diverse_top(search.top, config.top_n)
+    context = config.scoring_context()
+    corpus = tuple(
+        CorpusEntry(
+            candidate=candidate,
+            score=score,
+            algorithm=config.algorithm,
+            config=context,
+            rank=rank,
+        )
+        for rank, (candidate, score) in enumerate(ranked)
+    )
+
+    bound = tightness_bound(
+        config.algorithm,
+        bandwidth=config.bandwidth,
+        utilization=config.utilization if config.algorithm == "single" else None,
+        k=config.k,
+    )
+    entries = tuple(
+        TightnessEntry(
+            algorithm=config.algorithm,
+            family=candidate.family,
+            digest=candidate.digest,
+            ratio=score.ratio,
+            verdict_kind=score.verdict_kind,
+            max_stage_changes=score.max_stage_changes,
+            stages=score.stages,
+            bound=bound,
+        )
+        for candidate, score in ranked
+    )
+    no_slack = (
+        no_slack_divergence(config.offline, config.no_slack_cycles)
+        if config.algorithm == "single"
+        else None
+    )
+    tightness = TightnessReport(
+        algorithm=config.algorithm,
+        entries=entries,
+        no_slack=no_slack,
+        bound=bound,
+    )
+    return CampaignResult(
+        config=config, search=search, corpus=corpus, tightness=tightness
+    )

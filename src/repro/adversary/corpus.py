@@ -1,0 +1,159 @@
+"""Versioned corpus of worst-case traces: save, load, replay.
+
+A corpus entry freezes everything needed to reproduce a measured
+competitive ratio **bit-identically**: the arrival array, the witness
+schedule, the scoring context (constraints, engine, fifo), and the
+recorded :class:`~repro.adversary.search.AttackScore`.  Entries are
+``.npz`` archives with the metadata embedded as JSON inside the archive
+(the :mod:`repro.sim.serialize` convention), so a corpus directory is
+self-describing and diff-able by filename:
+
+    ``<algorithm>-<rank>-<family>-<digest>.npz``
+
+:func:`replay_entry` re-runs the entry's exact scoring path and reports
+whether the stored score reproduced — the regression check the
+``attack-smoke`` CI job and ``tests/adversary/test_corpus.py`` are built
+on.  No timestamps are stored: a regenerated corpus with unchanged code
+is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.adversary.generators import AttackCandidate
+from repro.adversary.search import AttackScore, score_multi, score_single
+from repro.errors import ConfigError
+from repro.params import OfflineConstraints
+from repro.version import __version__
+
+_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned worst-case trace plus its reproduction context.
+
+    ``config`` holds the scoring context: ``bandwidth``, ``delay`` and —
+    for single-session entries — ``utilization`` / ``window``, for
+    multi-session entries ``engine`` / ``fifo``.
+    """
+
+    candidate: AttackCandidate
+    score: AttackScore
+    algorithm: str
+    config: dict
+    rank: int = 0
+    version: str = __version__
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.algorithm}-{self.rank:02d}-"
+            f"{self.candidate.family}-{self.candidate.digest}"
+        )
+
+
+def save_corpus_entry(entry: CorpusEntry, path: str | Path) -> Path:
+    """Write one entry as an ``.npz`` with embedded JSON metadata."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format": _FORMAT,
+        "version": entry.version,
+        "algorithm": entry.algorithm,
+        "rank": entry.rank,
+        "family": entry.candidate.family,
+        "params": entry.candidate.params,
+        "digest": entry.candidate.digest,
+        "has_profile": entry.candidate.profile is not None,
+        "score": entry.score.as_dict(),
+        "config": entry.config,
+    }
+    arrays = {"arrivals": entry.candidate.arrivals}
+    if entry.candidate.profile is not None:
+        arrays["profile"] = entry.candidate.profile
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_corpus_entry(path: str | Path) -> CorpusEntry:
+    """Load one ``.npz`` entry; validates the stored digest."""
+    with np.load(Path(path)) as payload:
+        meta = json.loads(bytes(payload["meta"].tobytes()).decode())
+        if meta.get("format") != _FORMAT:
+            raise ConfigError(
+                f"{path}: unsupported corpus format {meta.get('format')!r}"
+            )
+        candidate = AttackCandidate(
+            arrivals=payload["arrivals"],
+            profile=payload["profile"] if meta["has_profile"] else None,
+            family=meta["family"],
+            params=meta["params"],
+        )
+    if candidate.digest != meta["digest"]:
+        raise ConfigError(
+            f"{path}: stored digest {meta['digest']} does not match the "
+            f"arrivals ({candidate.digest}) — the fixture is corrupt"
+        )
+    return CorpusEntry(
+        candidate=candidate,
+        score=AttackScore.from_dict(meta["score"]),
+        algorithm=meta["algorithm"],
+        config=meta["config"],
+        rank=meta["rank"],
+        version=meta["version"],
+    )
+
+
+def save_corpus(entries: list[CorpusEntry], directory: str | Path) -> list[Path]:
+    """Write a ranked corpus; returns the written paths in rank order."""
+    directory = Path(directory)
+    return [
+        save_corpus_entry(entry, directory / f"{entry.name}.npz")
+        for entry in entries
+    ]
+
+
+def load_corpus(directory: str | Path) -> list[CorpusEntry]:
+    """Load every ``.npz`` entry in a directory, sorted by filename."""
+    directory = Path(directory)
+    return [load_corpus_entry(p) for p in sorted(directory.glob("*.npz"))]
+
+
+def replay_entry(entry: CorpusEntry) -> tuple[AttackScore, bool]:
+    """Re-score the entry's trace through its recorded context.
+
+    Returns ``(fresh_score, reproduced)`` where ``reproduced`` means the
+    fresh score equals the stored one field-for-field — the bit-identity
+    contract the pinned regression corpus asserts.  The content cache is
+    bypassed so the replay genuinely re-runs the engine and oracle.
+    """
+    config = entry.config
+    if entry.algorithm == "single":
+        offline = OfflineConstraints(
+            bandwidth=config["bandwidth"],
+            delay=config["delay"],
+            utilization=config.get("utilization"),
+            window=config.get("window"),
+        )
+        fresh = score_single(entry.candidate, offline, use_cache=False)
+    elif entry.algorithm in ("phased", "continuous"):
+        fresh = score_multi(
+            entry.candidate,
+            config["bandwidth"],
+            config["delay"],
+            engine=entry.algorithm,
+            fifo=bool(config.get("fifo", False)),
+            use_cache=False,
+        )
+    else:
+        raise ConfigError(f"unknown corpus algorithm {entry.algorithm!r}")
+    return fresh, fresh.as_dict() == entry.score.as_dict()

@@ -31,6 +31,7 @@ import sys
 import time
 from contextlib import nullcontext
 
+from repro.cli_attack import add_attack_parser, run_attack
 from repro.cli_bench import add_bench_parser, run_bench
 from repro.cli_cache import add_cache_parser, run_cache
 from repro.cli_metrics import add_metrics_parser, run_metrics
@@ -87,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_bench_parser(sub)
     add_cache_parser(sub)
     add_verify_parser(sub)
+    add_attack_parser(sub)
     return parser
 
 
@@ -110,6 +112,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_cache(args)
     if args.command == "verify":
         return run_verify(args)
+    if args.command == "attack":
+        return run_attack(args)
 
     ids = registry.all_ids() if args.ids == ["all"] else args.ids
     blocks: list[str] = []

@@ -1,0 +1,148 @@
+"""E-ADV — adversarial tightness: how much of each theorem is real.
+
+One attack campaign per algorithm (Figure 3 single-session, phased,
+continuous), each a sweep point so the batch runner can fan the three
+campaigns out to worker processes.  Per algorithm the point reports the
+best certified competitive ratio found, the largest per-stage change
+count against the proved per-stage envelope, and — for the single-session
+point — the Remark §1.1 control: the no-slack tracker's change count must
+*diverge* on growing sawtooth horizons while the slacked algorithm's
+per-stage changes stay inside the envelope.
+
+Checks:
+
+* every surviving trace stays within the per-stage envelope
+  (``ceil(log2 B_A) + 2`` single, ``6k`` multi — the repo's enforced
+  accounting of the paper's ``O(log B_A)`` / ``3k``);
+* the search finds a certified ratio ``>= 2`` against Figure 3 and
+  ``>= k`` against the phased algorithm;
+* the no-slack series is strictly growing (Remark §1.1).
+"""
+
+from __future__ import annotations
+
+from repro.adversary.campaign import CampaignConfig, run_campaign
+from repro.experiments.common import ExperimentResult, fmt, scaled
+from repro.experiments.registry import register_sweep
+
+_HEADERS = [
+    "algorithm",
+    "best family",
+    "best ratio",
+    "kind",
+    "max chg/stage",
+    "envelope",
+    "extraction",
+    "evals",
+]
+
+_K = 4
+
+
+def _points(seed: int = 0, scale: float = 1.0) -> list[str]:
+    if scale < 0.5:
+        return ["single", "phased"]
+    return ["single", "phased", "continuous"]
+
+
+def _run_point(
+    algorithm: str, index: int, seed: int = 0, scale: float = 1.0
+) -> dict:
+    config = CampaignConfig(
+        algorithm=algorithm,
+        budget=scaled(24, scale, minimum=6),
+        seed=seed,
+        k=_K,
+        stages=3,
+        horizon=scaled(256, scale, minimum=64),
+    )
+    result = run_campaign(config)
+    best = result.best_score
+    tightness = result.tightness
+    # The best *finite* certified ratio (the unbounded hits are reported
+    # by kind; the ratio column should stay comparable across rows).
+    best_ratio = max(
+        (e.ratio for e in tightness.entries if e.ratio > 0), default=0.0
+    )
+    best_entry = max(
+        tightness.entries, key=lambda e: e.ratio, default=None
+    )
+    row = [
+        algorithm,
+        best_entry.family if best_entry else "-",
+        fmt(best_ratio),
+        best.verdict_kind,
+        str(max((e.max_stage_changes for e in tightness.entries), default=0)),
+        fmt(tightness.bound),
+        f"{tightness.best_fraction:.0%}",
+        str(result.search.evaluations),
+    ]
+    payload = {
+        "algorithm": algorithm,
+        "row": row,
+        "best_ratio": best_ratio,
+        "within_bounds": tightness.all_within_bounds,
+        "target": 2.0 if algorithm == "single" else float(_K),
+        "unbounded_found": any(
+            e.verdict_kind == "unbounded" for e in tightness.entries
+        ),
+    }
+    if tightness.no_slack is not None:
+        payload["no_slack_diverges"] = tightness.no_slack.diverges
+        payload["no_slack_changes"] = list(tightness.no_slack.online_changes)
+    return payload
+
+
+def _assemble(
+    payloads: list[dict], seed: int = 0, scale: float = 1.0
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E-ADV",
+        title="Adversarial tightness — searched worst cases vs the theorems",
+        headers=_HEADERS,
+        rows=[p["row"] for p in payloads],
+        preamble=(
+            "Attack campaigns (seeded adversary families + hill-climbing) "
+            "against each online algorithm; ratios are certified lower "
+            "bounds (online changes / witness schedule changes)."
+        ),
+    )
+    for p in payloads:
+        result.check(
+            f"{p['algorithm']}: per-stage changes within proved envelope",
+            p["within_bounds"],
+            "largest per-stage change count vs the enforced theorem bound",
+        )
+        result.check(
+            f"{p['algorithm']}: certified ratio >= {p['target']:g}",
+            p["best_ratio"] >= p["target"],
+            f"best certified ratio {p['best_ratio']:.2f}",
+        )
+    controls = [p for p in payloads if "no_slack_diverges" in p]
+    for p in controls:
+        result.check(
+            "Remark 1.1: no-slack tracker diverges with horizon",
+            p["no_slack_diverges"],
+            f"change counts {p['no_slack_changes']} on growing sawtooths",
+        )
+    unbounded = any(p["unbounded_found"] for p in payloads)
+    result.check(
+        "Remark 1.1: unbounded signature found (OPT=0, online>0)",
+        unbounded,
+        "some corpus trace certifies a zero-change offline witness "
+        "while the online algorithm pays",
+    )
+    result.notes.append(
+        "Extraction = measured per-stage changes / proved envelope; "
+        "100% would mean the theorem's constant is exactly tight."
+    )
+    return result
+
+
+run = register_sweep(
+    "E-ADV",
+    "Adversarial tightness: attack campaigns vs the proved bounds",
+    points=_points,
+    run_point=_run_point,
+    assemble=_assemble,
+)

@@ -28,7 +28,13 @@ from repro.verify.certificates import (
     switch_count,
 )
 from repro.verify.oracle import (
+    RATIO_FINITE,
+    RATIO_NO_STATEMENT,
+    RATIO_TRIVIAL,
+    RATIO_UNBOUNDED,
     OracleResult,
+    RatioVerdict,
+    classify_ratio,
     competitive_ratio,
     default_levels,
     min_changes_oracle,
@@ -40,12 +46,18 @@ __all__ = [
     "CertificateReport",
     "Counterexample",
     "OracleResult",
+    "RATIO_FINITE",
+    "RATIO_NO_STATEMENT",
+    "RATIO_TRIVIAL",
+    "RATIO_UNBOUNDED",
+    "RatioVerdict",
     "TheoremBounds",
     "best_window_utilizations",
     "certify",
     "certify_multi",
     "certify_single",
     "claim9_excess",
+    "classify_ratio",
     "combined_bounds",
     "competitive_ratio",
     "continuous_bounds",

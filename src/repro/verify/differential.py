@@ -182,6 +182,40 @@ def fast_path_mismatch_multi(
     return _trace_mismatch(fast, slow, _MULTI_ARRAYS)
 
 
+def certified_attack_run(
+    arrivals: np.ndarray,
+    offline: OfflineConstraints,
+    *,
+    profile: np.ndarray | None = None,
+    policy=None,
+    label: str = "attack single",
+    **engine_kwargs,
+):
+    """Run + certify + oracle-classify one adversarial candidate.
+
+    The :mod:`repro.adversary` search loop's scoring hook: like
+    :func:`certified_single_run` but additionally classifies the online
+    change count against the DP oracle's optimum
+    (:func:`repro.verify.oracle.classify_ratio`), so a candidate that
+    drives the Remark §1.1 ``unbounded`` signature is recognized as such
+    rather than folded into a finite quotient.  ``feasible`` bounds are
+    applied exactly when the candidate carries a witness ``profile``.
+
+    Returns ``(trace, report, verdict)``.
+    """
+    trace, report = certified_single_run(
+        arrivals,
+        offline,
+        profile=profile,
+        policy=policy,
+        feasible=profile is not None,
+        label=label,
+        **engine_kwargs,
+    )
+    verdict = min_changes_oracle(arrivals, offline).ratio(trace.change_count)
+    return trace, report, verdict
+
+
 def oracle_ratio_check(
     arrivals: np.ndarray,
     offline: OfflineConstraints,

@@ -65,6 +65,70 @@ def default_levels(bandwidth: float, include_zero: bool = False) -> list[float]:
     return levels
 
 
+#: ``opt >= 1`` — the ratio is an ordinary finite quotient.
+RATIO_FINITE = "finite"
+#: ``opt == 0`` yet the online algorithm changed — the Remark §1.1
+#: signature: against a constant-schedule offline, every online change is
+#: uncompensated and the ratio diverges with the horizon.
+RATIO_UNBOUNDED = "unbounded"
+#: Both counts are zero: the instance says nothing about the ratio.
+RATIO_TRIVIAL = "trivial"
+#: The oracle found no feasible offline schedule: no comparison exists.
+RATIO_NO_STATEMENT = "no-statement"
+
+
+@dataclass(frozen=True)
+class RatioVerdict:
+    """A competitive-ratio measurement with its degenerate cases named.
+
+    ``value`` keeps the historical :func:`competitive_ratio` numerics
+    (``inf`` / ``0.0`` / ``nan``); ``kind`` distinguishes the two
+    zero-OPT cases that collapse there — "OPT = 0 and the online paid"
+    (:data:`RATIO_UNBOUNDED`, the Remark §1.1 signature the adversary
+    search hunts for) versus "nobody changed" (:data:`RATIO_TRIVIAL`).
+    """
+
+    value: float
+    kind: str
+    online_changes: int
+    opt_changes: int | None
+
+    @property
+    def unbounded(self) -> bool:
+        """True iff this is the Remark §1.1 divergence signature."""
+        return self.kind == RATIO_UNBOUNDED
+
+    def as_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "kind": self.kind,
+            "online_changes": self.online_changes,
+            "opt_changes": self.opt_changes,
+        }
+
+
+def classify_ratio(online_changes: int, opt_changes: int | None) -> RatioVerdict:
+    """Classify ``online / OPT`` including every degenerate corner.
+
+    * ``opt is None`` — the oracle was infeasible: ``nan`` /
+      :data:`RATIO_NO_STATEMENT`.
+    * ``opt == 0, online == 0`` — ``0.0`` / :data:`RATIO_TRIVIAL`.
+    * ``opt == 0, online > 0`` — ``inf`` / :data:`RATIO_UNBOUNDED`.
+    * otherwise — the finite quotient.
+    """
+    if online_changes < 0:
+        raise ConfigError(f"online_changes must be >= 0, got {online_changes!r}")
+    if opt_changes is None:
+        return RatioVerdict(math.nan, RATIO_NO_STATEMENT, online_changes, None)
+    if opt_changes == 0:
+        if online_changes == 0:
+            return RatioVerdict(0.0, RATIO_TRIVIAL, 0, 0)
+        return RatioVerdict(math.inf, RATIO_UNBOUNDED, online_changes, 0)
+    return RatioVerdict(
+        online_changes / opt_changes, RATIO_FINITE, online_changes, opt_changes
+    )
+
+
 @dataclass(frozen=True)
 class OracleResult:
     """Outcome of the offline change-count DP.
@@ -84,6 +148,10 @@ class OracleResult:
     levels: tuple[float, ...]
     horizon: int
     feasible: bool
+
+    def ratio(self, online_changes: int) -> RatioVerdict:
+        """Classify an online change count against this optimum."""
+        return classify_ratio(online_changes, self.changes)
 
 
 def min_changes_oracle(
@@ -230,9 +298,7 @@ def competitive_ratio(online_changes: int, opt_changes: int | None) -> float:
     changes yields ``inf`` — callers comparing against additive-plus-
     multiplicative bounds should treat OPT = 0 via the additive term.
     An infeasible oracle (``None``) yields ``nan``: no statement.
+    :func:`classify_ratio` returns the same value together with a kind
+    tag separating the two zero-OPT cases.
     """
-    if opt_changes is None:
-        return math.nan
-    if opt_changes == 0:
-        return 0.0 if online_changes == 0 else math.inf
-    return online_changes / opt_changes
+    return classify_ratio(online_changes, opt_changes).value

@@ -406,6 +406,37 @@ def _build_lb(seed: int, scale: float) -> list[CertificateReport]:
     ]
 
 
+@_scenario("E-ADV", "Attack traces (oscillator + sawtooth) with witness profiles")
+def _build_adv(seed: int, scale: float) -> list[CertificateReport]:
+    # Local import: repro.adversary pulls in repro.verify.differential,
+    # which must not load as a side effect of importing the scenarios.
+    from repro.adversary.generators import sawtooth_attack, threshold_oscillator_attack
+    from repro.verify.differential import certified_attack_run
+
+    reports = []
+    for candidate, label in (
+        (
+            threshold_oscillator_attack(
+                _OFFLINE, cycles=max(2, scaled(4, scale)), seed=seed
+            ),
+            "E-ADV oscillator attack",
+        ),
+        (
+            sawtooth_attack(_OFFLINE, max(2, scaled(6, scale))),
+            "E-ADV sawtooth attack (zero-change witness)",
+        ),
+    ):
+        _, report, _ = certified_attack_run(
+            candidate.arrivals,
+            _OFFLINE,
+            profile=candidate.profile,
+            policy=_fig3(_OFFLINE),
+            label=label,
+        )
+        reports.append(report)
+    return reports
+
+
 @_scenario("E-PRICE", "Pricing comparison's Figure 3 cell on a certified stream")
 def _build_price(seed: int, scale: float) -> list[CertificateReport]:
     return [_certified_fig3_run(seed, scale, "E-PRICE fig3 cell")]

@@ -1,0 +1,106 @@
+"""Attack campaigns: acceptance thresholds and the tightness report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    CampaignConfig,
+    no_slack_divergence,
+    run_campaign,
+    tightness_bound,
+)
+from repro.errors import ConfigError
+from repro.params import OfflineConstraints
+
+OFFLINE = OfflineConstraints(bandwidth=64.0, delay=4, utilization=0.25, window=8)
+
+
+class TestConfig:
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(algorithm="quantum")
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(budget=0)
+
+
+class TestTightnessBound:
+    def test_single_is_log_of_bandwidth(self):
+        assert tightness_bound("single", bandwidth=64.0) == 8
+        assert tightness_bound("single", bandwidth=256.0) == 10
+
+    def test_multi_is_linear_in_k(self):
+        assert tightness_bound("phased", k=4) == 24
+        assert tightness_bound("continuous", k=8) == 48
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            tightness_bound("strawman")
+
+
+class TestNoSlackControl:
+    def test_diverges_with_horizon(self):
+        series = no_slack_divergence(OFFLINE, cycles=(2, 4, 8))
+        assert series.diverges
+        assert series.online_changes[-1] > series.online_changes[0]
+
+    def test_needs_utilization(self):
+        with pytest.raises(ConfigError):
+            no_slack_divergence(OfflineConstraints(bandwidth=64.0, delay=4))
+
+
+class TestSingleCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(CampaignConfig(algorithm="single", budget=10, seed=7))
+
+    def test_finds_ratio_at_least_two(self, result):
+        assert any(
+            entry.score.certified and entry.score.ratio >= 2.0
+            for entry in result.corpus
+        )
+
+    def test_finds_unbounded_signature(self, result):
+        assert any(entry.score.unbounded for entry in result.corpus)
+
+    def test_stays_within_proved_envelope(self, result):
+        assert result.tightness.all_within_bounds
+
+    def test_no_slack_series_diverges(self, result):
+        assert result.tightness.no_slack is not None
+        assert result.tightness.no_slack.diverges
+
+    def test_deterministic_in_seed_and_budget(self, result):
+        again = run_campaign(CampaignConfig(algorithm="single", budget=10, seed=7))
+        assert again.search.best.digest == result.search.best.digest
+        assert again.best_score.as_dict() == result.best_score.as_dict()
+
+    def test_report_renders(self, result):
+        text = result.tightness.render()
+        assert "no-slack control" in text
+        assert "verdict" in text
+        payload = result.tightness.as_dict()
+        assert payload["all_within_bounds"] is True
+
+
+class TestPhasedCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(
+            CampaignConfig(algorithm="phased", budget=10, seed=7, k=4)
+        )
+
+    def test_finds_ratio_at_least_k(self, result):
+        assert any(
+            entry.score.certified and entry.score.ratio >= 4.0
+            for entry in result.corpus
+        )
+
+    def test_stays_within_enforced_envelope(self, result):
+        assert result.tightness.all_within_bounds
+
+    def test_corpus_is_family_diverse(self, result):
+        families = {entry.candidate.family for entry in result.corpus}
+        assert len(families) >= 2

@@ -1,0 +1,107 @@
+"""Corpus persistence and the pinned regression fixtures.
+
+The ``corpus/`` directory next to this file is the versioned worst-case
+corpus: every entry must replay through the certificate + oracle scoring
+path to *exactly* its recorded score, and the pinned ratios are the
+floor any future change is measured against (>= 2 for a single-session
+adversary, >= k for a k-session phased adversary).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    CorpusEntry,
+    load_corpus,
+    load_corpus_entry,
+    replay_entry,
+    save_corpus_entry,
+    sawtooth_attack,
+    score_single,
+)
+from repro.errors import ConfigError
+from repro.params import OfflineConstraints
+
+OFFLINE = OfflineConstraints(bandwidth=64.0, delay=4, utilization=0.25, window=8)
+FIXTURES = Path(__file__).parent / "corpus"
+
+
+def _single_entry() -> CorpusEntry:
+    candidate = sawtooth_attack(OFFLINE, 3)
+    score = score_single(candidate, OFFLINE, use_cache=False)
+    return CorpusEntry(
+        candidate=candidate,
+        score=score,
+        algorithm="single",
+        config={
+            "bandwidth": OFFLINE.bandwidth,
+            "delay": OFFLINE.delay,
+            "utilization": OFFLINE.utilization,
+            "window": OFFLINE.window,
+        },
+        rank=0,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path):
+        entry = _single_entry()
+        path = save_corpus_entry(entry, tmp_path / f"{entry.name}.npz")
+        loaded = load_corpus_entry(path)
+        assert np.array_equal(loaded.candidate.arrivals, entry.candidate.arrivals)
+        assert np.array_equal(loaded.candidate.profile, entry.candidate.profile)
+        assert loaded.score.as_dict() == entry.score.as_dict()
+        assert loaded.algorithm == entry.algorithm
+        assert loaded.config == entry.config
+
+    def test_corrupt_fixture_rejected(self, tmp_path):
+        entry = _single_entry()
+        path = save_corpus_entry(entry, tmp_path / "e.npz")
+        with np.load(path) as payload:
+            arrays = dict(payload)
+        arrays["arrivals"] = arrays["arrivals"] + 1.0  # digest no longer matches
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ConfigError):
+            load_corpus_entry(path)
+
+    def test_replay_reproduces_fresh_entry(self, tmp_path):
+        entry = _single_entry()
+        fresh, reproduced = replay_entry(entry)
+        assert reproduced
+        assert fresh.as_dict() == entry.score.as_dict()
+
+
+class TestPinnedFixtures:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        entries = load_corpus(FIXTURES)
+        assert entries, f"pinned corpus missing under {FIXTURES}"
+        return entries
+
+    def test_every_entry_replays_bit_identically(self, corpus):
+        for entry in corpus:
+            fresh, reproduced = replay_entry(entry)
+            assert reproduced, (
+                f"{entry.name}: recorded {entry.score.as_dict()} but "
+                f"replayed {fresh.as_dict()}"
+            )
+
+    def test_single_session_floor(self, corpus):
+        singles = [e for e in corpus if e.algorithm == "single"]
+        assert any(
+            e.score.certified and e.score.ratio >= 2.0 for e in singles
+        )
+
+    def test_phased_k_session_floor(self, corpus):
+        phased = [e for e in corpus if e.algorithm == "phased"]
+        assert any(
+            e.score.certified and e.score.ratio >= e.candidate.k
+            for e in phased
+        )
+
+    def test_unbounded_signature_pinned(self, corpus):
+        assert any(e.score.unbounded for e in corpus)

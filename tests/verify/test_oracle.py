@@ -19,6 +19,11 @@ from repro.errors import ConfigError
 from repro.params import OfflineConstraints
 from repro.traffic.feasible import generate_feasible_stream
 from repro.verify.oracle import (
+    RATIO_FINITE,
+    RATIO_NO_STATEMENT,
+    RATIO_TRIVIAL,
+    RATIO_UNBOUNDED,
+    classify_ratio,
     competitive_ratio,
     default_levels,
     min_changes_oracle,
@@ -140,3 +145,74 @@ class TestCompetitiveRatio:
         assert competitive_ratio(0, 0) == 0.0
         assert competitive_ratio(3, 0) == math.inf
         assert competitive_ratio(6, 2) == pytest.approx(3.0)
+
+
+class TestClassifyRatio:
+    """The two zero-OPT cases must stay distinguishable (Remark §1.1)."""
+
+    def test_unbounded_vs_trivial(self):
+        unbounded = classify_ratio(3, 0)
+        assert unbounded.kind == RATIO_UNBOUNDED
+        assert unbounded.unbounded
+        assert unbounded.value == math.inf
+        trivial = classify_ratio(0, 0)
+        assert trivial.kind == RATIO_TRIVIAL
+        assert not trivial.unbounded
+        assert trivial.value == 0.0
+
+    def test_finite_and_no_statement(self):
+        finite = classify_ratio(6, 2)
+        assert finite.kind == RATIO_FINITE
+        assert finite.value == pytest.approx(3.0)
+        none = classify_ratio(6, None)
+        assert none.kind == RATIO_NO_STATEMENT
+        assert math.isnan(none.value)
+        assert none.opt_changes is None
+
+    def test_negative_online_rejected(self):
+        with pytest.raises(ConfigError):
+            classify_ratio(-1, 0)
+
+    def test_as_dict_round_trips_kind(self):
+        verdict = classify_ratio(4, 2)
+        payload = verdict.as_dict()
+        assert payload["kind"] == RATIO_FINITE
+        assert payload["online_changes"] == 4
+        assert payload["opt_changes"] == 2
+
+    def test_oracle_result_ratio_method(self):
+        offline = OfflineConstraints(bandwidth=8.0, delay=2)
+        oracle = min_changes_oracle(np.full(12, 2.0), offline)
+        assert oracle.changes == 0
+        assert oracle.ratio(0).kind == RATIO_TRIVIAL
+        assert oracle.ratio(5).kind == RATIO_UNBOUNDED
+
+
+class TestDegenerateTraces:
+    """Zero-arrival and single-slot instances must classify cleanly."""
+
+    def test_zero_arrival_trace_is_trivial(self):
+        offline = OfflineConstraints(bandwidth=8.0, delay=2)
+        oracle = min_changes_oracle(np.zeros(16), offline)
+        assert oracle.feasible and oracle.changes == 0
+        assert oracle.ratio(0).kind == RATIO_TRIVIAL
+
+    def test_zero_arrival_with_online_changes_is_unbounded(self):
+        offline = OfflineConstraints(bandwidth=8.0, delay=2)
+        oracle = min_changes_oracle(np.zeros(16), offline)
+        verdict = oracle.ratio(2)
+        assert verdict.kind == RATIO_UNBOUNDED
+        assert verdict.value == math.inf
+
+    def test_single_slot_trace(self):
+        offline = OfflineConstraints(bandwidth=8.0, delay=2)
+        oracle = min_changes_oracle(np.array([4.0]), offline)
+        assert oracle.feasible and oracle.changes == 0
+        assert len(oracle.schedule) == 1
+        assert oracle.ratio(1).kind == RATIO_UNBOUNDED
+
+    def test_single_slot_infeasible_is_no_statement(self):
+        offline = OfflineConstraints(bandwidth=2.0, delay=1)
+        oracle = min_changes_oracle(np.array([100.0]), offline)
+        assert not oracle.feasible
+        assert oracle.ratio(3).kind == RATIO_NO_STATEMENT

@@ -38,7 +38,9 @@ from repro.runner import run_batch, use_cache
 from repro.version import __version__
 
 #: Bump on breaking changes to the BENCH_PERF.json layout.
-PERF_SCHEMA = 1
+#: 2: added the ``engine`` section (``bench_engine.py``) and
+#: ``config.jobs_exceed_cpus``.
+PERF_SCHEMA = 2
 
 REQUIRED_RUN_KEYS = {"name", "jobs", "cache", "seconds", "sha256"}
 
@@ -66,6 +68,13 @@ def _timed_pass(name, ids, seed, scale, jobs, cache_dir):
 
 def run_bench(seed: int, scale: float, jobs: int, out: Path) -> dict:
     ids = registry.all_ids()
+    cpu_count = os.cpu_count() or 1
+    if jobs > cpu_count:
+        print(
+            f"warning: --jobs {jobs} exceeds the host's {cpu_count} CPU(s); "
+            "parallel speedup is oversubscription noise, not fan-out",
+            file=sys.stderr,
+        )
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
         runs = [
             _timed_pass("jobs1_nocache", ids, seed, scale, 1, None),
@@ -79,7 +88,7 @@ def run_bench(seed: int, scale: float, jobs: int, out: Path) -> dict:
         "schema": PERF_SCHEMA,
         "version": __version__,
         "host": {
-            "cpu_count": os.cpu_count() or 1,
+            "cpu_count": cpu_count,
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
@@ -87,6 +96,7 @@ def run_bench(seed: int, scale: float, jobs: int, out: Path) -> dict:
             "seed": seed,
             "scale": scale,
             "jobs": jobs,
+            "jobs_exceed_cpus": jobs > cpu_count,
             "experiments": len(ids),
         },
         "runs": runs,
@@ -96,6 +106,14 @@ def run_bench(seed: int, scale: float, jobs: int, out: Path) -> dict:
         },
         "output_identical": identical,
     }
+    # Preserve sections other benchmark writers keep in the same file
+    # (bench_engine.py owns the "engine" section).
+    try:
+        previous = json.loads(out.read_text())
+        if isinstance(previous, dict) and "engine" in previous:
+            report["engine"] = previous["engine"]
+    except (OSError, json.JSONDecodeError):
+        pass
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
 
@@ -123,6 +141,24 @@ def validate(path: str | Path) -> list[str]:
             problems.append(f"run {run.get('name')!r} missing {sorted(missing)}")
     if raw.get("output_identical") is not True:
         problems.append("output_identical must be true — runner determinism broke")
+    if "jobs_exceed_cpus" not in raw.get("config", {}):
+        problems.append("missing config.jobs_exceed_cpus annotation")
+    engine = raw.get("engine")
+    if engine is not None:
+        for field in ("config", "workloads", "identical"):
+            if field not in engine:
+                problems.append(f"engine section missing {field!r}")
+        for row in engine.get("workloads", []):
+            missing = {"name", "slots", "scalar_slots_per_sec",
+                       "vector_slots_per_sec", "speedup"} - set(row)
+            if missing:
+                problems.append(
+                    f"engine workload {row.get('name')!r} missing {sorted(missing)}"
+                )
+        if engine.get("identical") is not True:
+            problems.append(
+                "engine.identical must be true — vectorized traces diverged"
+            )
     return problems
 
 
@@ -149,8 +185,13 @@ def main(argv=None) -> int:
     cpu = report["host"]["cpu_count"]
     for run in report["runs"]:
         print(f"{run['name']:>16}: {run['seconds']:.2f}s  sha256={run['sha256'][:12]}")
+    oversubscribed = (
+        " (jobs exceed CPUs — oversubscribed)"
+        if report["config"]["jobs_exceed_cpus"]
+        else ""
+    )
     print(
-        f"speedups (host has {cpu} cpu): "
+        f"speedups (host has {cpu} cpu{oversubscribed}): "
         f"parallel x{report['speedups']['parallel_cold']}, "
         f"cache-warm x{report['speedups']['cache_warm']}"
     )

@@ -26,10 +26,13 @@ that is at least low(t)".
 
 from __future__ import annotations
 
+import math
+
 from repro.core.allocator import BandwidthPolicy
 from repro.core.envelope import EnvelopePair
 from repro.core.powers import PowerOfTwoQuantizer, Quantizer
-from repro.errors import ConfigError
+from repro.core.stagekernel import StageKernel
+from repro.errors import ConfigError, SimulationError
 from repro.network.queue import EPSILON
 from repro.obs.runtime import count as obs_count
 
@@ -92,6 +95,35 @@ class SingleSessionOnline(BandwidthPolicy):
         self.stage_change_counts: list[int] = []
         self._changes_this_stage = 0
 
+        # Kernel mode: the O(1)-per-slot multiply-form envelope tests
+        # (StageKernel) replace the hull tracker when the decision rule is
+        # the stock Figure 3 one and the quantizer grid is finite.
+        # Subclasses that override decide() or _stage_target() keep the
+        # EnvelopePair path untouched.
+        self._kernel: StageKernel | None = None
+        self._ladder_guard = 0
+        if (
+            type(self).decide is SingleSessionOnline.decide
+            and type(self)._stage_target is SingleSessionOnline._stage_target
+        ):
+            try:
+                grid_levels = self.quantizer.levels(self.max_bandwidth)
+            except ConfigError:
+                grid_levels = None
+            if grid_levels is not None:
+                self._kernel = StageKernel(
+                    self.offline_delay,
+                    self.offline_utilization,
+                    self.window,
+                    self.max_bandwidth,
+                )
+                self._ladder_guard = int(grid_levels) + 64
+
+    @property
+    def kernel_mode(self) -> bool:
+        """True when decisions run on the multiply-form stage kernel."""
+        return self._kernel is not None
+
     # -- stage machinery ---------------------------------------------------
 
     def _start_stage(self, t: int) -> None:
@@ -121,6 +153,12 @@ class SingleSessionOnline(BandwidthPolicy):
     # -- the decision rule ---------------------------------------------------
 
     def decide(self, t: int, arrivals: float, backlog: float) -> float:
+        if self._kernel is not None:
+            return self._decide_kernel(t, arrivals, backlog)
+        return self._decide_envelope(t, arrivals, backlog)
+
+    def _decide_envelope(self, t: int, arrivals: float, backlog: float) -> float:
+        """Figure 3 on the division-form hull envelope (reference path)."""
         if not self._in_stage and backlog <= EPSILON:
             # RESET finished draining (or initial start): new stage opens
             # with an empty queue at this slot.
@@ -146,17 +184,88 @@ class SingleSessionOnline(BandwidthPolicy):
         self._set(t, self.max_bandwidth)
         return self.link.bandwidth
 
+    def _decide_kernel(self, t: int, arrivals: float, backlog: float) -> float:
+        """Figure 3 on the multiply-form stage kernel (O(1) per slot).
+
+        Identical stage structure to :meth:`_decide_envelope`; the ladder
+        and stage-end tests are threshold margins rather than materialized
+        ``low(t)`` floats, so threshold crossings engineered to land within
+        one ulp of a rung may resolve differently between the two paths
+        (see ``stagekernel`` module docs).  The vectorized engine shares
+        this exact kernel, which is what makes scalar and vector traces
+        bit-identical.
+        """
+        if arrivals < 0:
+            raise ConfigError(f"arrivals must be >= 0, got {arrivals!r}")
+        if not self._in_stage and backlog <= EPSILON:
+            self._start_stage(t)
+            low = self._kernel.start(arrivals)
+            target = self._stage_target(low)
+            self._set(t, target)
+            self._kernel.set_rung(target, self.headroom)
+            return self.link.bandwidth
+
+        if self._in_stage:
+            end, rung = self._kernel.advance(arrivals)
+            if end:
+                self._end_stage(t)
+                self._set(t, self.max_bandwidth)
+                return self.link.bandwidth
+            if rung:
+                self._set(t, self._climb())
+            return self.link.bandwidth
+
+        # Mid-RESET: hold B_A until the queue drains.
+        self._set(t, self.max_bandwidth)
+        return self.link.bandwidth
+
+    def _next_rung(self, g: float) -> float:
+        """The smallest quantizer grid point strictly above ``g``."""
+        return self.quantizer(math.nextafter(g, math.inf))
+
+    def _climb(self) -> float:
+        """Walk the allocation ladder up past the violated rung.
+
+        Jumps to the quantized exact ``low(t)`` first (one Dinkelbach
+        evaluation), then steps grid rungs while the multiply-form test
+        still reports a violation — at most one extra rung in practice,
+        bounded by the grid size in all cases.
+        """
+        current = self.link.bandwidth
+        g = self._stage_target(self._kernel.current_low())
+        if g <= current:
+            g = self._next_rung(current)
+        for _ in range(self._ladder_guard):
+            if g >= self.max_bandwidth:
+                self._kernel.set_rung(self.max_bandwidth, self.headroom)
+                return self.max_bandwidth
+            if not self._kernel.set_rung(g, self.headroom):
+                return g
+            g = self._next_rung(g)
+        raise SimulationError(
+            "allocation ladder failed to converge; the quantizer grid "
+            f"({self.quantizer!r}) is inconsistent with its levels() bound"
+        )
+
     # -- diagnostics ---------------------------------------------------------
 
     @property
     def low(self) -> float:
         """Current ``low(t)`` (0 outside a stage)."""
-        return self._envelope.low if self._in_stage else 0.0
+        if not self._in_stage:
+            return 0.0
+        if self._kernel is not None:
+            return self._kernel.current_low()
+        return self._envelope.low
 
     @property
     def high(self) -> float:
         """Current ``high(t)`` (``B_A`` outside a stage)."""
-        return self._envelope.high if self._in_stage else self.max_bandwidth
+        if not self._in_stage:
+            return self.max_bandwidth
+        if self._kernel is not None:
+            return self._kernel.high
+        return self._envelope.high
 
     @property
     def max_changes_per_stage(self) -> int:

@@ -356,6 +356,51 @@ def record_from_bench_obs(payload: dict, label: str = "bench") -> HistoryRecord:
     )
 
 
+def record_from_engine_bench(
+    engine: dict, label: str = "engine", git_rev: str | None = None
+) -> HistoryRecord:
+    """A history record distilled from BENCH_PERF.json's ``engine`` section.
+
+    One metric pair per workload — ``engine.<name>.scalar.slots_per_sec``
+    and ``engine.<name>.vector.slots_per_sec`` — plus the speedup ratio,
+    so the history tracks both absolute throughput and the vectorization
+    win run-over-run.
+    """
+    if not isinstance(engine, dict) or "workloads" not in engine:
+        raise ConfigError("not an engine bench section (no 'workloads')")
+    values: dict[str, float] = {}
+    for row in engine.get("workloads") or []:
+        if not isinstance(row, dict) or "name" not in row:
+            continue
+        name = str(row["name"])
+        for key, metric in (
+            ("scalar_slots_per_sec", f"engine.{name}.scalar.slots_per_sec"),
+            ("vector_slots_per_sec", f"engine.{name}.vector.slots_per_sec"),
+            ("speedup", f"engine.{name}.speedup"),
+        ):
+            try:
+                number = float(row[key])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if math.isfinite(number):
+                values[metric] = number
+    fingerprint = {
+        "workloads": sorted(
+            str(row.get("name"))
+            for row in engine.get("workloads") or []
+            if isinstance(row, dict)
+        ),
+        "config": engine.get("config"),
+    }
+    return HistoryRecord(
+        label=label,
+        values=values,
+        git_rev=git_rev,
+        config_hash=_config_hash(fingerprint),
+        meta={"identical": engine.get("identical")},
+    )
+
+
 def record_from_manifest(manifest: dict, label: str | None = None) -> HistoryRecord:
     """A history record distilled from a run manifest dict."""
     if not isinstance(manifest, dict) or "config_hash" not in manifest:

@@ -20,7 +20,12 @@
   chaos harness (:class:`ChaosPlan`) for tests.
 """
 
-from repro.runner.batch import BatchReport, default_jobs, run_batch
+from repro.runner.batch import (
+    BatchReport,
+    default_jobs,
+    run_batch,
+    run_session_batch,
+)
 from repro.runner.cache import (
     ContentCache,
     cached_feasible_stream,
@@ -60,6 +65,7 @@ __all__ = [
     "payload_digest",
     "run_batch",
     "run_resilient",
+    "run_session_batch",
     "signal_guard",
     "use_cache",
 ]

@@ -318,6 +318,46 @@ def run_batch(
     return report
 
 
+def run_session_batch(
+    policy_factory,
+    arrivals,
+    *,
+    drain: bool = True,
+    max_drain_slots: int | None = None,
+    collect: str = "trace",
+):
+    """Run many independent single-session simulations over one matrix.
+
+    The session-level sibling of :func:`run_batch`: where ``run_batch``
+    fans out registry *experiments*, this fans one ``(n_sessions, T)``
+    arrival matrix out into ``n_sessions`` independent engine runs, each
+    on the vectorized fast path when the policy supports it (see
+    :func:`repro.sim.vector.run_batched`, to which this delegates).
+
+    Args:
+        policy_factory: zero-argument callable producing a fresh policy
+            per session (policies are stateful).
+        arrivals: array-like of shape ``(n_sessions, T)``.
+        drain, max_drain_slots: engine drain semantics per session.
+        collect: ``"trace"`` for full per-slot traces, ``"summary"`` for
+            bounded-memory :class:`~repro.sim.vector.SingleRunSummary`
+            aggregates.
+
+    Returns:
+        One trace or summary per session, in row order.
+    """
+    from repro.sim.vector import run_batched
+
+    obs_count("runner.session_batches")
+    return run_batched(
+        policy_factory,
+        arrivals,
+        drain=drain,
+        max_drain_slots=max_drain_slots,
+        collect=collect,
+    )
+
+
 def _fmt_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 

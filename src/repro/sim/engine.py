@@ -54,8 +54,9 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 import numpy as np
 
 from repro.core.allocator import BandwidthPolicy, MultiSessionPolicy
+from repro.core.phased import PhasedMultiSession
 from repro.errors import ConfigError, SimulationError
-from repro.network.queue import BitQueue
+from repro.network.queue import BitQueue, EPSILON
 from repro.obs.runtime import Telemetry, get_telemetry
 from repro.sim.invariants import Monitor, MultiSlotView, SingleSlotView
 from repro.sim.recorder import (
@@ -64,22 +65,10 @@ from repro.sim.recorder import (
     SingleSessionRecorder,
     SingleSessionTrace,
 )
+from repro.sim.vector import EngineState, _as_array, vector_capable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.faults.plan import FaultPlan
-
-
-def _as_array(arrivals: Sequence[float] | np.ndarray, ndim: int) -> np.ndarray:
-    array = np.asarray(arrivals, dtype=float)
-    if array.ndim != ndim:
-        raise ConfigError(f"arrivals must be {ndim}-dimensional, got {array.ndim}")
-    if array.size:
-        # isfinite first: NaN slips through a plain `min() < 0` comparison.
-        if not np.isfinite(array).all():
-            raise ConfigError("arrivals must be finite (no NaN/inf values)")
-        if float(array.min()) < 0:
-            raise ConfigError("arrivals must be non-negative")
-    return array
 
 
 def run_single_session(
@@ -92,6 +81,7 @@ def run_single_session(
     queue_capacity: float | None = None,
     faults: "FaultPlan | None" = None,
     fast_path: bool | None = None,
+    vector: bool | None = None,
 ) -> SingleSessionTrace:
     """Simulate one session under ``policy``; return the finalized trace.
 
@@ -111,12 +101,17 @@ def run_single_session(
             no-faults/no-monitors/telemetry-off loop; ``None`` (default)
             auto-selects it when eligible.  Traces are bit-identical
             either way — the knob exists for the identity tests.
+        vector: force (``True``) or suppress (``False``) the event-sliced
+            vectorized fast-forward inside the fast path; ``None``
+            (default) auto-selects it when the fast path is selected, the
+            queue is unbounded, and the policy supports it
+            (:class:`~repro.core.single_session.SingleSessionOnline` in
+            kernel mode, :class:`~repro.core.baselines.StaticAllocator`).
+            Traces are bit-identical either way.
     """
     array = _as_array(arrivals, ndim=1)
     horizon = len(array)
     cap = max_drain_slots if max_drain_slots is not None else 4 * horizon + 1000
-    queue = BitQueue("session", capacity=queue_capacity)
-    recorder = SingleSessionRecorder()
     monitor_list = list(monitors)
     plan = faults if faults is not None and not faults.is_null else None
 
@@ -135,12 +130,31 @@ def run_single_session(
                 "telemetry off"
             )
         use_fast = bool(fast_path)
-
-    if use_fast:
-        return _run_single_fast(
-            policy, array, horizon, cap, drain, queue, recorder, timer
+    if vector and not use_fast:
+        raise ConfigError(
+            "vector=True requires the fast path: no faults, no monitors, "
+            "telemetry off, and fast_path not forced off"
         )
 
+    if use_fast:
+        # The fast path is a thin wrapper over the incremental engine:
+        # identical per-slot operations, plus (when ``vector`` resolves
+        # on) the event-sliced bulk fast-forward for quiet slices.
+        state = EngineState(
+            policy,
+            array,
+            drain=drain,
+            max_drain_slots=cap,
+            queue_capacity=queue_capacity,
+            vector=vector,
+        )
+        with timer:
+            state.run()
+            timer.slots = state.t
+        return state.finalize()
+
+    queue = BitQueue("session", capacity=queue_capacity)
+    recorder = SingleSessionRecorder()
     t = 0
     with timer:
         while t < horizon or (drain and not queue.is_empty):
@@ -230,72 +244,6 @@ def run_single_session(
     return trace
 
 
-def _run_single_fast(
-    policy: BandwidthPolicy,
-    array: np.ndarray,
-    horizon: int,
-    cap: int,
-    drain: bool,
-    queue: BitQueue,
-    recorder: SingleSessionRecorder,
-    timer,
-) -> SingleSessionTrace:
-    """No-faults/no-monitors/telemetry-off tight loop.
-
-    Performs exactly the same queue/policy/recorder operations as the
-    general loop with ``plan is None``, ``monitors=()`` and telemetry off —
-    only the dead per-slot branches are gone and the arrivals are converted
-    to Python floats once up front — so traces are bit-identical.
-    """
-    values = array.tolist()
-    isfinite = math.isfinite
-    decide = policy.decide
-    push = queue.push
-    serve = queue.serve
-    record = recorder.record
-    limit = horizon + cap
-    t = 0
-    with timer:
-        while t < horizon or (drain and not queue.is_empty):
-            if t >= limit:
-                raise SimulationError(
-                    f"queue failed to drain within {cap} extra slots "
-                    f"(backlog {queue.size:.3f})"
-                )
-            offered = values[t] if t < horizon else 0.0
-            backlog = queue.size
-            lost = push(t, offered)
-            bandwidth = decide(t, offered, backlog)
-            if not isfinite(bandwidth):
-                raise SimulationError(
-                    f"policy returned non-finite bandwidth {bandwidth!r} at t={t}"
-                )
-            if bandwidth < 0:
-                raise SimulationError(
-                    f"policy returned negative bandwidth at t={t}"
-                )
-            result = serve(t, bandwidth)
-            record(
-                t,
-                offered,
-                bandwidth,
-                result,
-                queue.size,
-                dropped=lost,
-                requested=None,
-                effective=None,
-            )
-            t += 1
-        timer.slots = t
-
-    return recorder.finalize(
-        changes=policy.changes,
-        stage_starts=policy.stage_starts,
-        resets=policy.resets,
-        horizon=horizon,
-    )
-
-
 def run_multi_session(
     policy: MultiSessionPolicy,
     arrivals: Sequence[Sequence[float]] | np.ndarray,
@@ -305,6 +253,7 @@ def run_multi_session(
     monitors: Iterable[Monitor] = (),
     faults: "FaultPlan | None" = None,
     fast_path: bool | None = None,
+    vector: bool | None = None,
 ) -> MultiSessionTrace:
     """Simulate ``k`` sessions under ``policy``; return the finalized trace.
 
@@ -323,6 +272,12 @@ def run_multi_session(
             no-faults/no-monitors/telemetry-off loop; ``None`` (default)
             auto-selects it when eligible.  Traces are bit-identical
             either way.
+        vector: force (``True``) or suppress (``False``) the event-sliced
+            bulk fast-forward inside the fast path (supported for
+            :class:`~repro.core.phased.PhasedMultiSession`: quiet in-phase
+            slices between phase boundaries commit in bulk); ``None``
+            (default) auto-selects it.  Traces are bit-identical either
+            way.
     """
     array = _as_array(arrivals, ndim=2)
     horizon, k = array.shape
@@ -349,13 +304,34 @@ def run_multi_session(
                 "telemetry off"
             )
         use_fast = bool(fast_path)
+    vector_ok = type(policy) is PhasedMultiSession and policy.extra_link is None
+    if vector and not use_fast:
+        raise ConfigError(
+            "vector=True requires the fast path: no faults, no monitors, "
+            "telemetry off, and fast_path not forced off"
+        )
+    if vector and not vector_ok:
+        raise ConfigError(
+            "vector=True requires a vector-capable multi-session policy "
+            f"(PhasedMultiSession), got {type(policy).__name__}"
+        )
+    use_vector = vector_ok if vector is None else bool(vector)
 
     if use_fast:
         t = _multi_fast_loop(
-            policy, array, horizon, k, cap, drain, zero, recorder, timer
+            policy, array, horizon, k, cap, drain, zero, recorder, timer,
+            use_vector,
         )
     else:
         t = 0
+        # Pre-convert the arrival matrix once and resolve the per-session
+        # link chains up front: the general loop previously rebuilt
+        # `[float(x) for x in array[t]]` and walked
+        # `s.channels.regular_link` three times per session per slot.
+        rows = array.tolist()
+        sessions = policy.sessions
+        regular_links = [s.channels.regular_link for s in sessions]
+        overflow_links = [s.channels.overflow_link for s in sessions]
         try:
             with timer:
                 while t < horizon or (drain and policy.total_backlog > 0):
@@ -364,12 +340,12 @@ def run_multi_session(
                             f"queues failed to drain within {cap} extra slots "
                             f"(backlog {policy.total_backlog:.3f})"
                         )
-                    offered = [float(x) for x in array[t]] if t < horizon else zero
+                    offered = rows[t] if t < horizon else zero
                     slot_arrivals = offered
                     fault_dropped = 0.0
                     if plan is not None:
                         factor = plan.capacity_factor(t)
-                        for session in policy.sessions:
+                        for session in sessions:
                             session.channels.capacity_factor = factor
                         keep = plan.ingress_factor(t)
                         if keep < 1.0 and t < horizon:
@@ -380,12 +356,8 @@ def run_multi_session(
                         raise SimulationError(
                             f"policy returned {len(results)} results for k={k} at t={t}"
                         )
-                    regular = [
-                        s.channels.regular_link.bandwidth for s in policy.sessions
-                    ]
-                    overflow = [
-                        s.channels.overflow_link.bandwidth for s in policy.sessions
-                    ]
+                    regular = [link.bandwidth for link in regular_links]
+                    overflow = [link.bandwidth for link in overflow_links]
                     extra = (
                         policy.extra_link.bandwidth
                         if policy.extra_link is not None
@@ -396,7 +368,7 @@ def run_multi_session(
                             raise SimulationError(
                                 f"policy produced non-finite bandwidth {value!r} at t={t}"
                             )
-                    backlogs = [s.backlog for s in policy.sessions]
+                    backlogs = [s.backlog for s in sessions]
                     recorder.record(
                         t,
                         offered,
@@ -481,6 +453,7 @@ def _multi_fast_loop(
     zero: list[float],
     recorder: MultiSessionRecorder,
     timer,
+    use_vector: bool = False,
 ) -> int:
     """No-faults/no-monitors/telemetry-off tight loop; returns slot count.
 
@@ -488,6 +461,14 @@ def _multi_fast_loop(
     ``plan is None`` — the fault/monitor/telemetry branches are hoisted out
     and the ``(T, k)`` arrival rows are pre-converted to Python floats once
     instead of per slot — so traces are bit-identical.
+
+    With ``use_vector`` (phased policies), quiet in-phase slices — every
+    queue exactly empty, every session's arrivals at or below its constant
+    regular allocation, no phase boundary — are committed in bulk via the
+    policy's event-boundary hooks instead of stepped per slot.  A quiet
+    slot delivers its own arrivals at delay 0 and leaves every queue
+    exactly empty (see :mod:`repro.sim.vector`), so the bulk commit writes
+    the same recorder rows and session accounting the scalar steps would.
     """
     rows = array.tolist()
     isfinite = math.isfinite
@@ -503,6 +484,11 @@ def _multi_fast_loop(
                     f"queues failed to drain within {cap} extra slots "
                     f"(backlog {policy.total_backlog:.3f})"
                 )
+            if use_vector and t < horizon:
+                taken = _phased_bulk(policy, sessions, rows, t, horizon, recorder)
+                if taken:
+                    t += taken
+                    continue
             offered = rows[t] if t < horizon else zero
             results = step(t, offered)
             if len(results) != k:
@@ -534,6 +520,62 @@ def _multi_fast_loop(
             t += 1
         timer.slots = t
     return t
+
+
+def _phased_bulk(
+    policy,
+    sessions,
+    rows: list[list[float]],
+    t: int,
+    horizon: int,
+    recorder: MultiSessionRecorder,
+) -> int:
+    """Bulk-commit quiet in-phase slots from ``t``; return how many.
+
+    Quiet requires: the policy has started, no phase boundary falls inside
+    the slice, every queue is exactly empty, and each session's arrivals
+    stay at or below its (constant within the phase) regular allocation —
+    then each slot delivers its own arrivals at delay 0, leaves the queues
+    exactly empty, and touches no link, so per-slot outputs are pure
+    functions of the arrival rows.  Returns 0 when the next slot needs the
+    scalar step (boundary due, backlog, or overload).
+    """
+    quiet = policy.quiet_slots_until_boundary(t)
+    if quiet == 0 or not policy.queues_exactly_empty():
+        return 0
+    stop = min(t + quiet, horizon)
+    regular = [s.channels.regular_link.bandwidth for s in sessions]
+    overflow = [s.channels.overflow_link.bandwidth for s in sessions]
+    k = len(regular)
+    end = t
+    while end < stop:
+        row = rows[end]
+        ok = True
+        for i in range(k):
+            if row[i] > regular[i]:
+                ok = False
+                break
+        if not ok:
+            break
+        end += 1
+    if end == t:
+        return 0
+    block = rows[t:end]
+    # Matches the recorder's own fold for requested_total=None rows.
+    requested_total = sum(regular) + sum(overflow) + 0.0
+    recorder.record_keepup_block(block, regular, overflow, 0.0, requested_total)
+    for i, session in enumerate(sessions):
+        arrived = session.bits_arrived
+        delivered = session.bits_delivered
+        for row in block:
+            bits = row[i]
+            if bits > 0:
+                arrived += bits
+                if bits > EPSILON:
+                    delivered += bits
+        session.bits_arrived = arrived
+        session.bits_delivered = delivered
+    return end - t
 
 
 def _emit_run_telemetry(

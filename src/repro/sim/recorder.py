@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.network.link import BandwidthChange
-from repro.network.queue import ServeResult
+from repro.network.queue import EPSILON as EPSILON_BITS, ServeResult
 
 
 def merge_histograms(histograms: list[dict[int, float]]) -> dict[int, float]:
@@ -223,6 +223,11 @@ class SingleSessionRecorder:
         self._requested: list[float] = []
         self._effective: list[float] = []
         self._histogram: dict[int, float] = {}
+        #: Deferred keep-up blocks: ``(pos, arrivals, allocation, delivered)``
+        #: where ``pos`` is the scalar-list length at commit time.  Blocks
+        #: are spliced between the scalar slots at :meth:`finalize`, so the
+        #: bulk path never pays per-slot list appends.
+        self._blocks: list[tuple[int, np.ndarray, float, np.ndarray]] = []
 
     def record(
         self,
@@ -247,6 +252,68 @@ class SingleSessionRecorder:
                 self._histogram.get(delivery.delay, 0.0) + delivery.bits
             )
 
+    def record_keepup_block(
+        self,
+        arrivals: np.ndarray,
+        allocation: float,
+        delivered: np.ndarray,
+    ) -> None:
+        """Bulk-append a quiet keep-up slice: constant allocation, empty
+        queue throughout, every slot's arrivals delivered at delay 0.
+
+        Equivalent to ``record`` once per slot with those outcomes:
+        ``delivered`` must hold ``arrivals`` where above the dust threshold
+        and ``0.0`` elsewhere (a sub-epsilon push delivers nothing), and
+        the delay-0 histogram bin accumulates the positive deliveries in
+        slot order (``np.add.accumulate`` reproduces the sequential sums
+        bit-for-bit).  The per-slot columns are deferred: the block is
+        spliced in at :meth:`finalize`, so this call is O(1) plus the
+        histogram fold.
+        """
+        self._blocks.append((len(self._arrivals), arrivals, allocation, delivered))
+        positive = delivered[delivered > 0.0]
+        if positive.size:
+            histogram = self._histogram
+            histogram[0] = float(
+                np.add.accumulate(
+                    np.concatenate(([histogram.get(0, 0.0)], positive))
+                )[-1]
+            )
+
+    def _columns(self) -> list[np.ndarray]:
+        """Materialize the seven per-slot columns, splicing deferred
+        keep-up blocks between the scalar slots in commit order."""
+        scalar = [
+            np.asarray(values, dtype=float)
+            for values in (
+                self._arrivals,
+                self._allocation,
+                self._delivered,
+                self._backlog,
+                self._dropped,
+                self._requested,
+                self._effective,
+            )
+        ]
+        if not self._blocks:
+            return scalar
+        parts: list[list[np.ndarray]] = [[] for _ in range(7)]
+        previous = 0
+        for pos, arrivals, allocation, delivered in self._blocks:
+            for f in range(7):
+                parts[f].append(scalar[f][previous:pos])
+            n = len(arrivals)
+            constant = np.full(n, allocation)
+            zeros = np.zeros(n)
+            for f, column in enumerate(
+                (arrivals, constant, delivered, zeros, zeros, constant, constant)
+            ):
+                parts[f].append(column)
+            previous = pos
+        for f in range(7):
+            parts[f].append(scalar[f][previous:])
+        return [np.concatenate(p) for p in parts]
+
     def finalize(
         self,
         changes: list[BandwidthChange],
@@ -254,19 +321,22 @@ class SingleSessionRecorder:
         resets: list[int],
         horizon: int,
     ) -> SingleSessionTrace:
+        arrivals, allocation, delivered, backlog, dropped, requested, effective = (
+            self._columns()
+        )
         return SingleSessionTrace(
-            arrivals=np.asarray(self._arrivals, dtype=float),
-            allocation=np.asarray(self._allocation, dtype=float),
-            delivered=np.asarray(self._delivered, dtype=float),
-            backlog=np.asarray(self._backlog, dtype=float),
+            arrivals=arrivals,
+            allocation=allocation,
+            delivered=delivered,
+            backlog=backlog,
             delay_histogram=self._histogram,
             changes=list(changes),
             stage_starts=list(stage_starts),
             resets=list(resets),
             horizon=horizon,
-            dropped=np.asarray(self._dropped, dtype=float),
-            requested=np.asarray(self._requested, dtype=float),
-            effective=np.asarray(self._effective, dtype=float),
+            dropped=dropped,
+            requested=requested,
+            effective=effective,
         )
 
 
@@ -313,6 +383,41 @@ class MultiSessionRecorder:
                 histogram[delivery.delay] = (
                     histogram.get(delivery.delay, 0.0) + delivery.bits
                 )
+
+    def record_keepup_block(
+        self,
+        rows: list[list[float]],
+        regular: list[float],
+        overflow: list[float],
+        extra_allocation: float,
+        requested_total: float,
+    ) -> None:
+        """Bulk-append quiet multi-session slots: constant allocations,
+        every queue empty throughout, each session's arrivals delivered at
+        delay 0 (dust-sized arrivals deliver nothing).
+
+        Equivalent to ``record`` once per row with those outcomes; the
+        per-session delay-0 bins accumulate in slot order, matching the
+        scalar fold bit-for-bit.
+        """
+        histograms = self._histograms
+        for row in rows:
+            self._arrivals.append(list(row))
+            self._regular.append(list(regular))
+            self._overflow.append(list(overflow))
+            delivered_row = []
+            for i, bits in enumerate(row):
+                if bits > EPSILON_BITS:
+                    delivered_row.append(bits)
+                    histogram = histograms[i]
+                    histogram[0] = histogram.get(0, 0.0) + bits
+                else:
+                    delivered_row.append(0.0)
+            self._delivered.append(delivered_row)
+            self._backlog.append([0.0] * self.k)
+            self._extra.append(extra_allocation)
+            self._requested.append(requested_total)
+            self._dropped.append(0.0)
 
     def finalize(
         self,

@@ -1,0 +1,471 @@
+"""Event-sliced vectorized engine core and the incremental run API.
+
+The scalar engine loops (:mod:`repro.sim.engine`) pay Python interpreter
+overhead for every slot even though the paper's policies change their
+allocation only O(log B_A) times per stage.  Between allocation events the
+slot dynamics are trivial: with an empty queue and per-slot arrivals at or
+below the constant allocation, every slot delivers its own arrivals with
+delay zero and the queue stays empty.  This module exploits that:
+
+* :class:`EngineState` — the incremental single-session engine.  It owns
+  the queue/policy/recorder triple and exposes ``step(n_slots)`` so
+  callers can advance a simulation in bounded increments (streaming
+  ingestion via :meth:`feed`, bounded-memory aggregation via
+  ``collect="summary"``).  ``run_single_session`` is a thin wrapper over
+  it for the fast and vectorized paths.
+* The **vectorized fast-forward**: while the session is *quiet* (empty
+  queue, arrivals ≤ allocation, and the policy guaranteed not to act) the
+  engine bulk-commits whole arrival slices with a handful of numpy calls
+  instead of per-slot Python steps.  For :class:`SingleSessionOnline` the
+  policy-side guarantee comes from :meth:`StageKernel.scan
+  <repro.core.stagekernel.StageKernel.scan>`, whose accumulates are
+  bitwise-identical to the scalar per-slot updates; the first *event*
+  slot (stage end, ladder rung, backlog onset) is always re-run through
+  the ordinary scalar step, so traces are bit-identical to the scalar
+  loops by construction.
+* :func:`run_batched` — advance many independent sessions over one
+  validated ``(n, T)`` arrival matrix, each on the vectorized path.
+
+Exactness of the bulk commit (why a quiet slot can be skipped): with the
+queue exactly empty and ``EPSILON < a <= c``, ``BitQueue.push`` enqueues
+one chunk and ``BitQueue.serve`` takes exactly ``a`` (``take = bits``
+branch), pops it, and clears the dust accumulator — delivered bits ``a``,
+delay 0, backlog exactly ``0.0``.  With ``a <= EPSILON`` the push is a
+no-op and nothing is delivered.  Either way the queue ends the slot in
+the same exactly-empty state it began, so the per-slot outputs are pure
+functions of the arrival value — which is what the bulk commit writes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.baselines import StaticAllocator
+from repro.core.single_session import SingleSessionOnline
+from repro.errors import ConfigError, SimulationError
+from repro.network.queue import EPSILON, BitQueue
+from repro.sim.recorder import SingleSessionRecorder, SingleSessionTrace
+
+#: Largest quiet slice committed per bulk step.  Bounds transient memory
+#: (a few float64 arrays of this length) while amortizing numpy call
+#: overhead over thousands of slots.
+CHUNK = 16384
+
+#: Bulk takes below this many slots don't pay for the numpy call overhead
+#: of the attempt; they trigger the scalar-step cooldown.
+_SMALL_TAKE = 64
+#: Cooldown bounds (slots stepped scalar before the next bulk attempt).
+_PENALTY_MIN = 16
+_PENALTY_MAX = 2048
+
+
+def _as_array(arrivals: Sequence[float] | np.ndarray, ndim: int) -> np.ndarray:
+    array = np.asarray(arrivals, dtype=float)
+    if array.ndim != ndim:
+        raise ConfigError(f"arrivals must be {ndim}-dimensional, got {array.ndim}")
+    if array.size:
+        # isfinite first: NaN slips through a plain `min() < 0` comparison.
+        if not np.isfinite(array).all():
+            raise ConfigError("arrivals must be finite (no NaN/inf values)")
+        if float(array.min()) < 0:
+            raise ConfigError("arrivals must be non-negative")
+    return array
+
+
+def vector_capable(policy) -> bool:
+    """True when ``policy`` supports the vectorized quiet fast-forward.
+
+    Exact-type checks on purpose: subclasses may override decision
+    machinery in ways the bulk commit cannot see, so they stay on the
+    scalar paths.
+    """
+    if type(policy) is SingleSessionOnline:
+        return policy.kernel_mode
+    return type(policy) is StaticAllocator
+
+
+@dataclass
+class SingleRunSummary:
+    """Bounded-memory aggregate of a single-session run.
+
+    What :class:`EngineState` produces under ``collect="summary"``: O(1)
+    state per run instead of per-slot arrays, for streaming workloads
+    where the full trace would not fit.
+    """
+
+    slots: int = 0
+    horizon: int = 0
+    total_arrived: float = 0.0
+    total_delivered: float = 0.0
+    total_dropped: float = 0.0
+    max_backlog: float = 0.0
+    max_allocation: float = 0.0
+    delay_histogram: dict[int, float] = field(default_factory=dict)
+    change_count: int = 0
+    stage_starts: list[int] = field(default_factory=list)
+    resets: list[int] = field(default_factory=list)
+
+    @property
+    def max_delay(self) -> int:
+        return max(self.delay_histogram.keys(), default=0)
+
+
+class _SummaryCollector:
+    """Recorder-shaped sink that keeps aggregates instead of arrays."""
+
+    def __init__(self) -> None:
+        self.slots = 0
+        self.total_arrived = 0.0
+        self.total_delivered = 0.0
+        self.total_dropped = 0.0
+        self.max_backlog = 0.0
+        self.max_allocation = 0.0
+        self.histogram: dict[int, float] = {}
+
+    def record(
+        self,
+        t,
+        arrivals,
+        allocation,
+        result,
+        backlog_after,
+        dropped=0.0,
+        requested=None,
+        effective=None,
+    ) -> None:
+        self.slots += 1
+        self.total_arrived += arrivals
+        self.total_delivered += result.bits
+        self.total_dropped += dropped
+        if backlog_after > self.max_backlog:
+            self.max_backlog = backlog_after
+        if allocation > self.max_allocation:
+            self.max_allocation = allocation
+        histogram = self.histogram
+        for delivery in result.deliveries:
+            histogram[delivery.delay] = (
+                histogram.get(delivery.delay, 0.0) + delivery.bits
+            )
+
+    def record_keepup_block(self, arrivals, allocation, delivered) -> None:
+        n = len(arrivals)
+        self.slots += n
+        self.total_arrived += float(arrivals.sum())
+        delivered_total = float(delivered.sum())
+        self.total_delivered += delivered_total
+        if allocation > self.max_allocation:
+            self.max_allocation = allocation
+        if delivered_total > 0.0:
+            self.histogram[0] = self.histogram.get(0, 0.0) + delivered_total
+
+    def finalize(self, changes, stage_starts, resets, horizon) -> SingleRunSummary:
+        return SingleRunSummary(
+            slots=self.slots,
+            horizon=horizon,
+            total_arrived=self.total_arrived,
+            total_delivered=self.total_delivered,
+            total_dropped=self.total_dropped,
+            max_backlog=self.max_backlog,
+            max_allocation=self.max_allocation,
+            delay_histogram=self.histogram,
+            change_count=len(changes),
+            stage_starts=list(stage_starts),
+            resets=list(resets),
+        )
+
+
+class EngineState:
+    """Incremental single-session engine: advance in ``step(n_slots)`` bites.
+
+    Performs exactly the same queue/policy/recorder operations in the same
+    order as the engine's fast loop, so traces are bit-identical regardless
+    of how the run is sliced into ``step`` calls — and, with ``vector``
+    enabled, regardless of how many slots each bulk commit covers.
+
+    Args:
+        policy: the allocation policy (drives one
+            :class:`~repro.network.queue.BitQueue`).
+        arrivals: initial arrival stream (more can be added via
+            :meth:`feed` until :meth:`close`).
+        drain: keep stepping with zero arrivals after the horizon until
+            the queue empties.
+        max_drain_slots: hard cap on extra drain slots (default
+            ``4 * horizon + 1000``, evaluated at :meth:`close` time).
+        queue_capacity: finite ingress buffer (None = unbounded).
+        vector: force (``True``) / suppress (``False``) the vectorized
+            quiet fast-forward; ``None`` auto-selects it for
+            :func:`vector_capable` policies with an unbounded queue.
+        collect: ``"trace"`` records full per-slot arrays;
+            ``"summary"`` keeps O(1) aggregates
+            (:class:`SingleRunSummary`) for bounded-memory streaming.
+        closed: start closed (no further :meth:`feed`); the batch entry
+            points use this.
+    """
+
+    def __init__(
+        self,
+        policy,
+        arrivals: Sequence[float] | np.ndarray = (),
+        *,
+        drain: bool = True,
+        max_drain_slots: int | None = None,
+        queue_capacity: float | None = None,
+        vector: bool | None = None,
+        collect: str = "trace",
+        closed: bool = True,
+    ):
+        if collect not in ("trace", "summary"):
+            raise ConfigError(f"collect must be 'trace' or 'summary', got {collect!r}")
+        self.policy = policy
+        self.queue = BitQueue("session", capacity=queue_capacity)
+        self.recorder = (
+            SingleSessionRecorder() if collect == "trace" else _SummaryCollector()
+        )
+        self.drain = bool(drain)
+        self._max_drain_slots = max_drain_slots
+        self._array = _as_array(arrivals, ndim=1)
+        self._values: list[float] = self._array.tolist()
+        self.t = 0
+        self.closed = False
+
+        capable = vector_capable(policy) and queue_capacity is None
+        if vector is None:
+            self._vector = capable
+        elif vector:
+            if not capable:
+                raise ConfigError(
+                    "vector=True requires a vector-capable policy "
+                    f"({type(policy).__name__} is not) and an unbounded queue"
+                )
+            self._vector = True
+        else:
+            self._vector = False
+        self._kernel_policy = self._vector and type(policy) is SingleSessionOnline
+        # Adaptive backoff: on streams where quiet prefixes are short
+        # (bursty arrivals above the allocation), the bulk attempt itself
+        # costs more than the slots it saves.  After a small take the
+        # engine steps scalar for `_cooldown` slots before retrying, with
+        # the penalty doubling while small takes persist — worst case the
+        # vectorized path degrades to scalar speed instead of below it.
+        self._cooldown = 0
+        self._penalty = _PENALTY_MIN
+
+        if closed:
+            self.close()
+
+    # -- streaming surface -------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """Arrival slots ingested so far."""
+        return len(self._values)
+
+    @property
+    def done(self) -> bool:
+        """True when every ingested slot (and the drain tail) is simulated."""
+        if self.t < self.horizon:
+            return False
+        if not self.closed:
+            return False
+        return not (self.drain and not self.queue.is_empty)
+
+    def feed(self, arrivals: Sequence[float] | np.ndarray) -> None:
+        """Append more arrival slots (streaming ingestion)."""
+        if self.closed:
+            raise ConfigError("cannot feed a closed EngineState")
+        chunk = _as_array(arrivals, ndim=1)
+        if chunk.size:
+            self._array = np.concatenate((self._array, chunk))
+            self._values.extend(chunk.tolist())
+
+    def close(self) -> None:
+        """No further arrivals: fixes the horizon and arms the drain cap."""
+        if self.closed:
+            return
+        self.closed = True
+        horizon = self.horizon
+        cap = (
+            self._max_drain_slots
+            if self._max_drain_slots is not None
+            else 4 * horizon + 1000
+        )
+        self._cap = cap
+        self._limit = horizon + cap
+
+    # -- the run loop ------------------------------------------------------
+
+    def step(self, n_slots: int) -> int:
+        """Advance up to ``n_slots`` slots; return how many were simulated.
+
+        Stops early when the ingested arrivals are exhausted (feed more or
+        :meth:`close`) or the run is :attr:`done`.  Slicing a run into
+        arbitrary ``step`` calls never changes the resulting trace.
+        """
+        policy = self.policy
+        queue = self.queue
+        recorder = self.recorder
+        values = self._values
+        horizon = len(values)
+        isfinite = math.isfinite
+        decide = policy.decide
+        push = queue.push
+        serve = queue.serve
+        record = recorder.record
+        processed = 0
+        t = self.t
+        cooldown = self._cooldown
+        try:
+            while processed < n_slots:
+                if t < horizon:
+                    if (
+                        self._vector
+                        and cooldown == 0
+                        and queue._size == 0.0
+                        and not queue._chunks
+                    ):
+                        taken = self._bulk(t, min(n_slots - processed, CHUNK))
+                        if taken >= _SMALL_TAKE:
+                            self._penalty = _PENALTY_MIN
+                        else:
+                            cooldown = self._penalty
+                            self._penalty = min(self._penalty * 2, _PENALTY_MAX)
+                        if taken:
+                            t += taken
+                            processed += taken
+                            continue
+                    elif cooldown:
+                        cooldown -= 1
+                    offered = values[t]
+                elif not self.closed:
+                    break
+                elif self.drain and not queue.is_empty:
+                    if t >= self._limit:
+                        raise SimulationError(
+                            f"queue failed to drain within {self._cap} extra "
+                            f"slots (backlog {queue.size:.3f})"
+                        )
+                    offered = 0.0
+                else:
+                    break
+                backlog = queue.size
+                lost = push(t, offered)
+                bandwidth = decide(t, offered, backlog)
+                if not isfinite(bandwidth):
+                    raise SimulationError(
+                        f"policy returned non-finite bandwidth {bandwidth!r} at t={t}"
+                    )
+                if bandwidth < 0:
+                    raise SimulationError(
+                        f"policy returned negative bandwidth at t={t}"
+                    )
+                result = serve(t, bandwidth)
+                record(
+                    t,
+                    offered,
+                    bandwidth,
+                    result,
+                    queue.size,
+                    dropped=lost,
+                    requested=None,
+                    effective=None,
+                )
+                t += 1
+                processed += 1
+        finally:
+            self.t = t
+            self._cooldown = cooldown
+        return processed
+
+    def _bulk(self, t: int, budget: int) -> int:
+        """Bulk-commit the longest quiet prefix from ``t``; return its length.
+
+        Quiet: queue exactly empty, arrivals ≤ the constant allocation, and
+        the policy guaranteed not to end a stage, climb a rung, or change
+        the link.  Returns 0 when the very next slot needs the scalar step.
+        """
+        policy = self.policy
+        allocation = policy.link.bandwidth
+        if self._kernel_policy:
+            if not policy._in_stage:
+                return 0
+        else:  # StaticAllocator: quiet once the link is primed.
+            if allocation != policy.bandwidth:
+                return 0
+        if self._values[t] > allocation:
+            # Cheap scalar pre-check: the very next slot overloads the
+            # link, so there is no quiet prefix to commit.
+            return 0
+        chunk = self._array[t : t + budget]
+        over = np.nonzero(chunk > allocation)[0]
+        limit = int(over[0]) if over.size else len(chunk)
+        if limit == 0:
+            return 0
+        if self._kernel_policy:
+            taken = policy._kernel.scan(chunk[:limit])
+            if taken == 0:
+                return 0
+        else:
+            taken = limit
+        committed = chunk[:taken]
+        delivered = np.where(committed > EPSILON, committed, 0.0)
+        self.recorder.record_keepup_block(committed, allocation, delivered)
+        return taken
+
+    def run(self) -> None:
+        """Simulate to completion (closes the state first)."""
+        self.close()
+        while not self.done:
+            self.step(1 << 62)
+
+    def finalize(self) -> SingleSessionTrace | SingleRunSummary:
+        """Build the trace (or summary) for the slots simulated so far."""
+        policy = self.policy
+        return self.recorder.finalize(
+            changes=policy.changes,
+            stage_starts=policy.stage_starts,
+            resets=policy.resets,
+            horizon=self.horizon,
+        )
+
+
+def run_batched(
+    policy_factory,
+    arrivals: Sequence[Sequence[float]] | np.ndarray,
+    *,
+    drain: bool = True,
+    max_drain_slots: int | None = None,
+    collect: str = "trace",
+) -> list[SingleSessionTrace | SingleRunSummary]:
+    """Advance many independent sessions over one stacked arrival matrix.
+
+    Args:
+        policy_factory: zero-argument callable producing a fresh policy per
+            session (policies are stateful, one per row).
+        arrivals: array of shape ``(n_sessions, T)`` — validated and
+            converted once for the whole batch.
+        drain, max_drain_slots, collect: as :class:`EngineState`.
+
+    Each row runs on the vectorized path when the policy is
+    :func:`vector_capable` (scalar otherwise).  Rows are independent
+    simulations: stage-relative prefix sums are per-session state, so a
+    cross-session 2-D kernel cannot preserve bit-identity — the win here
+    is the shared validation/conversion pass plus the per-row quiet
+    fast-forward, which already removes the per-slot interpreter cost.
+    """
+    matrix = _as_array(arrivals, ndim=2)
+    out = []
+    for row in matrix:
+        state = EngineState(
+            policy_factory(),
+            row,
+            drain=drain,
+            max_drain_slots=max_drain_slots,
+            collect=collect,
+        )
+        state.run()
+        out.append(state.finalize())
+    return out

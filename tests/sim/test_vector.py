@@ -1,0 +1,239 @@
+"""Vectorized engine tests: bit-identity against the scalar paths.
+
+The event-sliced fast-forward (:mod:`repro.sim.vector`) must be invisible
+in every recorded float: the vectorized run, the scalar fast loop, and
+the general loop all produce byte-identical traces.  These tests drive
+that three-way equivalence over fixed edge cases (drain phases, zero
+horizons, dust accumulation) and randomized streams (hypothesis, with the
+budget driven by ``REPRO_FUZZ_EXAMPLES``), plus the gating semantics of
+the ``vector=`` knob.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.baselines import StaticAllocator
+from repro.core.phased import PhasedMultiSession
+from repro.core.single_session import SingleSessionOnline
+from repro.core.variants import EagerResetSingleSession
+from repro.errors import ConfigError
+from repro.network.queue import EPSILON
+from repro.sim.engine import run_multi_session, run_single_session
+from repro.sim.vector import run_batched, vector_capable
+from tests.strategies import FUZZ_EXAMPLES, arrival_streams
+
+_SETTINGS = settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+
+
+def _policy():
+    return SingleSessionOnline(
+        max_bandwidth=64, offline_delay=8, offline_utilization=0.25, window=16
+    )
+
+
+def _assert_single_identical(first, second):
+    np.testing.assert_array_equal(first.arrivals, second.arrivals)
+    np.testing.assert_array_equal(first.allocation, second.allocation)
+    np.testing.assert_array_equal(first.delivered, second.delivered)
+    np.testing.assert_array_equal(first.backlog, second.backlog)
+    np.testing.assert_array_equal(first.dropped, second.dropped)
+    np.testing.assert_array_equal(first.requested, second.requested)
+    np.testing.assert_array_equal(first.effective, second.effective)
+    assert first.delay_histogram == second.delay_histogram
+    assert first.changes == second.changes
+    assert first.stage_starts == second.stage_starts
+    assert first.resets == second.resets
+    assert first.horizon == second.horizon
+
+
+def _assert_three_way(arrivals, policy_factory=_policy):
+    vector = run_single_session(policy_factory(), arrivals, vector=True)
+    scalar = run_single_session(policy_factory(), arrivals, vector=False)
+    general = run_single_session(policy_factory(), arrivals, fast_path=False)
+    _assert_single_identical(vector, scalar)
+    _assert_single_identical(vector, general)
+    return vector
+
+
+class TestVectorCapability:
+    def test_stock_policy_is_capable(self):
+        assert vector_capable(_policy())
+        assert vector_capable(StaticAllocator(bandwidth=8.0))
+
+    def test_subclasses_are_not(self):
+        policy = EagerResetSingleSession(
+            max_bandwidth=64, offline_delay=8, offline_utilization=0.25, window=16
+        )
+        assert not vector_capable(policy)
+
+    def test_vector_true_rejects_incapable_policy(self):
+        policy = EagerResetSingleSession(
+            max_bandwidth=64, offline_delay=8, offline_utilization=0.25, window=16
+        )
+        with pytest.raises(ConfigError, match="vector"):
+            run_single_session(policy, [1.0, 2.0], vector=True)
+
+    def test_vector_true_rejects_disabled_fast_path(self):
+        with pytest.raises(ConfigError, match="fast path"):
+            run_single_session(_policy(), [1.0, 2.0], vector=True, fast_path=False)
+
+    def test_vector_true_rejects_bounded_queue(self):
+        with pytest.raises(ConfigError, match="vector"):
+            run_single_session(_policy(), [1.0, 2.0], vector=True, queue_capacity=4.0)
+
+    def test_vector_false_still_matches(self):
+        arrivals = np.random.default_rng(5).poisson(6, 400).astype(float)
+        _assert_three_way(arrivals)
+
+
+class TestSingleThreeWayIdentity:
+    def test_piecewise_constant(self):
+        rng = np.random.default_rng(11)
+        arrivals = np.repeat(rng.uniform(1, 12, size=10), 500)
+        _assert_three_way(arrivals)
+
+    def test_bursty_poisson(self):
+        arrivals = np.random.default_rng(2).poisson(6, 3000).astype(float)
+        _assert_three_way(arrivals)
+
+    def test_static_allocator(self):
+        arrivals = np.random.default_rng(3).uniform(0, 6, 2000)
+        _assert_three_way(arrivals, lambda: StaticAllocator(bandwidth=8.0))
+
+    def test_zero_horizon(self):
+        trace = _assert_three_way(np.array([]))
+        assert trace.horizon == 0
+        assert len(trace.allocation) == 0
+
+    def test_all_zero_arrivals(self):
+        _assert_three_way(np.zeros(500))
+
+    def test_drain_phase(self):
+        # A burst at the end leaves backlog that only drains past the
+        # horizon; drain slots must be identical on every path.
+        arrivals = np.zeros(600)
+        arrivals[590:] = 100.0
+        trace = _assert_three_way(arrivals)
+        assert len(trace.allocation) > trace.horizon
+
+    def test_dust_accumulation(self):
+        # Sub-epsilon arrivals are pushed as no-ops on quiet slots; the
+        # bulk commit must not deliver or accumulate them differently.
+        rng = np.random.default_rng(7)
+        arrivals = rng.uniform(0, 4, 1500)
+        arrivals[::3] = EPSILON / 2
+        arrivals[::7] = 0.0
+        _assert_three_way(arrivals)
+
+    def test_exact_epsilon_arrivals(self):
+        # Pinned boundary: arrivals == EPSILON are *not* above the dust
+        # threshold (strict >), so they deliver nothing on any path.
+        arrivals = np.full(300, EPSILON)
+        arrivals[::5] = 2.0
+        _assert_three_way(arrivals)
+
+    def test_spiky_reset_heavy(self):
+        # Pinned counterexample shape from development: tall isolated
+        # spikes drive repeated stage end / RESET / restart cycles whose
+        # event slots must all fall out of the bulk path.
+        rng = np.random.default_rng(17)
+        arrivals = np.zeros(2000)
+        spikes = rng.random(2000) < 0.05
+        arrivals[spikes] = rng.uniform(16, 32, spikes.sum())
+        _assert_three_way(arrivals)
+
+    @_SETTINGS
+    @given(arrival_streams(max_slots=400))
+    def test_random_streams(self, arrivals):
+        _assert_three_way(arrivals)
+
+    @_SETTINGS
+    @given(arrival_streams(max_slots=300, max_rate=8.0))
+    def test_random_streams_static(self, arrivals):
+        _assert_three_way(arrivals, lambda: StaticAllocator(bandwidth=4.0))
+
+
+class TestMultiVector:
+    @staticmethod
+    def _multi_policy(k=2):
+        return PhasedMultiSession(k, offline_bandwidth=8.0 * k, offline_delay=8)
+
+    @staticmethod
+    def _assert_multi_identical(first, second):
+        np.testing.assert_array_equal(first.arrivals, second.arrivals)
+        np.testing.assert_array_equal(
+            first.regular_allocation, second.regular_allocation
+        )
+        np.testing.assert_array_equal(
+            first.overflow_allocation, second.overflow_allocation
+        )
+        np.testing.assert_array_equal(first.delivered, second.delivered)
+        np.testing.assert_array_equal(first.backlog, second.backlog)
+        np.testing.assert_array_equal(first.requested_total, second.requested_total)
+        assert first.delay_histograms == second.delay_histograms
+        assert first.stage_starts == second.stage_starts
+        assert first.resets == second.resets
+
+    def test_multi_three_way(self):
+        rng = np.random.default_rng(23)
+        arrivals = np.repeat(rng.uniform(0.5, 4.0, size=(5, 2)), 400, axis=0)
+        vector = run_multi_session(self._multi_policy(), arrivals, vector=True)
+        scalar = run_multi_session(self._multi_policy(), arrivals, vector=False)
+        general = run_multi_session(self._multi_policy(), arrivals, fast_path=False)
+        self._assert_multi_identical(vector, scalar)
+        self._assert_multi_identical(vector, general)
+
+    def test_multi_bursty(self):
+        arrivals = np.random.default_rng(29).poisson(3, size=(1500, 3)).astype(float)
+        policy = lambda: self._multi_policy(3)  # noqa: E731
+        vector = run_multi_session(policy(), arrivals, vector=True)
+        scalar = run_multi_session(policy(), arrivals, vector=False)
+        self._assert_multi_identical(vector, scalar)
+
+    def test_multi_vector_true_rejects_incapable(self):
+        from repro.core.baselines import EqualSplitMultiSession
+
+        policy = EqualSplitMultiSession(2, offline_bandwidth=8.0)
+        with pytest.raises(ConfigError, match="vector-capable"):
+            run_multi_session(policy, np.ones((10, 2)), vector=True)
+
+
+class TestBatched:
+    def test_batched_matches_per_session(self):
+        rng = np.random.default_rng(31)
+        matrix = np.repeat(rng.uniform(1, 12, size=(6, 4)), 250, axis=1)
+        batched = run_batched(_policy, matrix)
+        for row, trace in zip(matrix, batched):
+            _assert_single_identical(
+                trace, run_single_session(_policy(), row, vector=False)
+            )
+
+    def test_batched_validates_shape(self):
+        with pytest.raises(ConfigError, match="2-dimensional"):
+            run_batched(_policy, np.ones(10))
+
+    def test_batched_summary_mode(self):
+        rng = np.random.default_rng(37)
+        matrix = rng.uniform(0, 8, size=(3, 600))
+        summaries = run_batched(_policy, matrix, collect="summary")
+        traces = run_batched(_policy, matrix, collect="trace")
+        for summary, trace in zip(summaries, traces):
+            assert summary.slots == len(trace.allocation)
+            assert summary.horizon == trace.horizon
+            # Aggregates fold in bulk order, not slot order, so totals
+            # agree to rounding, not bit-for-bit.
+            assert summary.total_delivered == pytest.approx(trace.total_delivered)
+            assert summary.total_arrived == pytest.approx(trace.total_arrived)
+            assert set(summary.delay_histogram) == set(trace.delay_histogram)
+            for delay, bits in trace.delay_histogram.items():
+                assert summary.delay_histogram[delay] == pytest.approx(bits)
+            assert summary.max_backlog == trace.backlog.max()
+            assert summary.max_delay == trace.max_delay
+
+    def test_runner_export(self):
+        from repro.runner import run_session_batch
+
+        matrix = np.ones((2, 50))
+        out = run_session_batch(_policy, matrix)
+        assert len(out) == 2

@@ -107,11 +107,13 @@ def run_bench(seed: int, scale: float, jobs: int, out: Path) -> dict:
         "output_identical": identical,
     }
     # Preserve sections other benchmark writers keep in the same file
-    # (bench_engine.py owns the "engine" section).
+    # (bench_engine.py owns "engine", bench_arena.py owns "arena").
     try:
         previous = json.loads(out.read_text())
-        if isinstance(previous, dict) and "engine" in previous:
-            report["engine"] = previous["engine"]
+        if isinstance(previous, dict):
+            for section in ("engine", "arena"):
+                if section in previous:
+                    report[section] = previous[section]
     except (OSError, json.JSONDecodeError):
         pass
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -158,6 +160,22 @@ def validate(path: str | Path) -> list[str]:
         if engine.get("identical") is not True:
             problems.append(
                 "engine.identical must be true — vectorized traces diverged"
+            )
+    arena = raw.get("arena")
+    if arena is not None:
+        for field in ("config", "workloads", "identical"):
+            if field not in arena:
+                problems.append(f"arena section missing {field!r}")
+        for row in arena.get("workloads", []):
+            missing = {"name", "slots", "scalar_slots_per_sec",
+                       "vector_slots_per_sec", "speedup"} - set(row)
+            if missing:
+                problems.append(
+                    f"arena workload {row.get('name')!r} missing {sorted(missing)}"
+                )
+        if arena.get("identical") is not True:
+            problems.append(
+                "arena.identical must be true — an identity contract broke"
             )
     return problems
 

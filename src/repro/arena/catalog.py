@@ -1,0 +1,214 @@
+"""The arena's fixed catalog: policies, traffic models, fault levels.
+
+Every tournament cell is named by a ``(policy, traffic, fault)`` triple
+of catalog keys, so a cell — and therefore its cache entry, journal
+record, and scorecard row — is a pure function of the catalog plus the
+tournament's ``(seed, scale)``.  Workers rebuild specs from their names;
+nothing stateful crosses a process boundary.
+
+The shared comparator is one :class:`~repro.params.OfflineConstraints`
+(``ARENA_OFFLINE``): every policy is built against the same ``(B_O,
+D_O)`` and every certified ratio is measured against the same offline
+oracle, which is what makes the ranking a tournament rather than a
+collection of incomparable runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core import (
+    EqualSplitMultiSession,
+    MaxMinFairAllocator,
+    MultiSessionPolicy,
+    PhasedMultiSession,
+    PriorityTierAllocator,
+    StoreAndForwardMultiSession,
+)
+from repro.errors import ConfigError
+from repro.params import OfflineConstraints
+from repro.traffic import generate_multi_feasible
+
+#: The tournament's shared offline comparator.
+ARENA_BANDWIDTH = 16.0
+ARENA_DELAY = 8
+ARENA_OFFLINE = OfflineConstraints(bandwidth=ARENA_BANDWIDTH, delay=ARENA_DELAY)
+
+#: Feasible generators use this many profile segments; the tournament
+#: horizon must be at least ``TRAFFIC_SEGMENTS * 4 * ARENA_DELAY``.
+TRAFFIC_SEGMENTS = 4
+MIN_HORIZON = TRAFFIC_SEGMENTS * 4 * ARENA_DELAY
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One arena contestant: a named multi-session policy factory."""
+
+    name: str
+    description: str
+    build: Callable[[int, OfflineConstraints], MultiSessionPolicy]
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """One generated workload plus its offline-change certificate.
+
+    ``offline_changes`` is the certified upper bound on the offline
+    comparator's change count (the generator's profile switches), or
+    ``None`` for uncertified models — those cells report the oracle's
+    lower bound only.
+    """
+
+    arrivals: np.ndarray
+    offline_changes: int | None
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One arena traffic model: a named deterministic workload generator."""
+
+    name: str
+    description: str
+    generate: Callable[[int, OfflineConstraints, int, int], TrafficSample]
+
+
+def _build_phased(k: int, offline: OfflineConstraints) -> MultiSessionPolicy:
+    return PhasedMultiSession(k, offline.bandwidth, offline.delay)
+
+
+def _build_equal_split(k: int, offline: OfflineConstraints) -> MultiSessionPolicy:
+    return EqualSplitMultiSession(k, offline.bandwidth)
+
+
+def _build_store_forward(
+    k: int, offline: OfflineConstraints
+) -> MultiSessionPolicy:
+    return StoreAndForwardMultiSession(k, offline.delay)
+
+
+def _build_max_min(k: int, offline: OfflineConstraints) -> MultiSessionPolicy:
+    return MaxMinFairAllocator(
+        k, capacity=2.0 * offline.bandwidth, period=offline.delay
+    )
+
+
+def _build_priority_tier(
+    k: int, offline: OfflineConstraints
+) -> MultiSessionPolicy:
+    return PriorityTierAllocator(
+        k, capacity=2.0 * offline.bandwidth, period=offline.delay
+    )
+
+
+POLICIES: dict[str, PolicySpec] = {
+    spec.name: spec
+    for spec in (
+        PolicySpec(
+            "phased",
+            "Figure 4 phase-driven shared-channel allocator (the paper's)",
+            _build_phased,
+        ),
+        PolicySpec(
+            "equal-split",
+            "trivial (k*B_O, D_O): every session permanently owns B_O",
+            _build_equal_split,
+        ),
+        PolicySpec(
+            "store-forward",
+            "trivial (2*B_O, 2*D_O): buffer a phase, drain the next",
+            _build_store_forward,
+        ),
+        PolicySpec(
+            "max-min",
+            "epoch-driven water-filling max-min fair allocator",
+            _build_max_min,
+        ),
+        PolicySpec(
+            "priority-tier",
+            "epoch-driven priority tiers: floors then strict residual",
+            _build_priority_tier,
+        ),
+    )
+}
+
+
+def traffic_seed(traffic: str, seed: int) -> int:
+    """Per-model workload seed: stable mix of the model name and the
+    tournament seed, so every policy in a column sees the same arrivals."""
+    return (seed * 1000003 + zlib.crc32(traffic.encode("utf-8"))) % (2**31)
+
+
+def _gen_feasible(burstiness: str):
+    def generate(
+        k: int, offline: OfflineConstraints, horizon: int, seed: int
+    ) -> TrafficSample:
+        workload = generate_multi_feasible(
+            k,
+            offline.bandwidth,
+            offline.delay,
+            horizon,
+            segments=TRAFFIC_SEGMENTS,
+            seed=seed,
+            burstiness=burstiness,
+        )
+        return TrafficSample(
+            arrivals=workload.arrivals,
+            offline_changes=workload.profile_changes,
+        )
+
+    return generate
+
+
+def _gen_uniform(
+    k: int, offline: OfflineConstraints, horizon: int, seed: int
+) -> TrafficSample:
+    rng = np.random.default_rng(seed)
+    peak = 1.5 * offline.bandwidth / k
+    arrivals = rng.uniform(0.0, peak, size=(horizon, k))
+    arrivals[rng.uniform(size=(horizon, k)) < 0.3] = 0.0
+    return TrafficSample(arrivals=arrivals, offline_changes=None)
+
+
+TRAFFIC: dict[str, TrafficSpec] = {
+    spec.name: spec
+    for spec in (
+        TrafficSpec(
+            "smooth",
+            "certified feasible piecewise-constant profiles, smooth fill",
+            _gen_feasible("smooth"),
+        ),
+        TrafficSpec(
+            "bursty",
+            "certified feasible profiles released as in-window blocks",
+            _gen_feasible("blocks"),
+        ),
+        TrafficSpec(
+            "uniform",
+            "uncertified iid uniform arrivals with 30% idle slots",
+            _gen_uniform,
+        ),
+    )
+}
+
+#: Fault intensities swept by the default grid (standard_plan knob).
+FAULTS: tuple[float, ...] = (0.0, 0.4)
+
+
+def resolve_policy(name: str) -> PolicySpec:
+    if name not in POLICIES:
+        raise ConfigError(
+            f"unknown arena policy {name!r}; known: {sorted(POLICIES)}"
+        )
+    return POLICIES[name]
+
+
+def resolve_traffic(name: str) -> TrafficSpec:
+    if name not in TRAFFIC:
+        raise ConfigError(
+            f"unknown arena traffic model {name!r}; known: {sorted(TRAFFIC)}"
+        )
+    return TRAFFIC[name]

@@ -1,0 +1,176 @@
+"""Ranked scorecard assembly: deterministic, digest-carrying, byte-stable.
+
+The scorecard is the tournament's single artifact.  Determinism is a
+hard contract: the same ``(grid, seed, scale)`` must serialize to the
+same bytes regardless of ``--jobs``, cache temperature, or resume
+history — which is why cells are listed in canonical grid order, every
+dict is dumped with sorted keys, and nothing time- or host-dependent is
+recorded.  Each cell row carries ``payload_digest`` of its full payload,
+so a scorecard is also a verifiable claim about the cell results behind
+it.
+
+Ranking never lets a degenerate cell beat a substantive one: cells order
+by :func:`repro.verify.oracle.ratio_rank_key` (finite ratios first,
+both-zero ``RATIO_TRIVIAL`` strictly after), then by change count, mean
+delay, and finally name.  Policies rank by their worst cell kind, then
+mean finite ratio, total changes, mean delay, name.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.arena.cells import Cell
+from repro.runner import payload_digest
+from repro.verify import classify_ratio, ratio_rank_key
+
+#: Bump when the scorecard layout changes (golden fixtures pin this).
+SCORECARD_SCHEMA = 1
+
+
+def cell_rank_key(payload: dict) -> tuple:
+    """Ordering key for one cell payload: verdict class first.
+
+    Reconstructs the :class:`~repro.verify.oracle.RatioVerdict` from the
+    payload's stored ``(online, opt)`` pair — the classification is a
+    pure function of those — and appends the explicit tie-breaks.
+    """
+    ratio = payload["ratio"]
+    verdict = classify_ratio(ratio["online_changes"], ratio["opt_changes"])
+    return (
+        ratio_rank_key(verdict),
+        payload["changes"],
+        payload["mean_delay"],
+        payload["policy"],
+        payload["traffic"],
+        payload["fault"],
+    )
+
+
+def _policy_rank_entry(policy: str, payloads: list[dict]) -> dict:
+    kinds = []
+    finite = []
+    for payload in payloads:
+        ratio = payload["ratio"]
+        verdict = classify_ratio(ratio["online_changes"], ratio["opt_changes"])
+        kinds.append((ratio_rank_key(verdict)[0], verdict.kind))
+        if math.isfinite(verdict.value) and verdict.kind == "finite":
+            finite.append(verdict.value)
+    worst_rank, worst_kind = max(kinds)
+    mean_finite = math.fsum(finite) / len(finite) if finite else 0.0
+    total_changes = sum(p["changes"] for p in payloads)
+    mean_delay = math.fsum(p["mean_delay"] for p in payloads) / len(payloads)
+    return {
+        "policy": policy,
+        "worst_kind": worst_kind,
+        "worst_kind_rank": worst_rank,
+        "mean_finite_ratio": mean_finite,
+        "total_changes": total_changes,
+        "mean_delay": mean_delay,
+        "cells": len(payloads),
+    }
+
+
+def build_scorecard(
+    cells: list[Cell],
+    payloads: dict[str, dict],
+    *,
+    k: int,
+    horizon: int,
+    seed: int,
+    scale: float,
+) -> dict:
+    """Assemble the ranked scorecard from per-cell payloads.
+
+    ``cells`` is the canonical grid order; ``payloads`` maps
+    ``cell.name`` to the payload ``run_cell`` produced for it.  Missing
+    cells (quarantined shards) are listed under ``"missing"`` so a
+    degraded scorecard is explicit about its holes.
+    """
+    rows = []
+    missing = []
+    for cell in cells:
+        payload = payloads.get(cell.name)
+        if payload is None:
+            missing.append(cell.name)
+            continue
+        rows.append(
+            {
+                "cell": cell.name,
+                "digest": payload_digest(payload),
+                **{key: payload[key] for key in sorted(payload)},
+            }
+        )
+
+    ranked_cells = sorted(
+        (payloads[c.name] for c in cells if c.name in payloads),
+        key=cell_rank_key,
+    )
+    by_policy: dict[str, list[dict]] = {}
+    for payload in payloads.values():
+        by_policy.setdefault(payload["policy"], []).append(payload)
+    ranking = sorted(
+        (
+            _policy_rank_entry(policy, items)
+            for policy, items in by_policy.items()
+        ),
+        key=lambda e: (
+            e["worst_kind_rank"],
+            e["mean_finite_ratio"],
+            e["total_changes"],
+            e["mean_delay"],
+            e["policy"],
+        ),
+    )
+    for rank, entry in enumerate(ranking, start=1):
+        entry["rank"] = rank
+
+    return {
+        "schema": SCORECARD_SCHEMA,
+        "config": {
+            "k": k,
+            "horizon": horizon,
+            "seed": seed,
+            "scale": scale,
+            "policies": sorted({c.policy for c in cells}),
+            "traffic": sorted({c.traffic for c in cells}),
+            "faults": sorted({c.fault for c in cells}),
+        },
+        "cells": rows,
+        "cell_order": [
+            f"{p['policy']}/{p['traffic']}/f{p['fault']:g}"
+            for p in ranked_cells
+        ],
+        "ranking": ranking,
+        "missing": missing,
+    }
+
+
+def scorecard_json(scorecard: dict) -> str:
+    """The canonical byte encoding (golden fixtures compare this)."""
+    return json.dumps(scorecard, sort_keys=True, indent=2) + "\n"
+
+
+def render_scorecard(scorecard: dict) -> str:
+    """Human-readable summary for the CLI."""
+    lines = [
+        f"arena scorecard (schema {scorecard['schema']}): "
+        f"{len(scorecard['cells'])} cells, "
+        f"{len(scorecard['ranking'])} policies"
+    ]
+    lines.append(
+        f"{'rank':>4}  {'policy':<14} {'worst kind':<13} "
+        f"{'mean ratio':>10} {'changes':>8} {'mean delay':>10}"
+    )
+    for entry in scorecard["ranking"]:
+        lines.append(
+            f"{entry['rank']:>4}  {entry['policy']:<14} "
+            f"{entry['worst_kind']:<13} "
+            f"{entry['mean_finite_ratio']:>10.3f} "
+            f"{entry['total_changes']:>8} "
+            f"{entry['mean_delay']:>10.3f}"
+        )
+    if scorecard["missing"]:
+        lines.append(f"missing cells: {', '.join(scorecard['missing'])}")
+    return "\n".join(lines)

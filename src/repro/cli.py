@@ -31,6 +31,7 @@ import sys
 import time
 from contextlib import nullcontext
 
+from repro.cli_arena import add_arena_parser, run_arena
 from repro.cli_attack import add_attack_parser, run_attack
 from repro.cli_bench import add_bench_parser, run_bench
 from repro.cli_cache import add_cache_parser, run_cache
@@ -89,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_parser(sub)
     add_verify_parser(sub)
     add_attack_parser(sub)
+    add_arena_parser(sub)
     return parser
 
 
@@ -114,6 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_verify(args)
     if args.command == "attack":
         return run_attack(args)
+    if args.command == "arena":
+        return run_arena(args)
 
     ids = registry.all_ids() if args.ids == ["all"] else args.ids
     blocks: list[str] = []

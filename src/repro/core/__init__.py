@@ -11,6 +11,7 @@ from repro.core.baselines import (
 )
 from repro.core.combined import CombinedMultiSession
 from repro.core.continuous import ContinuousMultiSession
+from repro.core.epoch import EpochDrivenMultiSession
 from repro.core.envelope import (
     EnvelopePair,
     HighTracker,
@@ -19,6 +20,12 @@ from repro.core.envelope import (
     StageArrivals,
 )
 from repro.core.hull import MaxSlopeHull
+from repro.core.maxminfair import (
+    MaxMinFairAllocator,
+    quantize_up,
+    water_fill,
+    water_level,
+)
 from repro.core.modified_single import ModifiedSingleSessionOnline
 from repro.core.offline_greedy import (
     GreedyScheduleResult,
@@ -45,6 +52,7 @@ from repro.core.offline_multi import (
     multi_stage_lower_bound,
 )
 from repro.core.phased import PhasedMultiSession
+from repro.core.prioritytier import PriorityTierAllocator, tier_allocate
 from repro.core.powers import (
     ClampedQuantizer,
     FractionalPowerOfTwoQuantizer,
@@ -69,6 +77,7 @@ __all__ = [
     "CombinedMultiSession",
     "ContinuousMultiSession",
     "EnvelopePair",
+    "EpochDrivenMultiSession",
     "EqualSplitMultiSession",
     "EwmaAllocator",
     "FractionalPowerOfTwoQuantizer",
@@ -76,6 +85,7 @@ __all__ = [
     "HighTracker",
     "IdentityQuantizer",
     "LowTracker",
+    "MaxMinFairAllocator",
     "MaxSlopeHull",
     "ModifiedSingleSessionOnline",
     "MultiSessionPolicy",
@@ -85,6 +95,7 @@ __all__ = [
     "PeriodicRenegotiationAllocator",
     "PhasedMultiSession",
     "PowerOfTwoQuantizer",
+    "PriorityTierAllocator",
     "SingleSessionOnline",
     "StageArrivals",
     "StageCertificate",
@@ -96,6 +107,10 @@ __all__ = [
     "multi_stage_certificate",
     "multi_stage_lower_bound",
     "next_power_of_two",
+    "quantize_up",
     "stage_certificate",
     "stage_lower_bound",
+    "tier_allocate",
+    "water_fill",
+    "water_level",
 ]

@@ -1,0 +1,164 @@
+"""Epoch-driven multi-session allocators (the arena policy families).
+
+The paper's phased algorithm re-decides allocations only at phase
+boundaries; the adjacent policy families the allocator arena compares
+against (max-min fair water-filling, priority tiers) share that shape:
+measure demand, recompute the whole allocation vector, and touch the
+links only at *epoch* boundaries every ``period`` slots.  This module
+holds the common machinery so each family only supplies its allocation
+rule.
+
+Demand measurement is deliberately restricted to state the vectorized
+engine maintains through quiet bulk commits (cumulative ``bits_arrived``
+plus the current backlog): a session's demand at an epoch is
+
+    ``(bits arrived since the previous epoch + backlog) / period``
+
+so a run sliced into bulk-committed quiet spans re-decides identically
+to the scalar per-slot run — the bit-identity the engine's vector path
+requires.  Between epochs the policy runs no decision logic and touches
+no link, which is exactly the quiet-slice contract of
+:func:`repro.sim.vector.multi_vector_capable`.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Sequence
+
+from repro.core.allocator import MultiSessionPolicy
+from repro.errors import ConfigError
+from repro.network.queue import ServeResult
+
+
+class EpochDrivenMultiSession(MultiSessionPolicy):
+    """Base class: fixed-period epochs, regular-channel-only allocation.
+
+    Subclasses implement :meth:`_allocations`, mapping the measured
+    per-session demand vector to a per-session bandwidth vector whose sum
+    must not exceed :attr:`capacity`.  The overflow channels stay unused
+    (allocation 0), so every change is a regular-link change and the
+    change count is exactly the number of epoch re-decisions that moved
+    some session's value.
+
+    Args:
+        k: number of sessions.
+        capacity: total bandwidth the allocation rule may hand out.
+        period: epoch length in slots (demand averaging window).
+        fifo: serve each session FIFO with its pooled bandwidth.
+    """
+
+    def __init__(self, k: int, capacity: float, period: int, fifo: bool = False):
+        super().__init__(k=k, fifo=fifo)
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be > 0, got {capacity!r}")
+        if period < 1:
+            raise ConfigError(f"period must be >= 1, got {period!r}")
+        self.capacity = float(capacity)
+        self.period = int(period)
+        self.max_bandwidth = self.capacity
+        #: Slots at which an epoch re-decision ran (diagnostics).
+        self.epoch_boundaries: list[int] = []
+        self._next_epoch: int | None = None
+        self._started = False
+        self._arrived_mark = [0.0] * self.k
+
+    # -- the allocation rule -------------------------------------------------
+
+    @abstractmethod
+    def _allocations(self, demands: list[float]) -> list[float]:
+        """Per-session bandwidths for the demand vector (sum <= capacity)."""
+
+    def _initial_allocations(self) -> list[float]:
+        """Allocations before any demand has been observed: equal split."""
+        return [self.capacity / self.k] * self.k
+
+    # -- epoch machinery -----------------------------------------------------
+
+    def _measure_demands(self) -> list[float]:
+        """Per-session demand rate over the elapsed epoch.
+
+        Arrivals since the previous epoch plus the carried backlog, spread
+        over one period — the backlog term guarantees a backlogged session
+        always reports positive demand, so allocations cannot stay at zero
+        while bits are queued (drain termination).
+        """
+        demands = []
+        for i, session in enumerate(self.sessions):
+            arrived = session.bits_arrived
+            fresh = arrived - self._arrived_mark[i]
+            self._arrived_mark[i] = arrived
+            demands.append((fresh + session.backlog) / self.period)
+        return demands
+
+    def _start(self, t: int) -> None:
+        self.stage_starts.append(t)
+        for session, bandwidth in zip(self.sessions, self._initial_allocations()):
+            session.channels.regular_link.set(t, bandwidth)
+        self._next_epoch = t + self.period
+
+    def _epoch(self, t: int) -> None:
+        self.epoch_boundaries.append(t)
+        allocations = self._allocations(self._measure_demands())
+        for session, bandwidth in zip(self.sessions, allocations):
+            session.channels.regular_link.set(t, bandwidth)
+        self._next_epoch = t + self.period
+
+    # -- event-boundary hooks (vectorized engine) ----------------------------
+
+    @property
+    def next_boundary(self) -> int | None:
+        """Slot of the next epoch re-decision (None before the first step)."""
+        return self._next_epoch
+
+    def quiet_slots_until_boundary(self, t: int) -> int:
+        """Slots from ``t`` with no scheduled policy event.
+
+        Within that span :meth:`step` runs no epoch processing and touches
+        no link; 0 when the policy has not started or an epoch is due at
+        ``t``.
+        """
+        if not self._started or self._next_epoch is None:
+            return 0
+        return max(0, self._next_epoch - t)
+
+    def queues_exactly_empty(self) -> bool:
+        """True when every regular and overflow queue holds exactly 0 bits.
+
+        Stricter than ``is_empty`` (which tolerates sub-epsilon dust): the
+        vectorized keep-up analysis requires the true empty state.
+        """
+        for session in self.sessions:
+            channels = session.channels
+            regular = channels.regular_queue
+            overflow = channels.overflow_queue
+            if regular._size != 0.0 or regular._chunks:
+                return False
+            if overflow._size != 0.0 or overflow._chunks:
+                return False
+        return True
+
+    # -- the slot step -------------------------------------------------------
+
+    def step(self, t: int, arrivals: Sequence[float]) -> list[ServeResult]:
+        if not self._started:
+            self._started = True
+            self._start(t)
+        if self._next_epoch is not None and t >= self._next_epoch:
+            self._epoch(t)
+        for session, bits in zip(self.sessions, arrivals):
+            if bits > 0:
+                session.push(t, bits)
+        results = []
+        for session in self.sessions:
+            result = session.channels.serve(t, fifo=self.fifo)
+            session.account(result)
+            results.append(result)
+        return results
+
+    # -- diagnostics ---------------------------------------------------------
+
+    @property
+    def allocations(self) -> list[float]:
+        """Current per-session regular-channel bandwidths."""
+        return [s.channels.regular_link.bandwidth for s in self.sessions]

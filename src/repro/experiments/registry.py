@@ -138,6 +138,7 @@ def _ensure_loaded() -> None:
     """Import every experiment module so decorators fire."""
     import repro.experiments.ablations  # noqa: F401
     import repro.experiments.adversary_exp  # noqa: F401
+    import repro.experiments.arena_exp  # noqa: F401
     import repro.experiments.buffers  # noqa: F401
     import repro.experiments.combined_sweep  # noqa: F401
     import repro.experiments.faults_exp  # noqa: F401

@@ -40,6 +40,7 @@ from repro.runner.resilience import (
     ChaosError,
     ChaosPlan,
     FailedShard,
+    Job,
     ResilienceStats,
     RunPolicy,
     SweepJournal,
@@ -55,6 +56,7 @@ __all__ = [
     "DEFAULT_POLICY",
     "FAIL_FAST",
     "FailedShard",
+    "Job",
     "ResilienceStats",
     "RunPolicy",
     "SweepJournal",

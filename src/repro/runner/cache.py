@@ -64,7 +64,7 @@ CACHE_SCHEMA = 2
 #: Environment variable naming the cache root (cache disabled when unset).
 CACHE_ENV = "REPRO_CACHE_DIR"
 
-_SECTIONS = ("workloads", "results", "shards", "adversary")
+_SECTIONS = ("workloads", "results", "shards", "adversary", "arena")
 
 #: Subdirectory corrupt entries are moved to (never a lookup target).
 QUARANTINE_DIR = "quarantine"

@@ -54,9 +54,8 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 import numpy as np
 
 from repro.core.allocator import BandwidthPolicy, MultiSessionPolicy
-from repro.core.phased import PhasedMultiSession
 from repro.errors import ConfigError, SimulationError
-from repro.network.queue import BitQueue, EPSILON
+from repro.network.queue import BitQueue
 from repro.obs.runtime import Telemetry, get_telemetry
 from repro.sim.invariants import Monitor, MultiSlotView, SingleSlotView
 from repro.sim.recorder import (
@@ -65,7 +64,14 @@ from repro.sim.recorder import (
     SingleSessionRecorder,
     SingleSessionTrace,
 )
-from repro.sim.vector import EngineState, _as_array, vector_capable
+from repro.sim.vector import (
+    EngineState,
+    MultiEngineState,
+    _as_array,
+    multi_local_changes,
+    multi_vector_capable,
+    vector_capable,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.faults.plan import FaultPlan
@@ -273,18 +279,19 @@ def run_multi_session(
             auto-selects it when eligible.  Traces are bit-identical
             either way.
         vector: force (``True``) or suppress (``False``) the event-sliced
-            bulk fast-forward inside the fast path (supported for
-            :class:`~repro.core.phased.PhasedMultiSession`: quiet in-phase
-            slices between phase boundaries commit in bulk); ``None``
-            (default) auto-selects it.  Traces are bit-identical either
-            way.
+            bulk fast-forward inside the fast path (supported for policy
+            types registered via
+            :func:`~repro.sim.vector.register_multi_vector` — stock
+            :class:`~repro.core.phased.PhasedMultiSession` and the
+            epoch-driven arena allocators: quiet slices between event
+            boundaries commit in bulk); ``None`` (default) auto-selects
+            it.  Traces are bit-identical either way.
     """
     array = _as_array(arrivals, ndim=2)
     horizon, k = array.shape
     if k != policy.k:
         raise ConfigError(f"arrivals have k={k} but policy has k={policy.k}")
     cap = max_drain_slots if max_drain_slots is not None else 4 * horizon + 1000
-    recorder = MultiSessionRecorder(k)
     monitor_list = list(monitors)
     zero = [0.0] * k
     plan = faults if faults is not None and not faults.is_null else None
@@ -304,7 +311,7 @@ def run_multi_session(
                 "telemetry off"
             )
         use_fast = bool(fast_path)
-    vector_ok = type(policy) is PhasedMultiSession and policy.extra_link is None
+    vector_ok = multi_vector_capable(policy)
     if vector and not use_fast:
         raise ConfigError(
             "vector=True requires the fast path: no faults, no monitors, "
@@ -313,107 +320,112 @@ def run_multi_session(
     if vector and not vector_ok:
         raise ConfigError(
             "vector=True requires a vector-capable multi-session policy "
-            f"(PhasedMultiSession), got {type(policy).__name__}"
+            "(a register_multi_vector-ed type with no extra channel), got "
+            f"{type(policy).__name__}"
         )
     use_vector = vector_ok if vector is None else bool(vector)
 
     if use_fast:
-        t = _multi_fast_loop(
-            policy, array, horizon, k, cap, drain, zero, recorder, timer,
-            use_vector,
+        # The fast path is a thin wrapper over the incremental engine:
+        # identical per-slot operations, plus (with ``use_vector``) the
+        # event-sliced bulk commit for quiet slices.
+        state = MultiEngineState(
+            policy,
+            array,
+            drain=drain,
+            max_drain_slots=cap,
+            vector=use_vector,
         )
-    else:
-        t = 0
-        # Pre-convert the arrival matrix once and resolve the per-session
-        # link chains up front: the general loop previously rebuilt
-        # `[float(x) for x in array[t]]` and walked
-        # `s.channels.regular_link` three times per session per slot.
-        rows = array.tolist()
-        sessions = policy.sessions
-        regular_links = [s.channels.regular_link for s in sessions]
-        overflow_links = [s.channels.overflow_link for s in sessions]
-        try:
-            with timer:
-                while t < horizon or (drain and policy.total_backlog > 0):
-                    if t >= horizon + cap:
-                        raise SimulationError(
-                            f"queues failed to drain within {cap} extra slots "
-                            f"(backlog {policy.total_backlog:.3f})"
-                        )
-                    offered = rows[t] if t < horizon else zero
-                    slot_arrivals = offered
-                    fault_dropped = 0.0
-                    if plan is not None:
-                        factor = plan.capacity_factor(t)
-                        for session in sessions:
-                            session.channels.capacity_factor = factor
-                        keep = plan.ingress_factor(t)
-                        if keep < 1.0 and t < horizon:
-                            slot_arrivals = [x * keep for x in offered]
-                            fault_dropped = sum(offered) - sum(slot_arrivals)
-                    results = policy.step(t, slot_arrivals)
-                    if len(results) != k:
-                        raise SimulationError(
-                            f"policy returned {len(results)} results for k={k} at t={t}"
-                        )
-                    regular = [link.bandwidth for link in regular_links]
-                    overflow = [link.bandwidth for link in overflow_links]
-                    extra = (
-                        policy.extra_link.bandwidth
-                        if policy.extra_link is not None
-                        else 0.0
-                    )
-                    for value in (*regular, *overflow, extra):
-                        if not math.isfinite(value):
-                            raise SimulationError(
-                                f"policy produced non-finite bandwidth {value!r} at t={t}"
-                            )
-                    backlogs = [s.backlog for s in sessions]
-                    recorder.record(
-                        t,
-                        offered,
-                        regular,
-                        overflow,
-                        results,
-                        backlogs,
-                        extra,
-                        requested_total=(
-                            policy.total_requested if plan is not None else None
-                        ),
-                        dropped=fault_dropped,
-                    )
-                    if monitor_list:
-                        view = MultiSlotView(
-                            t=t,
-                            arrivals=slot_arrivals,
-                            regular=regular,
-                            overflow=overflow,
-                            extra=extra,
-                            backlogs=backlogs,
-                            results=results,
-                        )
-                        for monitor in monitor_list:
-                            monitor.on_multi_slot(view)
-                    if obs_on:
-                        depth_hist.observe(sum(backlogs))
-                        alloc_hist.observe(sum(regular) + sum(overflow) + extra)
-                    t += 1
-                timer.slots = t
-        finally:
-            # A mid-run SimulationError must not leak degraded capacity
-            # into the sessions' next run.
-            if plan is not None:
-                for session in policy.sessions:
-                    session.channels.capacity_factor = 1.0
+        with timer:
+            state.run()
+            timer.slots = state.t
+        return state.finalize()
 
-    local_changes = []
-    for session in policy.sessions:
-        channels = session.channels
-        for change in channels.regular_link.changes:
-            local_changes.append((session.index, "regular", change))
-        for change in channels.overflow_link.changes:
-            local_changes.append((session.index, "overflow", change))
-    local_changes.sort(key=lambda item: item[2].t)
+    recorder = MultiSessionRecorder(k)
+    t = 0
+    # Pre-convert the arrival matrix once and resolve the per-session
+    # link chains up front: the general loop previously rebuilt
+    # `[float(x) for x in array[t]]` and walked
+    # `s.channels.regular_link` three times per session per slot.
+    rows = array.tolist()
+    sessions = policy.sessions
+    regular_links = [s.channels.regular_link for s in sessions]
+    overflow_links = [s.channels.overflow_link for s in sessions]
+    try:
+        with timer:
+            while t < horizon or (drain and policy.total_backlog > 0):
+                if t >= horizon + cap:
+                    raise SimulationError(
+                        f"queues failed to drain within {cap} extra slots "
+                        f"(backlog {policy.total_backlog:.3f})"
+                    )
+                offered = rows[t] if t < horizon else zero
+                slot_arrivals = offered
+                fault_dropped = 0.0
+                if plan is not None:
+                    factor = plan.capacity_factor(t)
+                    for session in sessions:
+                        session.channels.capacity_factor = factor
+                    keep = plan.ingress_factor(t)
+                    if keep < 1.0 and t < horizon:
+                        slot_arrivals = [x * keep for x in offered]
+                        fault_dropped = sum(offered) - sum(slot_arrivals)
+                results = policy.step(t, slot_arrivals)
+                if len(results) != k:
+                    raise SimulationError(
+                        f"policy returned {len(results)} results for k={k} at t={t}"
+                    )
+                regular = [link.bandwidth for link in regular_links]
+                overflow = [link.bandwidth for link in overflow_links]
+                extra = (
+                    policy.extra_link.bandwidth
+                    if policy.extra_link is not None
+                    else 0.0
+                )
+                for value in (*regular, *overflow, extra):
+                    if not math.isfinite(value):
+                        raise SimulationError(
+                            f"policy produced non-finite bandwidth {value!r} at t={t}"
+                        )
+                backlogs = [s.backlog for s in sessions]
+                recorder.record(
+                    t,
+                    offered,
+                    regular,
+                    overflow,
+                    results,
+                    backlogs,
+                    extra,
+                    requested_total=(
+                        policy.total_requested if plan is not None else None
+                    ),
+                    dropped=fault_dropped,
+                )
+                if monitor_list:
+                    view = MultiSlotView(
+                        t=t,
+                        arrivals=slot_arrivals,
+                        regular=regular,
+                        overflow=overflow,
+                        extra=extra,
+                        backlogs=backlogs,
+                        results=results,
+                    )
+                    for monitor in monitor_list:
+                        monitor.on_multi_slot(view)
+                if obs_on:
+                    depth_hist.observe(sum(backlogs))
+                    alloc_hist.observe(sum(regular) + sum(overflow) + extra)
+                t += 1
+            timer.slots = t
+    finally:
+        # A mid-run SimulationError must not leak degraded capacity
+        # into the sessions' next run.
+        if plan is not None:
+            for session in policy.sessions:
+                session.channels.capacity_factor = 1.0
+
+    local_changes = multi_local_changes(policy)
     extra_changes = (
         list(policy.extra_link.changes) if policy.extra_link is not None else []
     )
@@ -441,141 +453,6 @@ def run_multi_session(
             k=k,
         )
     return trace
-
-
-def _multi_fast_loop(
-    policy: MultiSessionPolicy,
-    array: np.ndarray,
-    horizon: int,
-    k: int,
-    cap: int,
-    drain: bool,
-    zero: list[float],
-    recorder: MultiSessionRecorder,
-    timer,
-    use_vector: bool = False,
-) -> int:
-    """No-faults/no-monitors/telemetry-off tight loop; returns slot count.
-
-    Identical queue/policy/recorder operations to the general loop with
-    ``plan is None`` — the fault/monitor/telemetry branches are hoisted out
-    and the ``(T, k)`` arrival rows are pre-converted to Python floats once
-    instead of per slot — so traces are bit-identical.
-
-    With ``use_vector`` (phased policies), quiet in-phase slices — every
-    queue exactly empty, every session's arrivals at or below its constant
-    regular allocation, no phase boundary — are committed in bulk via the
-    policy's event-boundary hooks instead of stepped per slot.  A quiet
-    slot delivers its own arrivals at delay 0 and leaves every queue
-    exactly empty (see :mod:`repro.sim.vector`), so the bulk commit writes
-    the same recorder rows and session accounting the scalar steps would.
-    """
-    rows = array.tolist()
-    isfinite = math.isfinite
-    step = policy.step
-    record = recorder.record
-    sessions = policy.sessions
-    limit = horizon + cap
-    t = 0
-    with timer:
-        while t < horizon or (drain and policy.total_backlog > 0):
-            if t >= limit:
-                raise SimulationError(
-                    f"queues failed to drain within {cap} extra slots "
-                    f"(backlog {policy.total_backlog:.3f})"
-                )
-            if use_vector and t < horizon:
-                taken = _phased_bulk(policy, sessions, rows, t, horizon, recorder)
-                if taken:
-                    t += taken
-                    continue
-            offered = rows[t] if t < horizon else zero
-            results = step(t, offered)
-            if len(results) != k:
-                raise SimulationError(
-                    f"policy returned {len(results)} results for k={k} at t={t}"
-                )
-            regular = [s.channels.regular_link.bandwidth for s in sessions]
-            overflow = [s.channels.overflow_link.bandwidth for s in sessions]
-            extra = (
-                policy.extra_link.bandwidth if policy.extra_link is not None else 0.0
-            )
-            for value in (*regular, *overflow, extra):
-                if not isfinite(value):
-                    raise SimulationError(
-                        f"policy produced non-finite bandwidth {value!r} at t={t}"
-                    )
-            backlogs = [s.backlog for s in sessions]
-            record(
-                t,
-                offered,
-                regular,
-                overflow,
-                results,
-                backlogs,
-                extra,
-                requested_total=None,
-                dropped=0.0,
-            )
-            t += 1
-        timer.slots = t
-    return t
-
-
-def _phased_bulk(
-    policy,
-    sessions,
-    rows: list[list[float]],
-    t: int,
-    horizon: int,
-    recorder: MultiSessionRecorder,
-) -> int:
-    """Bulk-commit quiet in-phase slots from ``t``; return how many.
-
-    Quiet requires: the policy has started, no phase boundary falls inside
-    the slice, every queue is exactly empty, and each session's arrivals
-    stay at or below its (constant within the phase) regular allocation —
-    then each slot delivers its own arrivals at delay 0, leaves the queues
-    exactly empty, and touches no link, so per-slot outputs are pure
-    functions of the arrival rows.  Returns 0 when the next slot needs the
-    scalar step (boundary due, backlog, or overload).
-    """
-    quiet = policy.quiet_slots_until_boundary(t)
-    if quiet == 0 or not policy.queues_exactly_empty():
-        return 0
-    stop = min(t + quiet, horizon)
-    regular = [s.channels.regular_link.bandwidth for s in sessions]
-    overflow = [s.channels.overflow_link.bandwidth for s in sessions]
-    k = len(regular)
-    end = t
-    while end < stop:
-        row = rows[end]
-        ok = True
-        for i in range(k):
-            if row[i] > regular[i]:
-                ok = False
-                break
-        if not ok:
-            break
-        end += 1
-    if end == t:
-        return 0
-    block = rows[t:end]
-    # Matches the recorder's own fold for requested_total=None rows.
-    requested_total = sum(regular) + sum(overflow) + 0.0
-    recorder.record_keepup_block(block, regular, overflow, 0.0, requested_total)
-    for i, session in enumerate(sessions):
-        arrived = session.bits_arrived
-        delivered = session.bits_delivered
-        for row in block:
-            bits = row[i]
-            if bits > 0:
-                arrived += bits
-                if bits > EPSILON:
-                    delivered += bits
-        session.bits_arrived = arrived
-        session.bits_delivered = delivered
-    return end - t
 
 
 def _emit_run_telemetry(

@@ -25,6 +25,15 @@ delay zero and the queue stays empty.  This module exploits that:
   loops by construction.
 * :func:`run_batched` — advance many independent sessions over one
   validated ``(n, T)`` arrival matrix, each on the vectorized path.
+* :class:`MultiEngineState` — the incremental multi-session twin: it
+  owns the policy/recorder pair behind ``run_multi_session``'s fast
+  path, exposes the same ``step(n_slots)`` slicing contract, and
+  bulk-commits quiet in-phase slices for policies registered via
+  :func:`register_multi_vector` (stock: ``PhasedMultiSession`` and the
+  epoch-driven arena allocators).  A capable policy declares its own
+  event boundaries through the ``quiet_slots_until_boundary`` /
+  ``queues_exactly_empty`` hooks, so new policy families opt in by
+  registration instead of engine special-casing.
 
 Exactness of the bulk commit (why a quiet slot can be skipped): with the
 queue exactly empty and ``EPSILON < a <= c``, ``BitQueue.push`` enqueues
@@ -45,10 +54,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.baselines import StaticAllocator
+from repro.core.maxminfair import MaxMinFairAllocator
+from repro.core.phased import PhasedMultiSession
+from repro.core.prioritytier import PriorityTierAllocator
 from repro.core.single_session import SingleSessionOnline
 from repro.errors import ConfigError, SimulationError
 from repro.network.queue import EPSILON, BitQueue
-from repro.sim.recorder import SingleSessionRecorder, SingleSessionTrace
+from repro.sim.recorder import (
+    MultiSessionRecorder,
+    MultiSessionTrace,
+    SingleSessionRecorder,
+    SingleSessionTrace,
+)
 
 #: Largest quiet slice committed per bulk step.  Bounds transient memory
 #: (a few float64 arrays of this length) while amortizing numpy call
@@ -86,6 +103,66 @@ def vector_capable(policy) -> bool:
     if type(policy) is SingleSessionOnline:
         return policy.kernel_mode
     return type(policy) is StaticAllocator
+
+
+#: Multi-session policy types whose quiet slices may be bulk-committed.
+#: Populated via :func:`register_multi_vector`; matched by exact type
+#: (subclasses may override decision machinery the bulk commit cannot
+#: see, so they stay scalar until registered themselves).
+_MULTI_VECTOR_TYPES: set[type] = set()
+
+
+def register_multi_vector(cls: type) -> type:
+    """Register a multi-session policy type for the vectorized bulk path.
+
+    The type must honour the quiet-slice contract: between the boundaries
+    it reports, ``step`` runs no decision logic and touches no link, so a
+    slot with every queue exactly empty and per-session arrivals at or
+    below the constant regular allocation delivers its own arrivals at
+    delay 0 and leaves the queues exactly empty.  Required hooks:
+
+    * ``quiet_slots_until_boundary(t)`` — slots from ``t`` guaranteed
+      free of policy events (0 = step scalar now);
+    * ``queues_exactly_empty()`` — every queue holds exactly 0.0 bits.
+
+    Usable as a class decorator; returns ``cls``.
+    """
+    for hook in ("quiet_slots_until_boundary", "queues_exactly_empty"):
+        if not callable(getattr(cls, hook, None)):
+            raise ConfigError(
+                f"{cls.__name__} cannot register for the vectorized path: "
+                f"missing the {hook}() hook"
+            )
+    _MULTI_VECTOR_TYPES.add(cls)
+    return cls
+
+
+def multi_vector_capable(policy) -> bool:
+    """True when the multi-session bulk fast-forward applies to ``policy``.
+
+    Requires a :func:`register_multi_vector`-registered exact type and no
+    extra (global-overflow) channel — the bulk commit records the extra
+    allocation as 0.
+    """
+    return type(policy) in _MULTI_VECTOR_TYPES and policy.extra_link is None
+
+
+register_multi_vector(PhasedMultiSession)
+register_multi_vector(MaxMinFairAllocator)
+register_multi_vector(PriorityTierAllocator)
+
+
+def multi_local_changes(policy) -> list[tuple[int, str, object]]:
+    """Per-session link changes in change-time order (trace finalize)."""
+    local_changes = []
+    for session in policy.sessions:
+        channels = session.channels
+        for change in channels.regular_link.changes:
+            local_changes.append((session.index, "regular", change))
+        for change in channels.overflow_link.changes:
+            local_changes.append((session.index, "overflow", change))
+    local_changes.sort(key=lambda item: item[2].t)
+    return local_changes
 
 
 @dataclass
@@ -426,6 +503,218 @@ class EngineState:
         policy = self.policy
         return self.recorder.finalize(
             changes=policy.changes,
+            stage_starts=policy.stage_starts,
+            resets=policy.resets,
+            horizon=self.horizon,
+        )
+
+
+class MultiEngineState:
+    """Incremental multi-session engine: advance in ``step(n_slots)`` bites.
+
+    The multi-session twin of :class:`EngineState` and the implementation
+    behind ``run_multi_session``'s fast path: identical queue/policy/
+    recorder operations in the same order as the general loop with no
+    faults/monitors/telemetry, so traces are bit-identical regardless of
+    how the run is sliced into ``step`` calls — and, with ``vector``
+    enabled, regardless of how many slots each bulk commit covers.
+
+    Args:
+        policy: the multi-session policy (owns the queues).
+        arrivals: arrival matrix of shape ``(T, k)``.
+        drain: keep stepping with zero arrivals until all queues empty.
+        max_drain_slots: hard cap on extra drain slots (default
+            ``4 * T + 1000``).
+        vector: force (``True``) / suppress (``False``) the quiet bulk
+            fast-forward; ``None`` auto-selects it for
+            :func:`multi_vector_capable` policies.
+    """
+
+    def __init__(
+        self,
+        policy,
+        arrivals: Sequence[Sequence[float]] | np.ndarray,
+        *,
+        drain: bool = True,
+        max_drain_slots: int | None = None,
+        vector: bool | None = None,
+    ):
+        array = _as_array(arrivals, ndim=2)
+        horizon, k = array.shape
+        if k != policy.k:
+            raise ConfigError(f"arrivals have k={k} but policy has k={policy.k}")
+        self.policy = policy
+        self.k = k
+        self.horizon = horizon
+        self.recorder = MultiSessionRecorder(k)
+        self.drain = bool(drain)
+        self._rows: list[list[float]] = array.tolist()
+        self._zero = [0.0] * k
+        cap = max_drain_slots if max_drain_slots is not None else 4 * horizon + 1000
+        self._cap = cap
+        self._limit = horizon + cap
+        self.t = 0
+
+        capable = multi_vector_capable(policy)
+        if vector is None:
+            self._vector = capable
+        elif vector:
+            if not capable:
+                raise ConfigError(
+                    "vector=True requires a register_multi_vector-ed policy "
+                    f"type with no extra channel ({type(policy).__name__} "
+                    "is not capable)"
+                )
+            self._vector = True
+        else:
+            self._vector = False
+
+    @property
+    def done(self) -> bool:
+        """True when every slot (and the drain tail) is simulated."""
+        if self.t < self.horizon:
+            return False
+        return not (self.drain and self.policy.total_backlog > 0)
+
+    def step(self, n_slots: int) -> int:
+        """Advance up to ``n_slots`` slots; return how many were simulated.
+
+        Slicing a run into arbitrary ``step`` calls never changes the
+        resulting trace.
+        """
+        policy = self.policy
+        recorder = self.recorder
+        rows = self._rows
+        horizon = self.horizon
+        k = self.k
+        sessions = policy.sessions
+        policy_step = policy.step
+        record = recorder.record
+        isfinite = math.isfinite
+        processed = 0
+        t = self.t
+        try:
+            while processed < n_slots:
+                if t < horizon:
+                    if self._vector:
+                        taken = self._bulk(t, n_slots - processed)
+                        if taken:
+                            t += taken
+                            processed += taken
+                            continue
+                    offered = rows[t]
+                elif self.drain and policy.total_backlog > 0:
+                    if t >= self._limit:
+                        raise SimulationError(
+                            f"queues failed to drain within {self._cap} extra "
+                            f"slots (backlog {policy.total_backlog:.3f})"
+                        )
+                    offered = self._zero
+                else:
+                    break
+                results = policy_step(t, offered)
+                if len(results) != k:
+                    raise SimulationError(
+                        f"policy returned {len(results)} results for k={k} at t={t}"
+                    )
+                regular = [s.channels.regular_link.bandwidth for s in sessions]
+                overflow = [s.channels.overflow_link.bandwidth for s in sessions]
+                extra = (
+                    policy.extra_link.bandwidth
+                    if policy.extra_link is not None
+                    else 0.0
+                )
+                for value in (*regular, *overflow, extra):
+                    if not isfinite(value):
+                        raise SimulationError(
+                            f"policy produced non-finite bandwidth {value!r} at t={t}"
+                        )
+                backlogs = [s.backlog for s in sessions]
+                record(
+                    t,
+                    offered,
+                    regular,
+                    overflow,
+                    results,
+                    backlogs,
+                    extra,
+                    requested_total=None,
+                    dropped=0.0,
+                )
+                t += 1
+                processed += 1
+        finally:
+            self.t = t
+        return processed
+
+    def _bulk(self, t: int, budget: int) -> int:
+        """Bulk-commit quiet slots from ``t`` (at most ``budget``).
+
+        Quiet requires: the policy has started, no event boundary falls
+        inside the slice, every queue is exactly empty, and each session's
+        arrivals stay at or below its (constant within the slice) regular
+        allocation — then each slot delivers its own arrivals at delay 0,
+        leaves the queues exactly empty, and touches no link, so per-slot
+        outputs are pure functions of the arrival rows.  Returns 0 when
+        the next slot needs the scalar step (boundary due, backlog, or
+        overload).
+        """
+        policy = self.policy
+        quiet = policy.quiet_slots_until_boundary(t)
+        if quiet == 0 or not policy.queues_exactly_empty():
+            return 0
+        rows = self._rows
+        sessions = policy.sessions
+        stop = min(t + quiet, self.horizon, t + budget)
+        regular = [s.channels.regular_link.bandwidth for s in sessions]
+        overflow = [s.channels.overflow_link.bandwidth for s in sessions]
+        k = len(regular)
+        end = t
+        while end < stop:
+            row = rows[end]
+            ok = True
+            for i in range(k):
+                if row[i] > regular[i]:
+                    ok = False
+                    break
+            if not ok:
+                break
+            end += 1
+        if end == t:
+            return 0
+        block = rows[t:end]
+        # Matches the recorder's own fold for requested_total=None rows.
+        requested_total = sum(regular) + sum(overflow) + 0.0
+        self.recorder.record_keepup_block(block, regular, overflow, 0.0, requested_total)
+        for i, session in enumerate(sessions):
+            arrived = session.bits_arrived
+            delivered = session.bits_delivered
+            for row in block:
+                bits = row[i]
+                if bits > 0:
+                    arrived += bits
+                    if bits > EPSILON:
+                        delivered += bits
+            session.bits_arrived = arrived
+            session.bits_delivered = delivered
+        return end - t
+
+    def run(self) -> None:
+        """Simulate to completion."""
+        while not self.done:
+            self.step(1 << 62)
+
+    def finalize(self) -> MultiSessionTrace:
+        """Build the trace for the slots simulated so far."""
+        policy = self.policy
+        extra_changes = (
+            list(policy.extra_link.changes)
+            if policy.extra_link is not None
+            else []
+        )
+        return self.recorder.finalize(
+            local_changes=multi_local_changes(policy),
+            extra_changes=extra_changes,
             stage_starts=policy.stage_starts,
             resets=policy.resets,
             horizon=self.horizon,

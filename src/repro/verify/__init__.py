@@ -27,6 +27,7 @@ from repro.verify.certificates import (
     single_session_bounds,
     switch_count,
 )
+from repro.verify.fairness import certify_max_min_trace, certify_tier_trace
 from repro.verify.oracle import (
     RATIO_FINITE,
     RATIO_NO_STATEMENT,
@@ -38,6 +39,7 @@ from repro.verify.oracle import (
     competitive_ratio,
     default_levels,
     min_changes_oracle,
+    ratio_rank_key,
 )
 from repro.verify.report import CertificateCheck, CertificateReport, Counterexample
 
@@ -54,8 +56,10 @@ __all__ = [
     "TheoremBounds",
     "best_window_utilizations",
     "certify",
+    "certify_max_min_trace",
     "certify_multi",
     "certify_single",
+    "certify_tier_trace",
     "claim9_excess",
     "classify_ratio",
     "combined_bounds",
@@ -65,6 +69,7 @@ __all__ = [
     "lindley_backlog",
     "min_changes_oracle",
     "phased_bounds",
+    "ratio_rank_key",
     "raw_single_bounds",
     "replay_fifo_delays",
     "single_session_bounds",

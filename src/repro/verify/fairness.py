@@ -1,0 +1,333 @@
+"""Trace-replay certificates for the arena's epoch-driven allocators.
+
+Like :mod:`repro.verify.certificates`, these checkers re-derive every
+claim from the recorded trace alone — demands are reconstructed from the
+arrival and backlog series (the same measurement rule the policies use:
+arrivals since the previous epoch plus carried backlog, averaged over one
+period), and the recorded allocation vectors are then held against the
+*structural* optimality properties of each family rather than against a
+re-run of the policy code:
+
+* **max-min** — feasibility, demand caps, one shared water level across
+  every unsaturated session with all saturated demands at or below it,
+  and full capacity utilization whenever someone is left wanting.  These
+  properties jointly characterize the max-min fair point, so certifying
+  them certifies water-level optimality without importing the allocator.
+* **priority tiers** — feasibility, floor preservation whenever capacity
+  covers all floor claims, and strict-priority residuals (a tier with
+  unmet demand caps every lower tier at its floor claim).
+
+Both also certify the epoch discipline itself: allocations constant
+between epoch boundaries and overflow channels untouched.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.verify.report import CertificateReport, Counterexample
+
+_EPS = 1e-9
+_MAX_EXAMPLES = 25
+
+#: Mirrors :func:`repro.core.maxminfair.quantize_up` — reimplemented here
+#: so the checker stays independent of the policy code it certifies.
+_GRID_RTOL = 1e-12
+
+
+def _quantize_up(value: float, quantum: float) -> float:
+    if quantum <= 0:
+        return max(0.0, float(value))
+    if value <= 0:
+        return 0.0
+    steps = math.ceil((value / quantum) * (1.0 - _GRID_RTOL))
+    return max(1, steps) * quantum
+
+
+def _replay_demands(
+    trace, period: int, quantum: float
+) -> list[tuple[int, list[float]]]:
+    """Reconstruct the quantized demand vector at every epoch boundary.
+
+    Accumulates arrivals session by session in slot order with plain
+    Python floats — the same summation order the policies use for
+    ``bits_arrived`` — so the reconstructed demands match the decision
+    inputs bit-for-bit.
+    """
+    arrivals = trace.arrivals
+    backlog = trace.backlog
+    slots, k = arrivals.shape
+    rows = arrivals.tolist()
+    cumulative = [0.0] * k
+    marks = [0.0] * k
+    epochs: list[tuple[int, list[float]]] = []
+    next_epoch = period
+    for t in range(slots):
+        if t == next_epoch:
+            demands = []
+            for i in range(k):
+                fresh = cumulative[i] - marks[i]
+                marks[i] = cumulative[i]
+                carried = float(backlog[t - 1, i]) if t > 0 else 0.0
+                demands.append(
+                    _quantize_up((fresh + carried) / period, quantum)
+                )
+            epochs.append((t, demands))
+            next_epoch = t + period
+        row = rows[t]
+        for i in range(k):
+            bits = row[i]
+            if bits > 0:
+                cumulative[i] += bits
+    return epochs
+
+
+def _check_epoch_discipline(
+    report: CertificateReport, trace, period: int
+) -> None:
+    """Allocations constant between epochs; overflow channels untouched."""
+    regular = trace.regular_allocation
+    slots = regular.shape[0]
+    bad: list[Counterexample] = []
+    for start in range(0, slots, period):
+        stop = min(start + period, slots)
+        # Allocation decided at `start` must hold through the epoch; the
+        # first epoch begins with the initial allocation set at t=0.
+        window = regular[start:stop]
+        if not np.array_equal(window, np.broadcast_to(window[0], window.shape)):
+            if len(bad) < _MAX_EXAMPLES:
+                bad.append(
+                    Counterexample(
+                        t=start,
+                        detail="allocation moved between epoch boundaries",
+                        values={"epoch_start": float(start)},
+                    )
+                )
+    report.add(
+        "epoch-constancy",
+        "epoch discipline",
+        not bad,
+        f"allocations constant within every {period}-slot epoch",
+        counterexamples=bad,
+    )
+    overflow_used = float(np.abs(trace.overflow_allocation).max(initial=0.0))
+    report.add(
+        "overflow-untouched",
+        "epoch discipline",
+        overflow_used <= _EPS,
+        f"max overflow allocation {overflow_used:.3g}",
+    )
+
+
+def certify_max_min_trace(
+    trace,
+    *,
+    capacity: float,
+    period: int,
+    quantum: float,
+    label: str = "max-min fair",
+) -> CertificateReport:
+    """Certify water-level optimality of a recorded max-min run.
+
+    Args:
+        trace: a :class:`~repro.sim.recorder.MultiSessionTrace` produced
+            by a :class:`~repro.core.maxminfair.MaxMinFairAllocator` run
+            (fault-free; faults break the allocation-vs-demand replay).
+        capacity, period, quantum: the policy's configuration.
+    """
+    if period < 1:
+        raise ConfigError(f"period must be >= 1, got {period!r}")
+    report = CertificateReport(label)
+    tol = _EPS * max(1.0, capacity)
+    feasible_bad: list[Counterexample] = []
+    level_bad: list[Counterexample] = []
+    utilization_bad: list[Counterexample] = []
+    epochs = _replay_demands(trace, period, quantum)
+    for t, demands in epochs:
+        alloc = [float(x) for x in trace.regular_allocation[t]]
+        total = math.fsum(alloc)
+        if total > capacity + tol or any(
+            a < -tol or a > d + tol for a, d in zip(alloc, demands)
+        ):
+            if len(feasible_bad) < _MAX_EXAMPLES:
+                feasible_bad.append(
+                    Counterexample(
+                        t=t,
+                        detail="infeasible allocation (sum or demand cap)",
+                        values={"total": total, "capacity": capacity},
+                    )
+                )
+            continue
+        unsaturated = [
+            i for i, (a, d) in enumerate(zip(alloc, demands)) if a < d - tol
+        ]
+        if unsaturated:
+            level = max(alloc[i] for i in unsaturated)
+            spread = level - min(alloc[i] for i in unsaturated)
+            over = [a for i, a in enumerate(alloc) if a > level + tol]
+            if spread > tol or over:
+                if len(level_bad) < _MAX_EXAMPLES:
+                    level_bad.append(
+                        Counterexample(
+                            t=t,
+                            detail="unsaturated sessions not at one shared "
+                            "water level below all saturated demands",
+                            values={"level": level, "spread": spread},
+                        )
+                    )
+            if total < capacity - max(tol, 1e-6 * max(1.0, capacity)):
+                if len(utilization_bad) < _MAX_EXAMPLES:
+                    utilization_bad.append(
+                        Counterexample(
+                            t=t,
+                            detail="capacity left unused while a session "
+                            "was below its demand",
+                            values={"total": total, "capacity": capacity},
+                        )
+                    )
+    report.add(
+        "max-min-feasible",
+        "water-level optimality",
+        not feasible_bad,
+        f"sum <= capacity and alloc <= quantized demand at all "
+        f"{len(epochs)} epochs",
+        counterexamples=feasible_bad,
+    )
+    report.add(
+        "max-min-level",
+        "water-level optimality",
+        not level_bad,
+        "every unsaturated session sits at the shared water level; no "
+        "allocation exceeds it",
+        counterexamples=level_bad,
+    )
+    report.add(
+        "max-min-utilization",
+        "water-level optimality",
+        not utilization_bad,
+        "capacity fully used whenever demand is unmet "
+        "(Pareto-unimprovability)",
+        counterexamples=utilization_bad,
+    )
+    _check_epoch_discipline(report, trace, period)
+    return report
+
+
+def certify_tier_trace(
+    trace,
+    *,
+    capacity: float,
+    period: int,
+    quantum: float,
+    tiers: list[int],
+    floors: list[float],
+    label: str = "priority tiers",
+) -> CertificateReport:
+    """Certify floor preservation and strict priority of a tier run.
+
+    Args:
+        trace: a :class:`~repro.sim.recorder.MultiSessionTrace` produced
+            by a :class:`~repro.core.prioritytier.PriorityTierAllocator`
+            run (fault-free).
+        capacity, period, quantum, tiers, floors: the policy's config.
+    """
+    if period < 1:
+        raise ConfigError(f"period must be >= 1, got {period!r}")
+    report = CertificateReport(label)
+    tol = _EPS * max(1.0, capacity)
+    feasible_bad: list[Counterexample] = []
+    floor_bad: list[Counterexample] = []
+    priority_bad: list[Counterexample] = []
+    epochs = _replay_demands(trace, period, quantum)
+    floors_checked = 0
+    for t, demands in epochs:
+        alloc = [float(x) for x in trace.regular_allocation[t]]
+        total = math.fsum(alloc)
+        if total > capacity + tol or any(
+            a < -tol or a > d + tol for a, d in zip(alloc, demands)
+        ):
+            if len(feasible_bad) < _MAX_EXAMPLES:
+                feasible_bad.append(
+                    Counterexample(
+                        t=t,
+                        detail="infeasible allocation (sum or demand cap)",
+                        values={"total": total, "capacity": capacity},
+                    )
+                )
+            continue
+        claims = [min(d, floors[tier]) for d, tier in zip(demands, tiers)]
+        if math.fsum(sorted(claims)) <= capacity + tol:
+            floors_checked += 1
+            short = [
+                i for i, (a, c) in enumerate(zip(alloc, claims)) if a < c - tol
+            ]
+            if short:
+                if len(floor_bad) < _MAX_EXAMPLES:
+                    floor_bad.append(
+                        Counterexample(
+                            t=t,
+                            detail="session below its floor claim although "
+                            "capacity covers all floors",
+                            values={
+                                "session": float(short[0]),
+                                "alloc": alloc[short[0]],
+                                "claim": claims[short[0]],
+                            },
+                        )
+                    )
+        # Strict priority: a tier with unmet demand caps every lower tier
+        # at its floor claim (residual capacity never skips ahead).
+        n_tiers = len(floors)
+        unmet = [False] * n_tiers
+        for i, (a, d) in enumerate(zip(alloc, demands)):
+            if a < d - tol:
+                unmet[tiers[i]] = True
+        blocked = False
+        for tier in range(n_tiers):
+            if blocked:
+                for i in range(len(alloc)):
+                    if tiers[i] == tier and alloc[i] > claims[i] + tol:
+                        if len(priority_bad) < _MAX_EXAMPLES:
+                            priority_bad.append(
+                                Counterexample(
+                                    t=t,
+                                    detail="lower tier got residual capacity "
+                                    "while a higher tier had unmet demand",
+                                    values={
+                                        "session": float(i),
+                                        "tier": float(tier),
+                                        "alloc": alloc[i],
+                                        "claim": claims[i],
+                                    },
+                                )
+                            )
+            if unmet[tier]:
+                blocked = True
+    report.add(
+        "tier-feasible",
+        "tier-floor preservation",
+        not feasible_bad,
+        f"sum <= capacity and alloc <= quantized demand at all "
+        f"{len(epochs)} epochs",
+        counterexamples=feasible_bad,
+    )
+    report.add(
+        "tier-floors",
+        "tier-floor preservation",
+        not floor_bad,
+        f"no session below min(demand, floor) while capacity covered all "
+        f"floor claims ({floors_checked}/{len(epochs)} epochs applicable)",
+        counterexamples=floor_bad,
+    )
+    report.add(
+        "tier-strict-priority",
+        "strict-priority residual",
+        not priority_bad,
+        "residual capacity never reached a tier below one with unmet demand",
+        counterexamples=priority_bad,
+    )
+    _check_epoch_discipline(report, trace, period)
+    return report

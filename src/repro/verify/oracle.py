@@ -129,6 +129,46 @@ def classify_ratio(online_changes: int, opt_changes: int | None) -> RatioVerdict
     )
 
 
+#: Verdict-kind ordering for rankings: certified finite ratios always
+#: sort ahead of every degenerate kind.  Among the degenerates, a
+#: zero-change trivial cell (0/0 — certifies nothing, but the policy at
+#: least paid nothing) precedes an unbounded one (online paid against
+#: OPT = 0), and infeasible-oracle cells sort last.
+_KIND_RANK = {
+    RATIO_FINITE: 0,
+    RATIO_TRIVIAL: 1,
+    RATIO_UNBOUNDED: 2,
+    RATIO_NO_STATEMENT: 3,
+}
+
+
+def ratio_rank_key(verdict: RatioVerdict) -> tuple[int, float, int]:
+    """Total-order sort key for ranking :class:`RatioVerdict` s (best first).
+
+    A naive ``sort by value`` ranks a :data:`RATIO_TRIVIAL` cell (value
+    ``0.0``) above every genuinely certified finite ratio — a 0/0 cell
+    says nothing about competitiveness and must never outrank a
+    :data:`RATIO_FINITE` one.  The key therefore orders by verdict kind
+    first (finite < trivial < unbounded < no-statement), then within a
+    kind by the certified value and the online change count:
+
+    * finite — ``(0, value, online_changes)``: smaller certified ratio
+      wins, fewer online changes break ties;
+    * trivial — ``(1, 0.0, 0)``: all 0/0 cells tie;
+    * unbounded — ``(2, online_changes, 0)``: fewer uncompensated
+      changes rank better;
+    * no-statement — ``(3, 0.0, 0)``: last, nothing to compare.
+    """
+    rank = _KIND_RANK.get(verdict.kind)
+    if rank is None:
+        raise ConfigError(f"unknown ratio kind {verdict.kind!r}")
+    if verdict.kind == RATIO_FINITE:
+        return (0, verdict.value, verdict.online_changes)
+    if verdict.kind == RATIO_UNBOUNDED:
+        return (rank, float(verdict.online_changes), 0)
+    return (rank, 0.0, 0)
+
+
 @dataclass(frozen=True)
 class OracleResult:
     """Outcome of the offline change-count DP.

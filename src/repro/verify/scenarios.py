@@ -437,6 +437,46 @@ def _build_adv(seed: int, scale: float) -> list[CertificateReport]:
     return reports
 
 
+@_scenario("E-ARENA", "Arena epoch allocators: fairness certificates on grid cells")
+def _build_arena(seed: int, scale: float) -> list[CertificateReport]:
+    # Local import: the arena sits above the verify layer and must not
+    # load as a side effect of importing the scenarios.
+    from repro.arena import ARENA_OFFLINE, MIN_HORIZON, resolve_policy, traffic_seed
+    from repro.arena.catalog import resolve_traffic
+    from repro.verify.fairness import certify_max_min_trace, certify_tier_trace
+
+    k = 4
+    horizon = scaled(256, scale, minimum=MIN_HORIZON)
+    reports = []
+    for traffic in ("smooth", "bursty"):
+        sample = resolve_traffic(traffic).generate(
+            k, ARENA_OFFLINE, horizon, traffic_seed(traffic, seed)
+        )
+        for name in ("max-min", "priority-tier"):
+            policy = resolve_policy(name).build(k, ARENA_OFFLINE)
+            trace = run_multi_session(policy, sample.arrivals)
+            if name == "max-min":
+                report = certify_max_min_trace(
+                    trace,
+                    capacity=policy.capacity,
+                    period=policy.period,
+                    quantum=policy.quantum,
+                    label=f"E-ARENA max-min on {traffic}",
+                )
+            else:
+                report = certify_tier_trace(
+                    trace,
+                    capacity=policy.capacity,
+                    period=policy.period,
+                    quantum=policy.quantum,
+                    tiers=list(policy.tiers),
+                    floors=list(policy.floors),
+                    label=f"E-ARENA priority-tier on {traffic}",
+                )
+            reports.append(report)
+    return reports
+
+
 @_scenario("E-PRICE", "Pricing comparison's Figure 3 cell on a certified stream")
 def _build_price(seed: int, scale: float) -> list[CertificateReport]:
     return [_certified_fig3_run(seed, scale, "E-PRICE fig3 cell")]

@@ -1,0 +1,78 @@
+"""Arena cells: deterministic payloads, stalled shape, key sensitivity."""
+
+import pytest
+
+from repro.arena import Cell, cell_config, run_cell
+from repro.errors import ConfigError
+from repro.runner.cache import ContentCache, payload_digest
+
+
+class TestCellIdentity:
+    def test_name_encodes_all_axes(self):
+        assert Cell("max-min", "smooth", 0.4).name == "max-min/smooth/f0.4"
+        assert Cell("max-min", "smooth", 0.0).name == "max-min/smooth/f0"
+
+    def test_config_distinguishes_every_axis(self):
+        base = Cell("max-min", "smooth", 0.0)
+        variants = [
+            Cell("priority-tier", "smooth", 0.0),
+            Cell("max-min", "uniform", 0.0),
+            Cell("max-min", "smooth", 0.4),
+        ]
+        base_cfg = cell_config(base, k=4, horizon=128, seed=0, scale=1.0)
+        for other in variants:
+            assert cell_config(other, k=4, horizon=128, seed=0, scale=1.0) != base_cfg
+        for kwargs in (
+            dict(k=3, horizon=128, seed=0, scale=1.0),
+            dict(k=4, horizon=256, seed=0, scale=1.0),
+            dict(k=4, horizon=128, seed=1, scale=1.0),
+            dict(k=4, horizon=128, seed=0, scale=0.5),
+        ):
+            assert cell_config(base, **kwargs) != base_cfg
+
+    def test_cache_key_separates_cells(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        cfg = dict(cell_config(Cell("max-min", "smooth", 0.0), k=4, horizon=128, seed=0, scale=1.0))
+        key = cache.key("arena-cell", cfg)
+        other = dict(cfg, seed=1)
+        assert cache.key("arena-cell", other) != key
+
+
+class TestRunCell:
+    def test_deterministic_payload(self):
+        cell = Cell("max-min", "uniform", 0.0)
+        first = run_cell(cell, k=4, horizon=128, seed=3, scale=1.0)
+        second = run_cell(cell, k=4, horizon=128, seed=3, scale=1.0)
+        assert payload_digest(first) == payload_digest(second)
+
+    def test_payload_shape(self):
+        payload = run_cell(Cell("max-min", "smooth", 0.0), k=4, horizon=128, seed=0, scale=1.0)
+        assert payload["stalled"] is False
+        assert payload["policy"] == "max-min"
+        assert payload["changes"] >= 0
+        assert 0.0 <= payload["delivered_fraction"] <= 1.0 + 1e-9
+        assert payload["ratio"]["kind"] in {
+            "finite",
+            "trivial",
+            "unbounded",
+            "no-statement",
+        }
+        assert payload["fairness_certified"] is True
+
+    def test_fault_cells_skip_fairness_certificates(self):
+        payload = run_cell(Cell("max-min", "smooth", 0.4), k=4, horizon=128, seed=0, scale=1.0)
+        assert payload["fairness_certified"] is None
+
+    def test_stalled_cell_reports_instead_of_raising(self):
+        # phased + heavy faults is the known starvation case: the payload
+        # degrades to a stalled record, never an exception.
+        payload = run_cell(Cell("phased", "smooth", 0.4), k=4, horizon=256, seed=0, scale=1.0)
+        assert payload["stalled"] is True
+        assert payload["ratio"]["kind"] == "no-statement"
+        assert payload["max_delay"] == -1
+
+    def test_unknown_axes_rejected(self):
+        with pytest.raises(ConfigError):
+            run_cell(Cell("nope", "smooth", 0.0), k=4, horizon=128, seed=0, scale=1.0)
+        with pytest.raises(ConfigError):
+            run_cell(Cell("max-min", "nope", 0.0), k=4, horizon=128, seed=0, scale=1.0)

@@ -1,0 +1,84 @@
+"""The ``repro arena`` subcommand end to end: output modes, --out /
+--resume round-trips, and the --golden comparison gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+_FAST = ["--horizon", "128", "--progress", "off"]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
+def _arena(*extra):
+    return main(["arena", *_FAST, *extra])
+
+
+class TestArenaCli:
+    def test_table_output(self, capsys):
+        assert _arena("--cells", "max-min/uniform/f0") == 0
+        out = capsys.readouterr().out
+        assert "arena scorecard" in out
+        assert "max-min" in out
+        assert "1 computed" in out
+
+    def test_json_output_is_canonical(self, capsys):
+        assert _arena("--cells", "max-min/uniform/f0", "--json") == 0
+        text = capsys.readouterr().out
+        scorecard = json.loads(text)
+        assert json.dumps(scorecard, sort_keys=True, indent=2) + "\n" == text
+        assert scorecard["config"]["policies"] == ["max-min"]
+
+    def test_cells_flag_builds_covering_rectangle(self, capsys):
+        code = _arena(
+            "--cells", "max-min/uniform/f0", "equal-split/smooth/f0", "--json"
+        )
+        assert code == 0
+        scorecard = json.loads(capsys.readouterr().out)
+        assert len(scorecard["cells"]) == 4
+
+    def test_bad_cell_spec_is_rejected(self, capsys):
+        assert _arena("--cells", "max-min-uniform") == 2
+        assert "cell spec" in capsys.readouterr().err
+
+    def test_resume_requires_out(self, capsys):
+        assert _arena("--resume") == 2
+        assert "--resume needs --out" in capsys.readouterr().err
+
+    def test_out_and_resume_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        args = ("--cells", "max-min/uniform/f0", "--out", str(out), "--json")
+        assert _arena(*args) == 0
+        first = capsys.readouterr().out
+        assert (out / "scorecard.json").read_text() == first
+        assert (out / "journal.jsonl").exists()
+
+        assert _arena(*args, "--resume") == 0
+        assert capsys.readouterr().out == first
+        assert (out / "scorecard.json").read_text() == first
+
+    def test_golden_match_and_drift(self, tmp_path, capsys):
+        fixture = tmp_path / "golden.json"
+        assert _arena("--cells", "max-min/uniform/f0", "--json") == 0
+        fixture.write_text(capsys.readouterr().out)
+
+        assert _arena(
+            "--cells", "max-min/uniform/f0", "--golden", str(fixture)
+        ) == 0
+        assert "matches" in capsys.readouterr().err
+
+        code = _arena(
+            "--cells",
+            "max-min/uniform/f0",
+            "--seed",
+            "1",
+            "--golden",
+            str(fixture),
+        )
+        assert code == 1
+        assert "drifted" in capsys.readouterr().err

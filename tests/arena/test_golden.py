@@ -1,0 +1,63 @@
+"""Golden scorecard: the pinned fixture must regenerate byte-identically.
+
+The fixture under ``tests/arena/golden/`` is the tournament's regression
+anchor: any change to cell payloads, ranking rules, serialization, or
+the underlying allocators shows up as a byte diff here.  Regenerate with
+
+    PYTHONPATH=src python -m repro.cli arena \
+        --policies max-min priority-tier --traffic smooth uniform \
+        --faults 0 0.4 --horizon 128 --seed 0 --json
+
+after an *intentional* behavior change, and say why in the commit.
+"""
+
+import json
+from pathlib import Path
+
+from repro.arena import TournamentConfig, run_tournament, scorecard_json
+
+GOLDEN = Path(__file__).parent / "golden" / "scorecard.json"
+
+#: The exact grid the fixture pins (keep in sync with the module docstring
+#: and the CI arena-smoke job).
+GOLDEN_CONFIG = TournamentConfig(
+    policies=("max-min", "priority-tier"),
+    traffic=("smooth", "uniform"),
+    faults=(0.0, 0.4),
+    k=4,
+    horizon=128,
+    seed=0,
+)
+
+
+class TestGoldenScorecard:
+    def test_regenerates_byte_identically(self):
+        report = run_tournament(GOLDEN_CONFIG)
+        assert report.ok
+        assert scorecard_json(report.scorecard) == GOLDEN.read_text()
+
+    def test_fixture_is_canonical_json(self):
+        text = GOLDEN.read_text()
+        scorecard = json.loads(text)
+        assert json.dumps(scorecard, sort_keys=True, indent=2) + "\n" == text
+
+    def test_fixture_shape(self):
+        scorecard = json.loads(GOLDEN.read_text())
+        assert scorecard["schema"] == 1
+        assert len(scorecard["cells"]) == 8
+        assert scorecard["missing"] == []
+        assert [e["rank"] for e in scorecard["ranking"]] == [1, 2]
+        for row in scorecard["cells"]:
+            assert len(row["digest"]) == 64
+            assert row["ratio"]["kind"] in {
+                "finite",
+                "trivial",
+                "unbounded",
+                "no-statement",
+            }
+
+    def test_fault_free_cells_are_fairness_certified(self):
+        scorecard = json.loads(GOLDEN.read_text())
+        for row in scorecard["cells"]:
+            if row["fault"] == 0.0 and not row["stalled"]:
+                assert row["fairness_certified"] is True

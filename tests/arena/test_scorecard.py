@@ -1,0 +1,171 @@
+"""Scorecard ranking: degenerate verdicts never outrank substantive ones.
+
+The satellite-4 regression: a ``RATIO_TRIVIAL`` cell (0/0, value 0.0)
+naively sorts ahead of every finite ratio if you sort by value — the
+scorecard must rank by verdict class first.  Synthetic payloads pin the
+full FINITE < TRIVIAL < UNBOUNDED < NO_STATEMENT order for both the cell
+ordering and the policy ranking, plus the determinism and digest
+contracts of assembly.
+"""
+
+import math
+
+from repro.arena import Cell, build_scorecard, cell_rank_key, scorecard_json
+from repro.verify import classify_ratio, ratio_rank_key
+
+
+def _payload(
+    policy,
+    traffic="smooth",
+    fault=0.0,
+    *,
+    online,
+    opt,
+    changes=5,
+    mean_delay=1.0,
+):
+    return {
+        "schema": 1,
+        "policy": policy,
+        "traffic": traffic,
+        "fault": fault,
+        "stalled": False,
+        "slots": 128,
+        "changes": changes,
+        "mean_delay": mean_delay,
+        "max_delay": 4,
+        "delivered_fraction": 1.0,
+        "overflow_bits": 0.0,
+        "max_total_allocation": 16.0,
+        "dropped_bits": 0.0,
+        "ratio": {
+            "kind": classify_ratio(online, opt).kind,
+            "value": (online / opt) if opt else None,
+            "online_changes": online,
+            "opt_changes": opt,
+        },
+        "offline_changes_certificate": opt,
+        "fairness_certified": None,
+    }
+
+
+# One payload per verdict kind, each with metrics that would *win* every
+# naive tie-break (fewest changes / lowest delay on the degenerates).
+_FINITE = _payload("a", online=9, opt=3, changes=9, mean_delay=9.0)
+_TRIVIAL = _payload("b", online=0, opt=0, changes=0, mean_delay=0.0)
+_UNBOUNDED = _payload("c", online=1, opt=0, changes=1, mean_delay=0.0)
+_NO_STATEMENT = _payload("d", online=0, opt=None, changes=0, mean_delay=0.0)
+
+
+class TestRatioRankKey:
+    def test_kind_order_is_total(self):
+        keys = [
+            ratio_rank_key(classify_ratio(9, 3)),
+            ratio_rank_key(classify_ratio(0, 0)),
+            ratio_rank_key(classify_ratio(1, 0)),
+            ratio_rank_key(classify_ratio(0, None)),
+        ]
+        assert keys == sorted(keys)
+        assert len({k[0] for k in keys}) == 4
+
+    def test_huge_finite_still_beats_trivial(self):
+        huge = ratio_rank_key(classify_ratio(10**6, 1))
+        trivial = ratio_rank_key(classify_ratio(0, 0))
+        assert huge < trivial
+
+
+class TestCellRankKey:
+    def test_degenerates_never_outrank_finite(self):
+        ranked = sorted(
+            [_NO_STATEMENT, _TRIVIAL, _UNBOUNDED, _FINITE], key=cell_rank_key
+        )
+        assert [p["policy"] for p in ranked] == ["a", "b", "c", "d"]
+
+    def test_ties_break_on_changes_then_delay(self):
+        few = _payload("x", online=4, opt=2, changes=2, mean_delay=9.0)
+        many = _payload("y", online=4, opt=2, changes=7, mean_delay=0.0)
+        slow = _payload("z", online=4, opt=2, changes=2, mean_delay=99.0)
+        assert cell_rank_key(few) < cell_rank_key(many)
+        assert cell_rank_key(few) < cell_rank_key(slow)
+
+
+class TestBuildScorecard:
+    @staticmethod
+    def _build(payloads):
+        cells = [Cell(p["policy"], p["traffic"], p["fault"]) for p in payloads]
+        return build_scorecard(
+            cells,
+            {c.name: p for c, p in zip(cells, payloads)},
+            k=4,
+            horizon=128,
+            seed=0,
+            scale=1.0,
+        )
+
+    def test_cell_order_respects_verdict_classes(self):
+        scorecard = self._build([_TRIVIAL, _NO_STATEMENT, _FINITE, _UNBOUNDED])
+        assert scorecard["cell_order"] == [
+            "a/smooth/f0",
+            "b/smooth/f0",
+            "c/smooth/f0",
+            "d/smooth/f0",
+        ]
+
+    def test_policy_ranking_respects_worst_kind(self):
+        scorecard = self._build([_TRIVIAL, _NO_STATEMENT, _FINITE, _UNBOUNDED])
+        order = [(e["policy"], e["worst_kind"]) for e in scorecard["ranking"]]
+        assert order == [
+            ("a", "finite"),
+            ("b", "trivial"),
+            ("c", "unbounded"),
+            ("d", "no-statement"),
+        ]
+        assert [e["rank"] for e in scorecard["ranking"]] == [1, 2, 3, 4]
+
+    def test_policy_worst_cell_dominates(self):
+        # One unbounded cell drags a policy behind an all-finite rival,
+        # however good its other cells look.
+        good = _payload("steady", online=4, opt=2, changes=100, mean_delay=50.0)
+        mixed_fine = _payload("flashy", traffic="uniform", online=2, opt=2, changes=0, mean_delay=0.0)
+        mixed_bad = _payload("flashy", online=1, opt=0, changes=0, mean_delay=0.0)
+        scorecard = self._build([good, mixed_fine, mixed_bad])
+        assert [e["policy"] for e in scorecard["ranking"]] == ["steady", "flashy"]
+
+    def test_mean_finite_ratio_excludes_degenerates(self):
+        finite = _payload("p", online=6, opt=2)
+        trivial = _payload("p", traffic="uniform", online=0, opt=0)
+        scorecard = self._build([finite, trivial])
+        (entry,) = scorecard["ranking"]
+        assert entry["mean_finite_ratio"] == 3.0
+        assert math.isfinite(entry["mean_delay"])
+
+    def test_missing_cells_are_listed(self):
+        cells = [Cell("a", "smooth", 0.0), Cell("a", "uniform", 0.0)]
+        scorecard = build_scorecard(
+            cells,
+            {cells[0].name: _FINITE},
+            k=4,
+            horizon=128,
+            seed=0,
+            scale=1.0,
+        )
+        assert scorecard["missing"] == ["a/uniform/f0"]
+        assert len(scorecard["cells"]) == 1
+
+    def test_assembly_is_byte_deterministic(self):
+        payloads = [_FINITE, _TRIVIAL, _UNBOUNDED, _NO_STATEMENT]
+        first = scorecard_json(self._build(payloads))
+        second = scorecard_json(self._build(list(reversed(payloads))))
+        # Rows follow canonical cell order within `cells`, so the input
+        # ordering of the payload map must not leak into the bytes...
+        assert first.count('"digest"') == 4
+        # ...but the canonical cell list itself differs, so compare the
+        # identical-input case byte-for-byte.
+        assert first == scorecard_json(self._build(payloads))
+        assert second == scorecard_json(self._build(list(reversed(payloads))))
+
+    def test_rows_carry_certificate_digests(self):
+        scorecard = self._build([_FINITE, _TRIVIAL])
+        for row in scorecard["cells"]:
+            assert len(row["digest"]) == 64
+            assert set(row["digest"]) <= set("0123456789abcdef")

@@ -1,0 +1,100 @@
+"""Tournament determinism: jobs, cache temperature, and resume history
+must all be invisible in the scorecard bytes."""
+
+import pytest
+
+from repro.arena import TournamentConfig, run_tournament, scorecard_json
+from repro.errors import ConfigError
+from repro.runner import ContentCache, SweepJournal
+
+_SMALL = dict(
+    policies=("max-min", "equal-split"),
+    traffic=("uniform",),
+    faults=(0.0, 0.4),
+    k=4,
+    horizon=128,
+    seed=7,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            TournamentConfig(policies=())
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ConfigError, match="policies"):
+            TournamentConfig(policies=("nope",))
+        with pytest.raises(ConfigError, match="traffic"):
+            TournamentConfig(traffic=("nope",))
+
+    def test_rejects_small_horizon_and_k(self):
+        with pytest.raises(ConfigError, match="horizon"):
+            TournamentConfig(horizon=16)
+        with pytest.raises(ConfigError, match="k must"):
+            TournamentConfig(k=1)
+
+    def test_cells_are_policy_major(self):
+        config = TournamentConfig(**_SMALL)
+        names = [c.name for c in config.cells()]
+        assert names == [
+            "max-min/uniform/f0",
+            "max-min/uniform/f0.4",
+            "equal-split/uniform/f0",
+            "equal-split/uniform/f0.4",
+        ]
+
+
+class TestDeterminism:
+    def test_jobs_do_not_change_the_bytes(self):
+        serial = run_tournament(TournamentConfig(**_SMALL, jobs=1))
+        pooled = run_tournament(TournamentConfig(**_SMALL, jobs=4))
+        assert serial.ok and pooled.ok
+        assert scorecard_json(serial.scorecard) == scorecard_json(pooled.scorecard)
+
+    def test_cache_temperature_does_not_change_the_bytes(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        config = TournamentConfig(**_SMALL)
+        cold = run_tournament(config, cache=cache)
+        warm = run_tournament(config, cache=cache)
+        assert cold.computed == 4 and cold.from_cache == 0
+        assert warm.computed == 0 and warm.from_cache == 4
+        assert scorecard_json(cold.scorecard) == scorecard_json(warm.scorecard)
+
+    def test_journal_resume_does_not_change_the_bytes(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        config = TournamentConfig(**_SMALL)
+        journal = SweepJournal(path)
+        try:
+            fresh = run_tournament(config, journal=journal)
+        finally:
+            journal.close()
+        journal = SweepJournal(path)
+        try:
+            resumed = run_tournament(config, journal=journal)
+        finally:
+            journal.close()
+        assert fresh.computed == 4 and fresh.from_journal == 0
+        assert resumed.computed == 0 and resumed.from_journal == 4
+        assert scorecard_json(fresh.scorecard) == scorecard_json(resumed.scorecard)
+
+    def test_config_changes_invalidate_cache_keys(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        run_tournament(TournamentConfig(**_SMALL), cache=cache)
+        reseeded = run_tournament(
+            TournamentConfig(**{**_SMALL, "seed": 8}), cache=cache
+        )
+        assert reseeded.computed == 4 and reseeded.from_cache == 0
+
+
+class TestReport:
+    def test_every_cell_row_carries_a_digest(self):
+        report = run_tournament(TournamentConfig(**_SMALL))
+        assert report.ok
+        for row in report.scorecard["cells"]:
+            assert len(row["digest"]) == 64
+
+    def test_ranking_covers_every_policy(self):
+        report = run_tournament(TournamentConfig(**_SMALL))
+        ranked = {entry["policy"] for entry in report.scorecard["ranking"]}
+        assert ranked == {"max-min", "equal-split"}

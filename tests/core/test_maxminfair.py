@@ -1,0 +1,170 @@
+"""Max-min fair water-filling: kernel properties + allocator behavior.
+
+The kernel (`water_fill`) carries a four-part contract — feasibility,
+full utilization, max-min structure, exact permutation invariance — and
+the hypothesis suite here is its enforcement.  The allocator tests pin
+the epoch discipline on top: decisions only at boundaries, drain
+termination through dust-sized demands, change accounting that moves
+only when quantized demands move.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maxminfair import MaxMinFairAllocator, quantize_up, water_fill, water_level
+from repro.errors import ConfigError
+from repro.sim.engine import run_multi_session
+from tests.strategies import FUZZ_EXAMPLES, demand_vectors, seeds
+
+_SETTINGS = settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+
+_CAPACITIES = st.floats(min_value=0.0, max_value=128.0)
+_QUANTA = st.sampled_from([0.0, 0.25, 1.0, 3.0])
+
+
+class TestQuantizeUp:
+    def test_zero_and_negative_pass_through(self):
+        assert quantize_up(0.0, 1.0) == 0.0
+        assert quantize_up(-3.0, 1.0) == 0.0
+        assert quantize_up(-3.0, 0.0) == 0.0
+
+    def test_disabled_grid_is_identity(self):
+        assert quantize_up(1.37, 0.0) == 1.37
+        assert quantize_up(1.37, -1.0) == 1.37
+
+    def test_rounds_up_to_grid(self):
+        assert quantize_up(1.1, 0.5) == 1.5
+        assert quantize_up(2.0, 0.5) == 2.0
+
+    def test_dust_earns_a_full_quantum(self):
+        # Drain termination depends on this: any positive backlog demand
+        # must yield a positive allocation.
+        assert quantize_up(1e-15, 0.5) == 0.5
+
+    def test_on_grid_values_stay_put(self):
+        # m * quantum computed in floats must not round to m + 1 quanta.
+        for m in range(1, 200):
+            value = m * 0.1
+            assert quantize_up(value, 0.1) == pytest.approx(value, rel=1e-9)
+
+    @given(value=st.floats(min_value=0.0, max_value=1e6), quantum=_QUANTA)
+    @_SETTINGS
+    def test_never_below_value(self, value, quantum):
+        assert quantize_up(value, quantum) >= value * (1 - 1e-9)
+
+
+class TestWaterLevel:
+    def test_everything_fits(self):
+        assert water_level([1.0, 2.0], 10.0) == math.inf
+
+    def test_known_level(self):
+        # demands 1, 4, 5 under capacity 8: level = 3.5 (1 + 3.5 + 3.5).
+        assert water_level([1.0, 4.0, 5.0], 8.0) == pytest.approx(3.5)
+
+    def test_zero_capacity(self):
+        assert water_level([1.0, 2.0], 0.0) == 0.0
+
+
+class TestWaterFill:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigError, match="capacity"):
+            water_fill([1.0], -1.0)
+
+    def test_known_allocation(self):
+        assert water_fill([1.0, 4.0, 5.0], 8.0) == pytest.approx([1.0, 3.5, 3.5])
+
+    def test_empty_demands(self):
+        assert water_fill([], 8.0) == []
+
+    @given(demands=demand_vectors(), capacity=_CAPACITIES, quantum=_QUANTA)
+    @_SETTINGS
+    def test_feasible(self, demands, capacity, quantum):
+        alloc = water_fill(demands, capacity, quantum)
+        assert math.fsum(alloc) <= capacity * (1 + 1e-9) + 1e-9
+        for a, d in zip(alloc, demands):
+            assert 0.0 <= a <= quantize_up(d, quantum) + 1e-9
+
+    @given(demands=demand_vectors(), capacity=_CAPACITIES, quantum=_QUANTA)
+    @_SETTINGS
+    def test_fully_utilizing(self, demands, capacity, quantum):
+        # Pareto-unimprovability: capacity left over implies every session
+        # is already saturated at its quantized demand.
+        alloc = water_fill(demands, capacity, quantum)
+        slack = capacity - math.fsum(alloc)
+        if slack > 1e-9 * max(1.0, capacity):
+            for a, d in zip(alloc, demands):
+                assert a == quantize_up(d, quantum)
+
+    @given(demands=demand_vectors(), capacity=_CAPACITIES, quantum=_QUANTA)
+    @_SETTINGS
+    def test_max_min_structure(self, demands, capacity, quantum):
+        # All unsaturated sessions share one level; nobody sits above it.
+        alloc = water_fill(demands, capacity, quantum)
+        quantized = [quantize_up(d, quantum) for d in demands]
+        unsaturated = [a for a, d in zip(alloc, quantized) if a < d]
+        if unsaturated:
+            level = unsaturated[0]
+            assert all(a == level for a in unsaturated)
+            assert all(a <= level + 1e-12 for a in alloc)
+
+    @given(
+        demands=demand_vectors(),
+        capacity=_CAPACITIES,
+        quantum=_QUANTA,
+        seed=seeds,
+    )
+    @_SETTINGS
+    def test_permutation_invariance_exact(self, demands, capacity, quantum, seed):
+        # Bit-for-bit: the level comes from the sorted demands, so the
+        # allocation must permute exactly with the sessions.
+        order = np.random.default_rng(seed).permutation(len(demands))
+        alloc = water_fill(demands, capacity, quantum)
+        shuffled = water_fill([demands[i] for i in order], capacity, quantum)
+        assert shuffled == [alloc[i] for i in order]
+
+
+class TestMaxMinFairAllocator:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            MaxMinFairAllocator(4, capacity=0.0, period=8)
+        with pytest.raises(ConfigError):
+            MaxMinFairAllocator(4, capacity=8.0, period=0)
+        with pytest.raises(ConfigError, match="quantum"):
+            MaxMinFairAllocator(4, capacity=8.0, period=8, quantum=-1.0)
+
+    def test_allocations_only_move_at_epochs(self):
+        policy = MaxMinFairAllocator(3, capacity=9.0, period=4)
+        arrivals = np.random.default_rng(3).uniform(0, 2, size=(40, 3))
+        trace = run_multi_session(policy, arrivals, drain=False)
+        regular = trace.regular_allocation
+        for t in range(1, 40):
+            if t % 4 != 0:
+                np.testing.assert_array_equal(regular[t], regular[t - 1])
+
+    def test_equal_traffic_records_no_steady_state_changes(self):
+        # Constant identical arrivals: after the first epoch measures the
+        # steady demand, the quantized allocation never moves again.
+        policy = MaxMinFairAllocator(2, capacity=8.0, period=4)
+        arrivals = np.full((64, 2), 1.5)
+        trace = run_multi_session(policy, arrivals, drain=False)
+        changes_by_slot = sorted(c.t for _, _, c in trace.local_changes)
+        assert all(t <= 8 for t in changes_by_slot)
+
+    def test_drain_terminates_on_dust(self):
+        # A dust-sized backlog still earns one quantum per epoch.
+        policy = MaxMinFairAllocator(2, capacity=4.0, period=4)
+        arrivals = np.zeros((12, 2))
+        arrivals[0] = [1e-9, 3.0]
+        trace = run_multi_session(policy, arrivals)
+        assert float(trace.backlog[-1].sum()) == 0.0
+
+    def test_overload_splits_capacity_max_min(self):
+        policy = MaxMinFairAllocator(2, capacity=4.0, period=4, quantum=0.5)
+        arrivals = np.full((32, 2), 8.0)
+        trace = run_multi_session(policy, arrivals, drain=False)
+        # Steady state: both sessions pinned at capacity / 2.
+        np.testing.assert_allclose(trace.regular_allocation[-1], [2.0, 2.0])

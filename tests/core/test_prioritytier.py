@@ -1,0 +1,180 @@
+"""Priority tiers: kernel invariants + allocator configuration.
+
+`tier_allocate`'s contract: feasibility, floor preservation while
+capacity covers all floor claims, strict-priority residuals (a lower
+tier sees spare capacity only with every higher tier saturated).  The
+hypothesis suite drives those over random demand vectors and tier
+shapes drawn from :mod:`tests.strategies`.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maxminfair import quantize_up
+from repro.core.prioritytier import PriorityTierAllocator, tier_allocate
+from repro.errors import ConfigError
+from repro.sim.engine import run_multi_session
+from tests.strategies import FUZZ_EXAMPLES, demand_vectors, tier_configs
+
+_SETTINGS = settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+
+_CAPACITIES = st.floats(min_value=0.0, max_value=128.0)
+_QUANTA = st.sampled_from([0.0, 0.25, 1.0])
+
+
+@st.composite
+def _tier_cases(draw):
+    demands = draw(demand_vectors())
+    tiers, floors = draw(tier_configs(len(demands)))
+    capacity = draw(_CAPACITIES)
+    quantum = draw(_QUANTA)
+    return demands, tiers, floors, capacity, quantum
+
+
+class TestTierAllocateValidation:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigError, match="tiers"):
+            tier_allocate([1.0, 2.0], [0], [4.0], 8.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigError, match="capacity"):
+            tier_allocate([1.0], [0], [4.0], -1.0)
+
+    def test_rejects_empty_floors(self):
+        with pytest.raises(ConfigError, match="floors"):
+            tier_allocate([1.0], [0], [], 8.0)
+
+    def test_rejects_out_of_range_tier(self):
+        with pytest.raises(ConfigError, match="tier index"):
+            tier_allocate([1.0], [1], [4.0], 8.0)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ConfigError, match="floors"):
+            tier_allocate([1.0], [0], [-1.0], 8.0)
+        with pytest.raises(ConfigError, match="floors"):
+            tier_allocate([1.0], [0], [math.inf], 8.0)
+
+
+class TestTierAllocate:
+    def test_floors_granted_in_priority_order(self):
+        # Capacity 5 covers tier-0 floors (2 + 2) and half of tier 1's.
+        alloc = tier_allocate([4.0, 4.0, 4.0], [0, 0, 1], [2.0, 2.0], 5.0)
+        assert alloc[0] == alloc[1] == 2.0
+        assert alloc[2] == pytest.approx(1.0)
+
+    def test_residual_is_strict_priority(self):
+        # After floors (1 each), tier 0 absorbs all residual before tier 1
+        # sees any.
+        alloc = tier_allocate([10.0, 10.0], [0, 1], [1.0, 1.0], 8.0)
+        assert alloc[0] == pytest.approx(7.0)
+        assert alloc[1] == pytest.approx(1.0)
+
+    def test_saturated_high_tier_passes_residual_down(self):
+        alloc = tier_allocate([2.0, 10.0], [0, 1], [1.0, 1.0], 8.0)
+        assert alloc[0] == pytest.approx(2.0)
+        assert alloc[1] == pytest.approx(6.0)
+
+    @given(case=_tier_cases())
+    @_SETTINGS
+    def test_feasible(self, case):
+        demands, tiers, floors, capacity, quantum = case
+        alloc = tier_allocate(demands, tiers, floors, capacity, quantum)
+        assert math.fsum(alloc) <= capacity * (1 + 1e-9) + 1e-9
+        for a, d in zip(alloc, demands):
+            assert 0.0 <= a <= quantize_up(d, quantum) * (1 + 1e-12) + 1e-9
+
+    @given(case=_tier_cases())
+    @_SETTINGS
+    def test_floors_preserved_while_capacity_suffices(self, case):
+        demands, tiers, floors, capacity, quantum = case
+        quantized = [quantize_up(d, quantum) for d in demands]
+        claims = [min(q, floors[t]) for q, t in zip(quantized, tiers)]
+        if math.fsum(sorted(claims)) > capacity:
+            return
+        alloc = tier_allocate(demands, tiers, floors, capacity, quantum)
+        for a, claim in zip(alloc, claims):
+            assert a >= claim * (1 - 1e-12) - 1e-9
+
+    @given(case=_tier_cases())
+    @_SETTINGS
+    def test_residual_never_skips_an_unmet_tier(self, case):
+        demands, tiers, floors, capacity, quantum = case
+        quantized = [quantize_up(d, quantum) for d in demands]
+        claims = [min(q, floors[t]) for q, t in zip(quantized, tiers)]
+        alloc = tier_allocate(demands, tiers, floors, capacity, quantum)
+        tol = 1e-9 * max(1.0, capacity)
+        blocked = False
+        for tier in range(len(floors)):
+            members = [i for i in range(len(demands)) if tiers[i] == tier]
+            if blocked:
+                for i in members:
+                    assert alloc[i] <= claims[i] + tol
+            if any(alloc[i] < quantized[i] - tol for i in members):
+                blocked = True
+
+
+class TestPriorityTierAllocator:
+    def test_default_tiers_split_sessions(self):
+        policy = PriorityTierAllocator(5, capacity=10.0, period=4)
+        assert policy.tiers == [0, 0, 0, 1, 1]
+        assert len(policy.floors) == 2
+
+    def test_default_floors_always_satisfiable(self):
+        policy = PriorityTierAllocator(4, capacity=8.0, period=4)
+        assert math.fsum(policy.floors[t] for t in policy.tiers) <= 8.0
+
+    def test_bad_config_fails_at_construction(self):
+        with pytest.raises(ConfigError, match="tier index"):
+            PriorityTierAllocator(
+                2, capacity=8.0, period=4, tiers=[0, 5], floors=[1.0]
+            )
+        with pytest.raises(ConfigError, match="floors"):
+            PriorityTierAllocator(
+                2, capacity=8.0, period=4, tiers=[0, 1], floors=[1.0, -2.0]
+            )
+        with pytest.raises(ConfigError, match="quantum"):
+            PriorityTierAllocator(2, capacity=8.0, period=4, quantum=-0.5)
+
+    def test_high_tier_starves_low_tier_under_overload(self):
+        policy = PriorityTierAllocator(
+            2,
+            capacity=4.0,
+            period=4,
+            tiers=[0, 1],
+            floors=[1.0, 1.0],
+            quantum=0.5,
+        )
+        arrivals = np.full((32, 2), 8.0)
+        trace = run_multi_session(policy, arrivals, drain=False)
+        # Steady state: tier 0 takes floor + all residual, tier 1 only its
+        # floor.
+        assert trace.regular_allocation[-1][0] == pytest.approx(3.0)
+        assert trace.regular_allocation[-1][1] == pytest.approx(1.0)
+
+    def test_never_below_floor_when_capacity_suffices(self):
+        # The floor invariant is stated against the per-epoch measured
+        # demands — exactly what the trace certificate replays.
+        from repro.verify.fairness import certify_tier_trace
+
+        policy = PriorityTierAllocator(
+            4, capacity=16.0, period=4, tiers=[0, 0, 1, 1], floors=[2.0, 2.0]
+        )
+        arrivals = np.random.default_rng(11).uniform(0, 6, size=(64, 4))
+        trace = run_multi_session(policy, arrivals)
+        report = certify_tier_trace(
+            trace,
+            capacity=policy.capacity,
+            period=policy.period,
+            quantum=policy.quantum,
+            tiers=policy.tiers,
+            floors=policy.floors,
+        )
+        assert report.certified, report.render()
+        floors = next(
+            c for c in report.checks if c.name == "tier-floors"
+        )
+        assert floors.passed is True

@@ -120,6 +120,44 @@ def fault_plans(draw, horizon: int = 300):
 
 
 @st.composite
+def demand_vectors(draw, max_k: int = 8, max_demand: float = 64.0):
+    """Per-session demand vectors for the water-filling kernels.
+
+    Mixes zeros, tiny dust values, and round numbers — the cases where
+    quantization and level computation earn their keep.
+    """
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    element = st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-9, max_value=1e-3),
+        st.floats(min_value=0.0, max_value=max_demand),
+        st.integers(min_value=0, max_value=int(max_demand)).map(float),
+    )
+    return draw(st.lists(element, min_size=k, max_size=k))
+
+
+@st.composite
+def tier_configs(draw, k: int):
+    """A ``(tiers, floors)`` pair for ``k`` sessions.
+
+    Tier labels are drawn per session and then compacted so every tier
+    in ``range(n_tiers)`` is inhabited (the allocator's contract).
+    """
+    raw = draw(st.lists(st.integers(min_value=0, max_value=3), min_size=k, max_size=k))
+    labels = {label: rank for rank, label in enumerate(sorted(set(raw)))}
+    tiers = [labels[label] for label in raw]
+    n_tiers = len(labels)
+    floors = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=16.0),
+            min_size=n_tiers,
+            max_size=n_tiers,
+        )
+    )
+    return tiers, floors
+
+
+@st.composite
 def integer_histograms(draw, max_delay: int = 40):
     """Delay histograms with integer bit masses.
 

@@ -32,6 +32,7 @@ from repro.analysis.competitive import bracket
 from repro.core.offline import stage_lower_bound
 from repro.core.offline_multi import multi_stage_lower_bound
 from repro.errors import ConfigError
+from repro.obs.runtime import get_telemetry
 from repro.params import OfflineConstraints
 from repro.runner.cache import get_cache
 from repro.verify.differential import certified_attack_run, certified_multi_run
@@ -397,6 +398,16 @@ def hill_climb(
                 "best_ratio": top[0][1].ratio,
             }
         )
+        # Per-iteration progress for the live observatory (`--serve`):
+        # strictly observational, the search trajectory never reads it.
+        tele = get_telemetry()
+        if tele.enabled:
+            registry = tele.registry
+            registry.counter("adversary.evaluations").inc()
+            if replayed:
+                registry.counter("adversary.replayed").inc()
+            registry.gauge("adversary.last_ratio").set(score.ratio)
+            registry.gauge("adversary.best_ratio").set(top[0][1].ratio)
         if tracker is not None:
             tracker.job_done(
                 f"{key} {candidate.family} ratio={score.ratio:.2f} "

@@ -18,6 +18,7 @@ from repro.arena.catalog import FAULTS, MIN_HORIZON, POLICIES, TRAFFIC
 from repro.arena.cells import Cell, cell_config, run_cell
 from repro.arena.scorecard import build_scorecard
 from repro.errors import ConfigError
+from repro.obs.runtime import count as obs_count, get_telemetry
 from repro.runner import (
     DEFAULT_POLICY,
     ContentCache,
@@ -139,18 +140,26 @@ def run_tournament(
     payloads: dict[str, dict] = {}
     pending: list[tuple[Cell, str]] = []
 
+    # Per-cell progress on the live telemetry plane (observational only:
+    # the scorecard bytes never depend on these).
+    tele = get_telemetry()
+    if tele.enabled:
+        tele.registry.gauge("arena.cells.total").set(float(len(cells)))
+
     for cell in cells:
         key = config.cell_key(cell)
         payload = journal.get(key) if journal is not None else None
         if payload is not None:
             payloads[cell.name] = payload
             report.from_journal += 1
+            obs_count("arena.cells.journal")
             continue
         if cache is not None:
             payload = cache.load_json(_SECTION, key)
             if payload is not None:
                 payloads[cell.name] = payload
                 report.from_cache += 1
+                obs_count("arena.cells.cached")
                 if journal is not None:
                     journal.record(key, payload)
                 continue
@@ -173,9 +182,10 @@ def run_tournament(
             )
             payloads[cell.name] = payload
             report.computed += 1
+            obs_count("arena.cells.completed")
             store(key, payload)
             if tracker is not None:
-                tracker.job_done(cell.name, slots=None)
+                tracker.job_done(cell.name, slots=float(config.horizon))
     elif pending:
         jobs = [
             Job(
@@ -207,6 +217,7 @@ def run_tournament(
             )
 
         def on_success(job: Job, payload: dict) -> None:
+            obs_count("arena.cells.completed")
             store(job.key, payload)
 
         results, failed, _stats = run_resilient(

@@ -22,6 +22,9 @@ Subcommands:
 * ``verify`` — certify theorem bounds (Claim 2, Lemma 3, Corollary 4,
   Lemma 5, Lemmas 10/16) on experiment scenarios or saved traces via the
   engine-independent certificate checker (see :mod:`repro.cli_verify`).
+* ``watch`` — live TTY dashboard over a run started with ``--serve``
+  (``report`` / ``arena`` / ``attack``), polling its telemetry server
+  (see :mod:`repro.cli_watch`).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.cli_report import add_report_parser, run_report
 from repro.cli_simulate import add_simulate_parser, run_simulate
 from repro.cli_trace import add_trace_parser, run_trace
 from repro.cli_verify import add_verify_parser, run_verify
+from repro.cli_watch import add_watch_parser, run_watch
 from repro.experiments import registry
 from repro.obs import export_run, telemetry_session
 from repro.version import __version__
@@ -91,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_verify_parser(sub)
     add_attack_parser(sub)
     add_arena_parser(sub)
+    add_watch_parser(sub)
     return parser
 
 
@@ -118,6 +123,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_attack(args)
     if args.command == "arena":
         return run_arena(args)
+    if args.command == "watch":
+        return run_watch(args)
 
     ids = registry.all_ids() if args.ids == ["all"] else args.ids
     blocks: list[str] = []

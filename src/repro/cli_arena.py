@@ -27,6 +27,7 @@ from repro.arena import (
     run_tournament,
     scorecard_json,
 )
+from repro.obs.live import serve_session
 from repro.obs.progress import ProgressTracker, progress_sink
 from repro.runner import SweepJournal, get_cache
 
@@ -119,6 +120,15 @@ def add_arena_parser(sub: argparse._SubParsersAction) -> None:
         default="auto",
         help="live cell progress on stderr (default auto)",
     )
+    parser.add_argument(
+        "--serve",
+        type=str,
+        default=None,
+        metavar="[HOST:]PORT",
+        help="expose live telemetry over HTTP while the tournament runs "
+        "(0 = ephemeral port, URL printed to stderr; attach with "
+        "'repro watch')",
+    )
 
 
 def _parse_cells(specs: list[str]) -> tuple[tuple, tuple, tuple]:
@@ -186,18 +196,25 @@ def run_arena(args) -> int:
             journal = SweepJournal(out / "journal.jsonl")
 
     sink = progress_sink(args.progress)
-    tracker = (
-        ProgressTracker(len(config.cells()), sink) if sink is not None else None
-    )
     try:
-        if tracker is not None:
-            tracker.start()
-        report = run_tournament(
-            config, cache=get_cache(), journal=journal, tracker=tracker
-        )
+        with serve_session(getattr(args, "serve", None), label="arena") as obs:
+            if obs is not None:
+                sink = obs.progress_tee(sink)
+            tracker = (
+                ProgressTracker(len(config.cells()), sink)
+                if sink is not None
+                else None
+            )
+            try:
+                if tracker is not None:
+                    tracker.start()
+                report = run_tournament(
+                    config, cache=get_cache(), journal=journal, tracker=tracker
+                )
+            finally:
+                if tracker is not None:
+                    tracker.finish()
     finally:
-        if tracker is not None:
-            tracker.finish()
         if journal is not None:
             journal.close()
 

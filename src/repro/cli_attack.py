@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.adversary.campaign import ALGORITHMS, CampaignConfig, run_campaign
 from repro.adversary.corpus import load_corpus, replay_entry, save_corpus
+from repro.obs.live import serve_session
 from repro.obs.progress import ProgressTracker, progress_sink
 from repro.runner.resilience import SweepJournal
 
@@ -101,6 +102,15 @@ def add_attack_parser(sub: argparse._SubParsersAction) -> None:
         metavar="PATH",
         help="also write the full campaign result as JSON",
     )
+    parser.add_argument(
+        "--serve",
+        type=str,
+        default=None,
+        metavar="[HOST:]PORT",
+        help="expose live telemetry over HTTP while the campaign runs "
+        "(0 = ephemeral port, URL printed to stderr; attach with "
+        "'repro watch')",
+    )
 
 
 def _replay_corpus(directory: str) -> int:
@@ -150,14 +160,23 @@ def run_attack(args) -> int:
             journal = SweepJournal(out / "journal.jsonl")
 
     sink = progress_sink(args.progress)
-    tracker = ProgressTracker(config.budget, sink) if sink is not None else None
     try:
-        if tracker is not None:
-            tracker.start()
-        result = run_campaign(config, journal=journal, tracker=tracker)
+        with serve_session(getattr(args, "serve", None), label="attack") as obs:
+            if obs is not None:
+                sink = obs.progress_tee(sink)
+            tracker = (
+                ProgressTracker(config.budget, sink)
+                if sink is not None
+                else None
+            )
+            try:
+                if tracker is not None:
+                    tracker.start()
+                result = run_campaign(config, journal=journal, tracker=tracker)
+            finally:
+                if tracker is not None:
+                    tracker.finish()
     finally:
-        if tracker is not None:
-            tracker.finish()
         if journal is not None:
             journal.close()
 

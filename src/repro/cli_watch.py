@@ -1,0 +1,195 @@
+"""The ``watch`` subcommand: attach a dashboard to a serving run.
+
+``repro watch 127.0.0.1:8787`` polls a live observatory started with
+``--serve`` on ``report`` / ``arena`` / ``attack`` and renders a
+refreshing TTY dashboard: the run's health line, the latest progress
+event through the same :class:`~repro.obs.progress.TtyProgress`
+formatter the runs use locally, and a sparkline per sampled time
+series.  ``--json`` emits one JSON object per poll instead (pipeable),
+``--once`` polls a single time and exits — the pair is what the CI
+``live-smoke`` job scrapes.  The watcher is read-only: it never changes
+anything about the run it observes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.progress import ProgressEvent, TtyProgress, sparkline
+
+#: Give up after this many consecutive failed polls (server gone).
+MAX_CONSECUTIVE_FAILURES = 3
+
+#: Per-request socket timeout; a watcher must never hang on a dead peer.
+REQUEST_TIMEOUT_S = 2.0
+
+
+def add_watch_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``watch`` subcommand."""
+    parser = sub.add_parser(
+        "watch",
+        help="live TTY dashboard for a run serving telemetry (--serve)",
+    )
+    parser.add_argument(
+        "url",
+        type=str,
+        help="the serving run's address: HOST:PORT or a full http:// URL "
+        "(printed to stderr by --serve)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between polls (default 1.0)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="poll a single time and exit (non-zero if unreachable)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per poll instead of the dashboard",
+    )
+    parser.add_argument(
+        "--series",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max time series shown in the dashboard (default 8)",
+    )
+    parser.add_argument(
+        "--width",
+        type=int,
+        default=32,
+        metavar="COLS",
+        help="sparkline width in characters (default 32)",
+    )
+
+
+def normalize_url(spec: str) -> str:
+    """A ``watch`` target as a base URL (no trailing slash)."""
+    spec = (spec or "").strip().rstrip("/")
+    if not spec.startswith(("http://", "https://")):
+        spec = "http://" + spec
+    return spec
+
+
+def _fetch_json(base: str, path: str) -> dict | None:
+    """One endpoint's JSON, or None when unreachable/invalid."""
+    try:
+        with urllib.request.urlopen(
+            base + path, timeout=REQUEST_TIMEOUT_S
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def poll(base: str) -> dict | None:
+    """One observation of a serving run, or None when unreachable.
+
+    ``/health`` decides reachability; ``/progress`` and ``/series`` are
+    best-effort extras (a run may not have published progress yet).
+    """
+    health = _fetch_json(base, "/health")
+    if health is None:
+        return None
+    return {
+        "url": base,
+        "health": health,
+        "progress": _fetch_json(base, "/progress"),
+        "series": (_fetch_json(base, "/series") or {}).get("series", {}),
+    }
+
+
+def _series_values(entry: dict) -> list[float]:
+    points = entry.get("points") or []
+    return [p[1] for p in points if isinstance(p, (list, tuple)) and len(p) == 2]
+
+
+def _ordered_names(series: dict) -> list[str]:
+    """Series names with the derived throughput line pinned first."""
+    names = sorted(series)
+    if "slots_per_sec" in names:
+        names.remove("slots_per_sec")
+        names.insert(0, "slots_per_sec")
+    return names
+
+
+def render_dashboard(observation: dict, max_series: int, width: int) -> str:
+    """The full dashboard text for one observation (no terminal control)."""
+    health = observation.get("health") or {}
+    sampler = health.get("sampler") or {}
+    lines = [
+        "repro watch — {url}  [{status}] label={label} uptime={uptime:.1f}s "
+        "ticks={ticks}".format(
+            url=observation.get("url", ""),
+            status=health.get("status", "?"),
+            label=health.get("label") or "-",
+            uptime=float(health.get("uptime_s", 0.0) or 0.0),
+            ticks=sampler.get("ticks", 0),
+        )
+    ]
+    progress = observation.get("progress")
+    if progress:
+        event = ProgressEvent.from_dict(progress)
+        lines.append(TtyProgress(width=120).format(event))
+    else:
+        lines.append("(no progress published yet)")
+    series = observation.get("series") or {}
+    names = _ordered_names(series)
+    shown = names[: max(0, max_series)]
+    label_width = max((len(name) for name in shown), default=0)
+    for name in shown:
+        values = _series_values(series[name])
+        latest = values[-1] if values else 0.0
+        lines.append(
+            f"{name:<{label_width}} {sparkline(values, width):<{width}} "
+            f"{latest:g}"
+        )
+    if len(names) > len(shown):
+        lines.append(f"(+{len(names) - len(shown)} more series; --series N)")
+    return "\n".join(lines)
+
+
+def run_watch(args) -> int:
+    base = normalize_url(args.url)
+    interval = max(0.05, float(args.interval))
+    failures = 0
+    is_tty = sys.stdout.isatty()
+    try:
+        while True:
+            observation = poll(base)
+            if observation is None:
+                failures += 1
+                if args.once or failures >= MAX_CONSECUTIVE_FAILURES:
+                    print(f"unreachable: {base}", file=sys.stderr)
+                    return 1
+                time.sleep(interval)
+                continue
+            failures = 0
+            if args.json:
+                print(json.dumps(observation, sort_keys=True), flush=True)
+            else:
+                text = render_dashboard(observation, args.series, args.width)
+                if is_tty and not args.once:
+                    # Clear and repaint: a refreshing pane, not a scroll.
+                    sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+                    sys.stdout.flush()
+                else:
+                    print(text, flush=True)
+            if args.once:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        if not args.json and is_tty:
+            print()
+        return 130

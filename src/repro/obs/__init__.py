@@ -36,6 +36,13 @@ from repro.obs.history import (
     record_from_bench_obs,
     record_from_manifest,
 )
+from repro.obs.live import (
+    LiveObservatory,
+    TelemetryServer,
+    parse_serve,
+    serve_session,
+    start_observatory,
+)
 from repro.obs.manifest import (
     RunManifest,
     build_manifest,
@@ -54,6 +61,7 @@ from repro.obs.progress import (
     TtyProgress,
     progress_sink,
     snapshot_slots,
+    sparkline,
 )
 from repro.obs.registry import (
     Counter,
@@ -72,6 +80,7 @@ from repro.obs.runtime import (
     set_telemetry,
     telemetry_session,
 )
+from repro.obs.series import Sampler, Series, SeriesStore
 from repro.obs.tracing import (
     NullTracer,
     Span,
@@ -90,6 +99,7 @@ __all__ = [
     "HistoryRecord",
     "HistoryStore",
     "JsonlProgress",
+    "LiveObservatory",
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
@@ -98,8 +108,12 @@ __all__ = [
     "ProgressEvent",
     "ProgressTracker",
     "RunManifest",
+    "Sampler",
+    "Series",
+    "SeriesStore",
     "Span",
     "Telemetry",
+    "TelemetryServer",
     "Tracer",
     "TtyProgress",
     "bucket_percentile",
@@ -122,13 +136,17 @@ __all__ = [
     "observe",
     "openmetrics_name",
     "parse_openmetrics",
+    "parse_serve",
     "progress_sink",
     "record_from_bench_obs",
     "record_from_manifest",
     "render_openmetrics",
+    "serve_session",
     "set_telemetry",
     "snapshot_slots",
     "spans_to_trace_events",
+    "sparkline",
+    "start_observatory",
     "telemetry_session",
     "write_manifest",
 ]

@@ -49,12 +49,23 @@ def openmetrics_name(name: str, prefix: str = OPENMETRICS_PREFIX) -> str:
 
 
 def _fmt(value: float) -> str:
-    """OpenMetrics-safe number formatting (no trailing junk, inf spelled)."""
+    """OpenMetrics-safe number formatting (no trailing junk, inf spelled).
+
+    ``NaN`` is the spelling the OpenMetrics ABNF allows (``nan`` is not).
+    ``%g`` keeps the compact form for the common case (integral counter
+    totals render as ``5``), but silently truncates to 6 significant
+    digits — so when that loses information the full ``repr`` (shortest
+    exact round-trip) is emitted instead, keeping
+    ``float(rendered) == value`` for every finite float.
+    """
+    if value != value:
+        return "NaN"
     if value == math.inf:
         return "+Inf"
     if value == -math.inf:
         return "-Inf"
-    return f"{value:g}"
+    text = f"{value:g}"
+    return text if float(text) == value else repr(value)
 
 
 def render_openmetrics(snapshot: dict, prefix: str = OPENMETRICS_PREFIX) -> str:

@@ -1,0 +1,368 @@
+"""The live observability plane: an in-process HTTP telemetry server.
+
+Everything else in :mod:`repro.obs` is post-hoc — you learn what a run
+did after it exits.  :class:`TelemetryServer` inverts that: a stdlib
+``ThreadingHTTPServer`` (zero new dependencies) answering, *while the
+run is still going*:
+
+* ``GET /metrics`` — the live registry snapshot as OpenMetrics text
+  (:func:`~repro.obs.export.render_openmetrics`), scrapeable by
+  Prometheus or ``repro watch``;
+* ``GET /health`` — liveness JSON (label, uptime, sampler tick counts);
+* ``GET /progress`` — the latest :class:`~repro.obs.progress
+  .ProgressEvent` as JSON (completed/total, slots/sec, ETA);
+* ``GET /series`` — the sampler's bounded ring-buffer time series as
+  JSON (``?name=a&name=b`` filters, ``?last=N`` tails).
+
+:class:`LiveObservatory` bundles the server with a
+:class:`~repro.obs.series.Sampler` and a progress-sink tee — what the
+CLI ``--serve HOST:PORT`` flags attach around ``report`` / ``arena`` /
+``attack``.  The plane is strictly observational: it only *reads* the
+registry (snapshots serialize against worker-shard merges, see the
+registry's thread-safety contract), so run outputs are byte-identical
+with a server attached or not — including in telemetry-off mode, where
+the shared :class:`~repro.obs.registry.NullRegistry` simply serves an
+empty exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ConfigError
+from repro.obs.export import render_openmetrics
+from repro.obs.runtime import get_telemetry, telemetry_session
+from repro.obs.series import Sampler, SeriesStore
+
+#: Content type of the /metrics exposition.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Host used when a ``--serve`` spec omits one (loopback only — the
+#: observatory is an operator tool, not a public endpoint).
+DEFAULT_HOST = "127.0.0.1"
+
+
+def parse_serve(spec: str) -> tuple[str, int]:
+    """A ``--serve`` spec as ``(host, port)``.
+
+    Accepts ``PORT``, ``:PORT``, and ``HOST:PORT``; port 0 binds an
+    ephemeral port (the chosen one is printed / exposed via ``.port``).
+    """
+    spec = (spec or "").strip()
+    host, _, port_text = spec.rpartition(":")
+    if not host:
+        host = DEFAULT_HOST
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(
+            f"--serve expects PORT, :PORT, or HOST:PORT, got {spec!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ConfigError(f"--serve port must be in [0, 65535], got {port}")
+    return host, port
+
+
+class TelemetryServer:
+    """A threaded HTTP server over a live registry (+ optional series).
+
+    Args:
+        registry: any registry with a ``snapshot()`` method (the live
+            :class:`~repro.obs.registry.MetricsRegistry`, or the shared
+            no-op registry when telemetry is off).
+        store: the :class:`~repro.obs.series.SeriesStore` behind
+            ``GET /series`` (empty response when omitted).
+        sampler: exposes tick counts in ``/health`` (optional).
+        host, port: bind address; port 0 picks an ephemeral port.
+        label: free-form run label echoed by ``/health``.
+
+    Request handling runs on daemon threads; every handler only reads
+    shared state, so a scrape can never perturb the run it watches.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        *,
+        store: SeriesStore | None = None,
+        sampler: Sampler | None = None,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        label: str = "",
+    ):
+        self.registry = (
+            registry if registry is not None else get_telemetry().registry
+        )
+        self.sampler = sampler
+        self.store = store if store is not None else (
+            sampler.store if sampler is not None else None
+        )
+        self.label = label
+        self._started = time.monotonic()
+        self._progress_lock = threading.Lock()
+        self._latest_progress: dict | None = None
+        self._thread: threading.Thread | None = None
+
+        server = self  # captured by the handler class below
+
+        class _Handler(BaseHTTPRequestHandler):
+            # The observatory must never spam the run's stderr.
+            def log_message(self, fmt, *args):  # noqa: A003
+                pass
+
+            def do_GET(self):  # noqa: N802 (http.server API)
+                try:
+                    server._respond(self)
+                except BrokenPipeError:  # client went away mid-write
+                    pass
+                except Exception as exc:
+                    try:
+                        server._send(
+                            self, 500, "application/json",
+                            json.dumps({"error": repr(exc)}) + "\n",
+                        )
+                    except Exception:
+                        pass
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+
+    # -- request plumbing --------------------------------------------------
+
+    @staticmethod
+    def _send(handler, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(payload)))
+        handler.end_headers()
+        handler.wfile.write(payload)
+
+    def _respond(self, handler) -> None:
+        parsed = urlparse(handler.path)
+        path = parsed.path.rstrip("/") or "/"
+        if path == "/metrics":
+            text = render_openmetrics(self.registry.snapshot())
+            self._send(handler, 200, OPENMETRICS_CONTENT_TYPE, text)
+        elif path == "/health":
+            self._send(
+                handler, 200, "application/json",
+                json.dumps(self.health(), sort_keys=True) + "\n",
+            )
+        elif path == "/progress":
+            with self._progress_lock:
+                event = dict(self._latest_progress or {})
+            self._send(
+                handler, 200, "application/json",
+                json.dumps(event, sort_keys=True) + "\n",
+            )
+        elif path == "/series":
+            query = parse_qs(parsed.query)
+            names = query.get("name") or None
+            last = None
+            if "last" in query:
+                try:
+                    last = max(0, int(query["last"][0]))
+                except ValueError:
+                    last = None
+            doc = (
+                self.store.as_dict(names=names, last=last)
+                if self.store is not None
+                else {"series": {}}
+            )
+            self._send(
+                handler, 200, "application/json",
+                json.dumps(doc, sort_keys=True) + "\n",
+            )
+        else:
+            self._send(
+                handler, 404, "application/json",
+                json.dumps({
+                    "error": f"unknown path {path!r}",
+                    "paths": ["/metrics", "/health", "/progress", "/series"],
+                }) + "\n",
+            )
+
+    # -- the shared state the endpoints read -------------------------------
+
+    def health(self) -> dict:
+        doc = {
+            "status": "ok",
+            "label": self.label,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "telemetry_enabled": bool(getattr(self.registry, "enabled", False)),
+        }
+        if self.sampler is not None:
+            doc["sampler"] = {
+                "interval_s": self.sampler.interval_s,
+                "ticks": self.sampler.ticks,
+                "skipped": self.sampler.skipped,
+            }
+        return doc
+
+    def publish_progress(self, event) -> None:
+        """Record the latest progress event (accepts events or dicts)."""
+        doc = event.as_dict() if hasattr(event, "as_dict") else dict(event)
+        with self._progress_lock:
+            self._latest_progress = doc
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-telemetry-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down; safe to call twice."""
+        thread = self._thread
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=2.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class LiveObservatory:
+    """Sampler + server + progress tee, bundled for one run.
+
+    What ``--serve`` attaches: starts a :class:`~repro.obs.series
+    .Sampler` over ``registry`` and a :class:`TelemetryServer` exposing
+    its store.  :meth:`progress_tee` wraps an existing progress sink so
+    every event also lands on ``GET /progress``.  Purely observational —
+    attach/detach never changes run outputs.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        interval_s: float | None = None,
+        label: str = "",
+    ):
+        self.registry = (
+            registry if registry is not None else get_telemetry().registry
+        )
+        kwargs = {} if interval_s is None else {"interval_s": interval_s}
+        self.sampler = Sampler(self.registry, **kwargs)
+        self.server = TelemetryServer(
+            self.registry,
+            sampler=self.sampler,
+            host=host,
+            port=port,
+            label=label,
+        )
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def start(self) -> "LiveObservatory":
+        self.sampler.start()
+        self.server.start()
+        return self
+
+    def stop(self) -> None:
+        self.sampler.stop()
+        self.server.stop()
+
+    def progress_tee(self, sink):
+        """A sink forwarding to the server *and* ``sink`` (which may be None)."""
+        publish = self.server.publish_progress
+
+        def tee(event):
+            try:
+                publish(event)
+            except Exception:
+                pass  # the observatory must never fail the run
+            if sink is not None:
+                sink(event)
+
+        return tee
+
+    def __enter__(self) -> "LiveObservatory":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def start_observatory(
+    spec: str, registry=None, label: str = "", interval_s: float | None = None
+) -> LiveObservatory:
+    """Parse a ``--serve`` spec, start the observatory, return it."""
+    host, port = parse_serve(spec)
+    return LiveObservatory(
+        registry, host=host, port=port, interval_s=interval_s, label=label
+    ).start()
+
+
+@contextmanager
+def serve_session(
+    spec: str | None,
+    label: str = "",
+    interval_s: float | None = None,
+    stream=None,
+):
+    """What CLI ``--serve`` flags wrap the run in.
+
+    Yields ``None`` (and does nothing) when ``spec`` is None, so call
+    sites can use one ``with`` block unconditionally.  Otherwise enables
+    a telemetry session for the duration — unless one is already active,
+    in which case the existing registry is served — starts the
+    observatory, announces its URL on ``stream`` (stderr by default, so
+    scripts scraping stdout are unaffected), and tears everything down
+    when the run exits.  The run's outputs stay byte-identical either
+    way: telemetry and the observatory are strictly observational.
+    """
+    if spec is None:
+        yield None
+        return
+    tele = get_telemetry()
+    context = nullcontext(tele) if tele.enabled else telemetry_session()
+    with context as active:
+        observatory = start_observatory(
+            spec, active.registry, label=label, interval_s=interval_s
+        )
+        print(
+            f"serving telemetry at {observatory.url}",
+            file=stream if stream is not None else sys.stderr,
+            flush=True,
+        )
+        try:
+            yield observatory
+        finally:
+            observatory.stop()

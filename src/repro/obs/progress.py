@@ -64,6 +64,29 @@ class ProgressEvent:
             "failures": self.failures,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProgressEvent":
+        """Rebuild an event from :meth:`as_dict` output (tolerant).
+
+        Used by ``repro watch`` to re-render events scraped from a live
+        server's ``GET /progress`` with the same TTY machinery; unknown
+        keys are ignored, missing ones default.
+        """
+        eta = payload.get("eta_s")
+        return cls(
+            kind=str(payload.get("kind", "heartbeat")),
+            completed=int(payload.get("completed", 0)),
+            total=int(payload.get("total", 0)),
+            label=str(payload.get("label", "")),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            slots=float(payload.get("slots", 0.0)),
+            slots_per_sec=float(payload.get("slots_per_sec", 0.0)),
+            eta_s=None if eta is None else float(eta),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            retries=int(payload.get("retries", 0)),
+            failures=int(payload.get("failures", 0)),
+        )
+
 
 def snapshot_slots(snapshot: dict | None) -> float:
     """Processed slots recorded in a worker's metrics snapshot (or 0)."""
@@ -104,6 +127,7 @@ class ProgressTracker:
         self.retries = 0
         self.failures = 0
         self._stop = threading.Event()
+        self._finished = False
         self._beat: threading.Thread | None = None
         if heartbeat_s is not None and heartbeat_s > 0:
             self._beat = threading.Thread(
@@ -117,11 +141,13 @@ class ProgressTracker:
         if self._beat is not None:
             self._beat.start()
 
-    def job_done(self, label: str, slots: float = 0.0, cached: bool = False) -> None:
-        """One job finished (called from any thread)."""
+    def job_done(
+        self, label: str, slots: float | None = 0.0, cached: bool = False
+    ) -> None:
+        """One job finished (called from any thread; ``slots=None`` = 0)."""
         with self._lock:
             self.completed += 1
-            self.slots += float(slots)
+            self.slots += float(slots or 0.0)
             if cached:
                 self.cache_hits += 1
             event = self._event("job", label=label)
@@ -143,9 +169,24 @@ class ProgressTracker:
         self._emit(event)
 
     def finish(self) -> None:
+        """Stop the heartbeat and emit the final "done" event (idempotent).
+
+        Ordering matters: ``_stop`` is set *before* the join, and the
+        join carries a timeout, so a heartbeat thread stuck inside a
+        blocking sink (a dead TTY, a wedged pipe) can never hang
+        ``finish`` — and since the thread is a daemon, it can never hang
+        interpreter exit either.
+        """
+        if self._finished:
+            return
+        self._finished = True
         self._stop.set()
         if self._beat is not None and self._beat.is_alive():
             self._beat.join(timeout=1.0)
+            if self._beat.is_alive():
+                # Still wedged in its sink: disable the sink so the
+                # "done" emission below cannot block on it too.
+                self._sink = None
         with self._lock:
             event = self._event("done")
         self._emit(event)
@@ -211,6 +252,37 @@ class ProgressTracker:
 # -- render sinks ----------------------------------------------------------
 
 
+#: Block glyphs for :func:`sparkline`, lowest to highest.
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """A unicode sparkline of ``values`` (most recent ``width`` points).
+
+    Scales the window to its own min/max (a flat series renders as the
+    lowest glyph); non-finite values render as spaces.  Used by the
+    ``repro watch`` dashboard to plot ``GET /series`` ring buffers.
+    """
+    tail = [float(v) for v in list(values)[-max(1, int(width)):]]
+    if not tail:
+        return ""
+    finite = [v for v in tail if v == v and abs(v) != float("inf")]
+    if not finite:
+        return " " * len(tail)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    top = len(_SPARK_GLYPHS) - 1
+    out = []
+    for v in tail:
+        if not (v == v and abs(v) != float("inf")):
+            out.append(" ")
+        elif span <= 0:
+            out.append(_SPARK_GLYPHS[0])
+        else:
+            out.append(_SPARK_GLYPHS[round((v - lo) / span * top)])
+    return "".join(out)
+
+
 class TtyProgress:
     """A single carriage-return status line on a terminal."""
 
@@ -218,7 +290,8 @@ class TtyProgress:
         self.stream = stream if stream is not None else sys.stderr
         self.width = width
 
-    def __call__(self, event: ProgressEvent) -> None:
+    def format(self, event: ProgressEvent) -> str:
+        """The status-line text for one event (no terminal control)."""
         parts = [f"[{event.completed:>3}/{event.total}]"]
         if event.slots_per_sec > 0:
             parts.append(f"{event.slots_per_sec / 1000:.1f}k slots/s")
@@ -232,7 +305,10 @@ class TtyProgress:
             parts.append(f"{event.failures} FAILED")
         if event.label:
             parts.append(event.label)
-        line = " · ".join(parts)[: self.width]
+        return " · ".join(parts)[: self.width]
+
+    def __call__(self, event: ProgressEvent) -> None:
+        line = self.format(event)
         self.stream.write("\r" + line.ljust(self.width))
         if event.kind == "done":
             self.stream.write("\n")

@@ -22,6 +22,7 @@ allocation ladder.
 from __future__ import annotations
 
 import math
+import threading
 
 
 def bucket_percentile(
@@ -138,16 +139,22 @@ class Histogram:
         return bucket_percentile(self.buckets, self.count, q, maximum=self.max)
 
     def as_dict(self) -> dict:
-        """JSON-ready summary (buckets keyed by their upper bound)."""
+        """JSON-ready summary (buckets keyed by their upper bound).
+
+        Snapshots buckets through an atomic ``list()`` copy so a
+        concurrent ``observe`` creating a new bucket cannot raise
+        mid-iteration (see the registry's thread-safety contract).
+        """
+        count = self.count
         return {
-            "count": self.count,
+            "count": count,
             "total": self.total,
             "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min if count else 0.0,
+            "max": self.max if count else 0.0,
             "buckets": {
                 f"{bound:g}": hits
-                for bound, hits in sorted(self.buckets.items())
+                for bound, hits in sorted(list(self.buckets.items()))
             },
         }
 
@@ -199,7 +206,23 @@ _NULL_HISTOGRAM = _NullHistogram()
 
 
 class MetricsRegistry:
-    """Named counters, gauges, and histograms, created on first use."""
+    """Named counters, gauges, and histograms, created on first use.
+
+    Thread-safety contract (the live-observatory reader side):
+
+    * Instrument mutation (``inc``/``set``/``observe``) is lock-free —
+      the hot loops pay no synchronization, relying on the GIL's
+      per-bytecode atomicity.  Individual reads may therefore observe a
+      value mid-update-sequence (e.g. a gauge's ``value`` before its
+      ``max``), but never a torn float.
+    * :meth:`snapshot` and :meth:`merge_snapshot` serialize against each
+      other on an internal lock, so a concurrent scrape never observes a
+      half-merged worker shard.  :meth:`snapshot` additionally iterates
+      over atomic ``list()`` copies of the instrument dicts, so a hot
+      loop creating a new instrument (or histogram bucket) mid-snapshot
+      cannot raise ``RuntimeError``; the :class:`~repro.obs.series.Sampler`
+      still guards each tick as a belt-and-braces backstop.
+    """
 
     enabled = True
 
@@ -207,6 +230,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._merge_lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
@@ -232,26 +256,34 @@ class MetricsRegistry:
         return instrument.value if instrument is not None else 0.0
 
     def snapshot(self) -> dict:
-        """A JSON-ready dump of every instrument, sorted by name."""
-        return {
-            "counters": {
-                name: self._counters[name].value
-                for name in sorted(self._counters)
-            },
-            "gauges": {
-                name: {
-                    "value": g.value,
-                    "min": g.min if g.updates else 0.0,
-                    "max": g.max if g.updates else 0.0,
-                    "updates": g.updates,
-                }
-                for name, g in sorted(self._gauges.items())
-            },
-            "histograms": {
-                name: self._histograms[name].as_dict()
-                for name in sorted(self._histograms)
-            },
-        }
+        """A JSON-ready dump of every instrument, sorted by name.
+
+        Serialized against :meth:`merge_snapshot` (never observes a
+        half-merged shard) and race-tolerant against concurrent hot-loop
+        mutation via atomic ``list()`` copies.
+        """
+        with self._merge_lock:
+            return {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(list(self._counters.items()))
+                },
+                "gauges": {
+                    name: {
+                        "value": g.value,
+                        "min": g.min if g.updates else 0.0,
+                        "max": g.max if g.updates else 0.0,
+                        "updates": g.updates,
+                    }
+                    for name, g in sorted(list(self._gauges.items()))
+                },
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in sorted(
+                        list(self._histograms.items())
+                    )
+                },
+            }
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
@@ -261,9 +293,21 @@ class MetricsRegistry:
         last value while widening the observed range, histogram buckets
         add.  Malformed sections are skipped rather than raising — a
         telemetry merge must never fail a batch.
+
+        Holds the registry lock for the whole fold, so a concurrent
+        :meth:`snapshot` (e.g. a live ``GET /metrics`` scrape) sees each
+        worker shard either fully merged or not at all.  Counters,
+        histogram fields, and gauge min/max/updates are commutative
+        across shards; only a gauge's last ``value`` is order-dependent —
+        :meth:`refold_gauge_values` restores determinism for those after
+        an out-of-order (completion-time) merge pass.
         """
         if not isinstance(snapshot, dict):
             return
+        with self._merge_lock:
+            self._merge_locked(snapshot)
+
+    def _merge_locked(self, snapshot: dict) -> None:
         for name, value in (snapshot.get("counters") or {}).items():
             try:
                 amount = float(value)
@@ -304,6 +348,31 @@ class MetricsRegistry:
             except (TypeError, ValueError):
                 continue
 
+    def refold_gauge_values(self, snapshot: dict) -> None:
+        """Re-assert the gauge last-values a snapshot carries — only those.
+
+        The batch runner merges worker snapshots live, in completion
+        order, so a mid-run scrape sees them immediately.  That is safe
+        for every commutative field, but a gauge's last ``value`` then
+        depends on completion order.  Calling this once per snapshot in
+        submission (seq) order after the batch finishes re-sets exactly
+        those values — no counter/histogram/min/max/updates changes, so
+        nothing is double-counted — and the final registry state is
+        byte-identical to the old end-only submission-order merge.
+        """
+        if not isinstance(snapshot, dict):
+            return
+        with self._merge_lock:
+            for name, raw in (snapshot.get("gauges") or {}).items():
+                if not isinstance(raw, dict):
+                    continue
+                try:
+                    if int(raw.get("updates", 0)) <= 0:
+                        continue
+                    self.gauge(name).value = float(raw.get("value", 0.0))
+                except (TypeError, ValueError):
+                    continue
+
 
 class NullRegistry:
     """The telemetry-off registry: every instrument is a shared no-op."""
@@ -326,6 +395,9 @@ class NullRegistry:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
     def merge_snapshot(self, snapshot: dict) -> None:
+        pass
+
+    def refold_gauge_values(self, snapshot: dict) -> None:
         pass
 
 

@@ -1,0 +1,254 @@
+"""Bounded ring-buffer time series and the background registry sampler.
+
+The metrics registry is a *current-state* store: counters only ever hold
+their cumulative total, gauges their last value.  The live observatory
+(:mod:`repro.obs.live`) needs *history* — slots/sec over the last minute,
+queue depth as the run breathes — without unbounded memory.  This module
+provides it:
+
+* :class:`Series` — one named ring buffer of ``(t, value)`` points
+  (``collections.deque`` with a fixed ``maxlen``), so memory is bounded
+  no matter how long the run lives.
+* :class:`SeriesStore` — a thread-safe, bounded collection of series,
+  JSON-ready via :meth:`~SeriesStore.as_dict` (what ``GET /series``
+  returns).
+* :class:`Sampler` — a daemon thread snapshotting a registry every
+  ``interval_s`` seconds into the store.  **Delta-vs-cumulative
+  handling**: counters (and histogram counts) are cumulative, so the
+  sampler records their per-second *rate* between consecutive ticks
+  (``kind="rate"``); gauges are recorded as-is (``kind="gauge"``).  A
+  derived ``slots_per_sec`` series sums the rates of every counter
+  ending in ``.slots`` — the same fold the progress layer uses.
+
+Thread-safety contract (see also :class:`~repro.obs.registry
+.MetricsRegistry`): ``snapshot()`` serializes against ``merge_snapshot``
+on the registry's internal lock and iterates atomic copies, so a sample
+tick never observes a half-merged worker shard and never raises against
+hot-loop instrument creation.  Each tick is still wrapped in a broad
+guard — a failed tick is *skipped and counted* (``Sampler.skipped``),
+never propagated, because sampling must not be able to fail a run.
+
+The sampler is strictly observational: it only reads the registry and
+writes its own store, so simulation traces stay byte-identical with a
+sampler attached or not.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+#: Default seconds between sampler ticks.
+DEFAULT_INTERVAL_S = 0.5
+
+#: Default ring-buffer capacity per series (points, not seconds).  At the
+#: default interval this spans 5 minutes of history in ~10 KB per series.
+DEFAULT_POINTS = 600
+
+
+class Series:
+    """One named, bounded time series of ``(t, value)`` points."""
+
+    __slots__ = ("name", "kind", "_points")
+
+    def __init__(self, name: str, kind: str = "gauge", maxlen: int = DEFAULT_POINTS):
+        self.name = name
+        self.kind = kind  # "gauge" (sampled value) | "rate" (per-second delta)
+        self._points: deque = deque(maxlen=maxlen)
+
+    def append(self, t: float, value: float) -> None:
+        self._points.append((float(t), float(value)))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def maxlen(self) -> int:
+        return self._points.maxlen
+
+    def points(self, last: int | None = None) -> list[tuple[float, float]]:
+        """The retained points, oldest first (optionally only the tail)."""
+        pts = list(self._points)
+        if last is not None and last >= 0:
+            pts = pts[-last:]
+        return pts
+
+    def values(self, last: int | None = None) -> list[float]:
+        return [v for _, v in self.points(last)]
+
+    def as_dict(self, last: int | None = None) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "maxlen": self.maxlen,
+            "points": [[t, v] for t, v in self.points(last)],
+        }
+
+
+class SeriesStore:
+    """A thread-safe, bounded collection of named :class:`Series`.
+
+    ``max_series`` caps the number of distinct series (a run emitting an
+    unbounded set of metric names cannot grow the store without bound);
+    once full, unknown names are silently dropped and counted.
+    """
+
+    def __init__(self, maxlen: int = DEFAULT_POINTS, max_series: int = 256):
+        self.maxlen = int(maxlen)
+        self.max_series = int(max_series)
+        self.dropped_series = 0
+        self._series: dict[str, Series] = {}
+        self._lock = threading.Lock()
+
+    def record(self, name: str, t: float, value: float, kind: str = "gauge") -> None:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                if len(self._series) >= self.max_series:
+                    self.dropped_series += 1
+                    return
+                series = self._series[name] = Series(
+                    name, kind=kind, maxlen=self.maxlen
+                )
+            series.append(t, value)
+
+    def series(self, name: str) -> Series | None:
+        with self._lock:
+            return self._series.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+    def as_dict(
+        self, names: list[str] | None = None, last: int | None = None
+    ) -> dict:
+        """JSON-ready dump: ``{"series": {name: {...}}}``, sorted by name."""
+        with self._lock:
+            held = dict(self._series)
+        if names is not None:
+            held = {name: s for name, s in held.items() if name in set(names)}
+        return {
+            "series": {
+                name: held[name].as_dict(last) for name in sorted(held)
+            }
+        }
+
+
+class Sampler:
+    """A background thread sampling a registry into a :class:`SeriesStore`.
+
+    Use either as a thread (:meth:`start` / :meth:`stop`, or the context
+    manager) or manually via :meth:`sample_once` with an explicit
+    timestamp (deterministic tests).  Per tick it records:
+
+    * one ``rate`` series per counter — the per-second increase since the
+      previous tick (cumulative totals de-cumulated; a first tick only
+      establishes the baseline);
+    * one ``gauge`` series per gauge — the sampled last value;
+    * one ``rate`` series per histogram, named ``<name>.count`` — the
+      per-second observation rate;
+    * the derived ``slots_per_sec`` gauge series over all ``*.slots``
+      counters.
+    """
+
+    def __init__(
+        self,
+        registry,
+        store: SeriesStore | None = None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        clock=time.monotonic,
+    ):
+        self.registry = registry
+        self.store = store if store is not None else SeriesStore()
+        self.interval_s = float(interval_s)
+        self._clock = clock
+        self._last_t: float | None = None
+        self._last_counters: dict[str, float] = {}
+        self.ticks = 0
+        self.skipped = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- one tick ----------------------------------------------------------
+
+    def sample_once(self, now: float | None = None) -> bool:
+        """Take one sample; returns False when the tick was skipped.
+
+        Never raises: any error (including a racing registry mutation
+        slipping past the registry's own defenses) skips the tick and
+        increments :attr:`skipped`.
+        """
+        now = self._clock() if now is None else float(now)
+        try:
+            snapshot = self.registry.snapshot()
+            self._fold(snapshot, now)
+        except Exception:
+            self.skipped += 1
+            return False
+        self.ticks += 1
+        return True
+
+    def _fold(self, snapshot: dict, now: float) -> None:
+        store = self.store
+        last_t = self._last_t
+        dt = now - last_t if last_t is not None else None
+        counters = dict(snapshot.get("counters") or {})
+        for name, raw in (snapshot.get("histograms") or {}).items():
+            if isinstance(raw, dict):
+                counters[f"{name}.count"] = float(raw.get("count", 0))
+
+        slots_delta = 0.0
+        for name, value in counters.items():
+            value = float(value)
+            previous = self._last_counters.get(name)
+            if dt is not None and dt > 0 and previous is not None:
+                delta = max(value - previous, 0.0)
+                store.record(name, now, delta / dt, kind="rate")
+                if name.endswith(".slots"):
+                    slots_delta += delta
+            self._last_counters[name] = value
+
+        for name, raw in (snapshot.get("gauges") or {}).items():
+            if isinstance(raw, dict):
+                store.record(name, now, float(raw.get("value", 0.0)))
+
+        if dt is not None and dt > 0:
+            store.record("slots_per_sec", now, slots_delta / dt)
+        self._last_t = now
+
+    # -- the thread --------------------------------------------------------
+
+    def start(self) -> "Sampler":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        # Baseline tick first, so the second tick already yields rates.
+        self.sample_once()
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    def stop(self) -> None:
+        """Stop the thread (final sample included); safe to call twice."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2.0)
+        self._thread = None
+
+    def __enter__(self) -> "Sampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

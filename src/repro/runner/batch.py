@@ -553,9 +553,22 @@ def _run_pool(
         if cache is not None and job.kind == "point":
             _guarded(cache.store_json, "shards", job.key, payload)
 
+    # Fold worker telemetry into the parent registry *as shards
+    # complete*, so a live scrape (``--serve``) sees counters move
+    # mid-sweep.  Completion order is safe for every commutative field
+    # (counters add, histogram buckets add, gauge ranges widen); only a
+    # gauge's last value is order-dependent, which the refold pass below
+    # re-asserts in submission order once the sweep is done.
+    parent_registry = get_telemetry().registry
+
+    def on_snapshot(job: Job, snapshot: dict | None) -> None:
+        if snapshot is not None:
+            parent_registry.merge_snapshot(snapshot)
+            report.worker_snapshots += 1
+
     results, failed, stats = run_resilient(
         work, submit, policy, max_workers=jobs,
-        tracker=tracker, on_success=on_success,
+        tracker=tracker, on_success=on_success, on_snapshot=on_snapshot,
     )
     report.failed.extend(failed)
     report.retries += stats.retries
@@ -564,16 +577,15 @@ def _run_pool(
     report.corrupt_payloads += stats.corrupt_payloads
     report.pool_rebuilds += stats.pool_rebuilds
 
-    # Fold worker telemetry in submission (seq) order — deterministic.
-    parent_registry = get_telemetry().registry
+    # Deterministic gauge refold in submission (seq) order: the final
+    # registry state is byte-identical to the old end-only merge.
     for job in work:
         hit = results.get(job.key)
         if hit is None:
             continue
         _, snapshot = hit
         if snapshot is not None:
-            parent_registry.merge_snapshot(snapshot)
-            report.worker_snapshots += 1
+            parent_registry.refold_gauge_values(snapshot)
 
     def payload_for(key: str) -> dict | None:
         if key in reused:

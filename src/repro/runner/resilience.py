@@ -516,6 +516,7 @@ def run_resilient(
     max_workers: int,
     tracker=None,
     on_success=None,
+    on_snapshot=None,
     clock=time.monotonic,
     sleep=time.sleep,
 ) -> tuple[dict[str, tuple[dict, dict | None]], list[FailedShard], ResilienceStats]:
@@ -527,9 +528,13 @@ def run_resilient(
     ``(payload, snapshot)`` for every shard that eventually succeeded,
     ``failed`` lists quarantined shards, and ``stats`` counts recovery
     events.  ``on_success(job, payload)`` fires once per success (cache
-    and journal writes); ``tracker`` receives ``job_done`` / ``job_retry``
-    / ``job_failed``.  Both are guarded: their errors are counted and
-    warned, never raised.
+    and journal writes); ``on_snapshot(job, snapshot)`` fires once per
+    success *at completion time* with the worker's telemetry snapshot —
+    the live-observatory hook that lets the batch layer fold worker
+    metrics into the parent registry while the sweep is still running;
+    ``tracker`` receives ``job_done`` / ``job_retry`` / ``job_failed``.
+    All three are guarded: their errors are counted and warned, never
+    raised.
 
     On any interrupt (``KeyboardInterrupt`` — including SIGTERM converted
     by :func:`signal_guard` — or a strict-mode abort) the pool is killed
@@ -648,6 +653,8 @@ def run_resilient(
                     fail_or_retry(flight, exc)
                 else:
                     results[flight.job.key] = (payload, snapshot)
+                    if on_snapshot is not None:
+                        _guarded(on_snapshot, flight.job, snapshot)
                     if on_success is not None:
                         _guarded(on_success, flight.job, payload)
                     if tracker is not None:

@@ -60,6 +60,7 @@ from repro.core.prioritytier import PriorityTierAllocator
 from repro.core.single_session import SingleSessionOnline
 from repro.errors import ConfigError, SimulationError
 from repro.network.queue import EPSILON, BitQueue
+from repro.obs.runtime import get_telemetry
 from repro.sim.recorder import (
     MultiSessionRecorder,
     MultiSessionTrace,
@@ -358,6 +359,12 @@ class EngineState:
         if chunk.size:
             self._array = np.concatenate((self._array, chunk))
             self._values.extend(chunk.tolist())
+            tele = get_telemetry()
+            if tele.enabled:
+                tele.registry.counter("engine.stream.fed_slots").inc(chunk.size)
+                tele.registry.gauge("engine.stream.horizon").set(
+                    float(len(self._values))
+                )
 
     def close(self) -> None:
         """No further arrivals: fixes the horizon and arms the drain cap."""
@@ -455,6 +462,15 @@ class EngineState:
         finally:
             self.t = t
             self._cooldown = cooldown
+            # Live-observatory surface: one guarded emission per step()
+            # call (never per slot), so the hot loop stays untouched and
+            # a telemetry-off run pays one attribute check.
+            tele = get_telemetry()
+            if tele.enabled and processed:
+                registry = tele.registry
+                registry.counter("engine.stream.slots_advanced").inc(processed)
+                registry.gauge("engine.stream.t").set(float(t))
+                registry.gauge("engine.stream.backlog").set(queue.size)
         return processed
 
     def _bulk(self, t: int, budget: int) -> int:
@@ -645,6 +661,16 @@ class MultiEngineState:
                 processed += 1
         finally:
             self.t = t
+            tele = get_telemetry()
+            if tele.enabled and processed:
+                registry = tele.registry
+                registry.counter("engine.stream.multi.slots_advanced").inc(
+                    processed
+                )
+                registry.gauge("engine.stream.multi.t").set(float(t))
+                registry.gauge("engine.stream.multi.backlog").set(
+                    policy.total_backlog
+                )
         return processed
 
     def _bulk(self, t: int, budget: int) -> int:

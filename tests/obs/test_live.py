@@ -1,0 +1,233 @@
+"""The live observatory: HTTP endpoints, spec parsing, bit-identity."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.single_session import SingleSessionOnline
+from repro.errors import ConfigError
+from repro.obs import telemetry_session
+from repro.obs.export import parse_openmetrics
+from repro.obs.live import (
+    DEFAULT_HOST,
+    LiveObservatory,
+    TelemetryServer,
+    parse_serve,
+    serve_session,
+    start_observatory,
+)
+from repro.obs.progress import ProgressEvent
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import DISABLED
+from repro.obs.series import Sampler
+from repro.sim.engine import run_single_session
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+def _get_json(url: str) -> dict:
+    _, _, body = _get(url)
+    return json.loads(body)
+
+
+class TestParseServe:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("8080", (DEFAULT_HOST, 8080)),
+            (":8080", (DEFAULT_HOST, 8080)),
+            ("0.0.0.0:9", ("0.0.0.0", 9)),
+            ("localhost:0", ("localhost", 0)),
+            (" :0 ", (DEFAULT_HOST, 0)),
+        ],
+    )
+    def test_accepted_specs(self, spec, expected):
+        assert parse_serve(spec) == expected
+
+    @pytest.mark.parametrize("spec", ["", "host:", "nope", "host:port", "1:2:x"])
+    def test_rejected_specs(self, spec):
+        with pytest.raises(ConfigError):
+            parse_serve(spec)
+
+    def test_port_range_checked(self):
+        with pytest.raises(ConfigError):
+            parse_serve(":70000")
+
+
+class TestTelemetryServer:
+    def test_metrics_round_trips_and_ends_with_eof(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs.done").inc(3)
+        registry.gauge("depth").set(2.5)
+        registry.histogram("lat").observe(4.0)
+        with TelemetryServer(registry, port=0) as server:
+            status, content_type, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert "openmetrics-text" in content_type
+        text = body.decode()
+        assert text.endswith("# EOF\n")
+        parsed = parse_openmetrics(text)
+        assert parsed["counters"]["repro_jobs_done"] == 3.0
+        assert parsed["gauges"]["repro_depth"] == 2.5
+        assert parsed["histograms"]["repro_lat"]["count"] == 1
+
+    def test_health_reports_label_and_sampler(self):
+        registry = MetricsRegistry()
+        sampler = Sampler(registry, interval_s=0.01)
+        sampler.sample_once(now=0.0)
+        with TelemetryServer(
+            registry, sampler=sampler, port=0, label="unit"
+        ) as server:
+            payload = _get_json(server.url + "/health")
+        assert payload["status"] == "ok"
+        assert payload["label"] == "unit"
+        assert payload["uptime_s"] >= 0.0
+        assert payload["sampler"]["ticks"] == 1
+
+    def test_series_endpoint_serves_sampler_store(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        sampler = Sampler(registry)
+        sampler.sample_once(now=0.0)
+        sampler.sample_once(now=1.0)
+        with TelemetryServer(registry, sampler=sampler, port=0) as server:
+            payload = _get_json(server.url + "/series")
+            only_g = _get_json(server.url + "/series?name=g&last=1")
+        assert payload["series"]["g"]["points"] == [[0.0, 1.0], [1.0, 1.0]]
+        assert only_g["series"]["g"]["points"] == [[1.0, 1.0]]
+        assert set(only_g["series"]) == {"g"}
+
+    def test_progress_endpoint_publishes_latest_event(self):
+        with TelemetryServer(MetricsRegistry(), port=0) as server:
+            empty = _get_json(server.url + "/progress")
+            event = ProgressEvent(kind="job", completed=2, total=7, label="x")
+            server.publish_progress(event)
+            latest = _get_json(server.url + "/progress")
+        assert empty == {}
+        assert latest["completed"] == 2
+        assert latest["total"] == 7
+        assert ProgressEvent.from_dict(latest).label == "x"
+
+    def test_unknown_path_is_404_with_directory(self):
+        with TelemetryServer(MetricsRegistry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+        listing = json.loads(excinfo.value.read())
+        assert "/metrics" in listing["paths"]
+
+    def test_telemetry_off_serves_empty_exposition(self):
+        # The short-circuit: with telemetry off the shared no-op registry
+        # backs the server and the exposition is empty-but-valid.
+        with TelemetryServer(DISABLED.registry, port=0) as server:
+            _, _, body = _get(server.url + "/metrics")
+        text = body.decode()
+        assert text.endswith("# EOF\n")
+        parsed = parse_openmetrics(text)
+        assert parsed == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_stop_is_idempotent_and_frees_the_port(self):
+        server = TelemetryServer(MetricsRegistry(), port=0).start()
+        url = server.url
+        server.stop()
+        server.stop()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            _get(url + "/health")
+
+
+class TestLiveObservatory:
+    def test_bundles_sampler_and_server(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(4.0)
+        with LiveObservatory(registry, interval_s=0.01) as obs:
+            import time
+
+            for _ in range(300):
+                if obs.sampler.ticks >= 2:
+                    break
+                time.sleep(0.01)
+            payload = _get_json(obs.url + "/series")
+        assert obs.sampler.ticks >= 2
+        assert payload["series"]["g"]["points"]
+
+    def test_progress_tee_publishes_and_forwards(self):
+        seen = []
+        registry = MetricsRegistry()
+        with LiveObservatory(registry) as obs:
+            tee = obs.progress_tee(seen.append)
+            tee(ProgressEvent(kind="job", completed=1, total=2))
+            latest = _get_json(obs.url + "/progress")
+        assert [e.completed for e in seen] == [1]
+        assert latest["completed"] == 1
+
+    def test_progress_tee_without_sink_still_publishes(self):
+        with LiveObservatory(MetricsRegistry()) as obs:
+            tee = obs.progress_tee(None)
+            tee(ProgressEvent(kind="job", completed=3, total=3))
+            latest = _get_json(obs.url + "/progress")
+        assert latest["completed"] == 3
+
+    def test_start_observatory_parses_spec(self):
+        obs = start_observatory(":0", MetricsRegistry(), label="spec")
+        try:
+            assert _get_json(obs.url + "/health")["label"] == "spec"
+        finally:
+            obs.stop()
+
+
+class TestServeSession:
+    def test_none_spec_is_a_noop(self):
+        with serve_session(None) as obs:
+            assert obs is None
+
+    def test_enables_telemetry_for_the_duration(self, capsys):
+        from repro.obs.runtime import get_telemetry
+
+        assert not get_telemetry().enabled
+        with serve_session(":0", label="t") as obs:
+            assert get_telemetry().enabled
+            assert _get_json(obs.url + "/health")["label"] == "t"
+        assert not get_telemetry().enabled
+        assert "serving telemetry at http://" in capsys.readouterr().err
+
+    def test_reuses_an_active_session(self):
+        with telemetry_session() as tele:
+            tele.registry.counter("pre.existing").inc(5)
+            with serve_session(":0") as obs:
+                parsed = parse_openmetrics(
+                    _get(obs.url + "/metrics")[2].decode()
+                )
+        assert parsed["counters"]["repro_pre_existing"] == 5.0
+
+
+class TestBitIdentityWithServer:
+    def test_trace_identical_with_observatory_attached(self):
+        # Extends the PR-2 on/off identity bar: a live server + sampler
+        # scraping mid-run must not perturb the simulation either.
+        arrivals = np.random.default_rng(5).poisson(6, size=1500).astype(float)
+
+        def policy():
+            return SingleSessionOnline(
+                max_bandwidth=64,
+                offline_delay=8,
+                offline_utilization=0.25,
+                window=16,
+            )
+
+        baseline = run_single_session(policy(), arrivals)
+        with telemetry_session() as tele:
+            with LiveObservatory(tele.registry, interval_s=0.01) as obs:
+                _get(obs.url + "/metrics")  # scrape before ...
+                observed = run_single_session(policy(), arrivals)
+                _get(obs.url + "/metrics")  # ... and after the run
+        np.testing.assert_array_equal(baseline.allocation, observed.allocation)
+        np.testing.assert_array_equal(baseline.delivered, observed.delivered)
+        np.testing.assert_array_equal(baseline.backlog, observed.backlog)
+        assert baseline.changes == observed.changes
+        assert baseline.delay_histogram == observed.delay_histogram

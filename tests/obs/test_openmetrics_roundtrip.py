@@ -1,0 +1,134 @@
+"""Property: ``parse_openmetrics`` inverts ``render_openmetrics``.
+
+The exposition is keyed by *exported* (sanitized, prefixed) family names
+and gauges fan out into ``_min``/``_max`` companion families, so the
+round trip is semantic rather than literal: every instrument in the
+snapshot must be recoverable — exactly — from the parsed text.  The
+strategies deliberately include the values that used to break the
+formatter: ``inf`` / ``-inf`` / ``NaN`` gauges (the ABNF spells NaN
+``NaN``, not ``nan``), floats needing more than ``%g``'s six significant
+digits, and zero-count histograms (whose only bucket line is the
+synthetic ``+Inf``).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import (
+    openmetrics_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from repro.obs.registry import MetricsRegistry
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+# Name tails draw on a tiny alphabet (plus dots, the registry's namespace
+# separator) that cannot spell the reserved sample suffixes (_total,
+# _min, _max, _sum, _count, _bucket), so generated families never collide
+# with a companion or suffixed sample of another generated family.
+_tails = st.text(alphabet="abcd.", min_size=0, max_size=6)
+
+_counter_values = st.floats(
+    min_value=0.0, max_value=1e18, allow_nan=False, allow_infinity=False
+)
+_gauge_values = st.floats(allow_nan=True, allow_infinity=True, width=64)
+# Bounded so the power-of-two bucketing (2.0 ** ceil(log2 v)) cannot
+# overflow, and finite: observing inf would create a real le="+Inf"
+# bucket colliding with the synthetic one.
+_observations = st.floats(
+    min_value=-1e300, max_value=1e300, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def registries(draw):
+    registry = MetricsRegistry()
+    for i, value in enumerate(draw(st.lists(_counter_values, max_size=4))):
+        registry.counter(f"c{i}.{draw(_tails)}").inc(value)
+    gauge_histories = draw(
+        st.lists(st.lists(_gauge_values, max_size=3), max_size=4)
+    )
+    for i, history in enumerate(gauge_histories):
+        gauge = registry.gauge(f"g{i}.{draw(_tails)}")  # may stay untouched
+        for value in history:
+            gauge.set(value)
+    histogram_histories = draw(
+        st.lists(st.lists(_observations, max_size=5), max_size=4)
+    )
+    for i, history in enumerate(histogram_histories):
+        histogram = registry.histogram(f"h{i}.{draw(_tails)}")  # may be empty
+        for value in history:
+            histogram.observe(value)
+    return registry
+
+
+def _same(a: float, b: float) -> bool:
+    return a == b or (a != a and b != b)  # NaN-aware equality
+
+
+@_SETTINGS
+@given(registry=registries())
+def test_parse_inverts_render(registry):
+    snapshot = registry.snapshot()
+    text = render_openmetrics(snapshot)
+    assert text.endswith("# EOF\n")
+    parsed = parse_openmetrics(text)
+
+    for name, value in snapshot["counters"].items():
+        assert parsed["counters"][openmetrics_name(name)] == float(value)
+    assert len(parsed["counters"]) == len(snapshot["counters"])
+
+    for name, raw in snapshot["gauges"].items():
+        family = openmetrics_name(name)
+        assert _same(parsed["gauges"][family], float(raw["value"]))
+        if raw["updates"]:
+            assert _same(parsed["gauges"][f"{family}_min"], float(raw["min"]))
+            assert _same(parsed["gauges"][f"{family}_max"], float(raw["max"]))
+        else:
+            # Untouched gauges export no companions.
+            assert f"{family}_min" not in parsed["gauges"]
+            assert f"{family}_max" not in parsed["gauges"]
+
+    for name, raw in snapshot["histograms"].items():
+        family = openmetrics_name(name)
+        recovered = parsed["histograms"][family]
+        assert recovered["count"] == int(raw["count"])
+        assert recovered["total"] == float(raw["total"])
+        # Bucket bounds come back as the floats the exposition spelled.
+        assert recovered["buckets"] == {
+            float(bound): int(hits) for bound, hits in raw["buckets"].items()
+        }
+    assert len(parsed["histograms"]) == len(snapshot["histograms"])
+
+
+@_SETTINGS
+@given(value=st.floats(allow_nan=True, allow_infinity=True, width=64))
+def test_gauge_value_survives_exactly(value):
+    registry = MetricsRegistry()
+    registry.gauge("g").set(value)
+    parsed = parse_openmetrics(render_openmetrics(registry.snapshot()))
+    assert _same(parsed["gauges"]["repro_g"], value)
+
+
+def test_zero_count_histogram_round_trips():
+    registry = MetricsRegistry()
+    registry.histogram("empty")  # created, never observed
+    text = render_openmetrics(registry.snapshot())
+    assert 'repro_empty_bucket{le="+Inf"} 0' in text
+    parsed = parse_openmetrics(text)
+    assert parsed["histograms"]["repro_empty"] == {
+        "count": 0,
+        "total": 0.0,
+        "buckets": {},
+    }
+
+
+def test_nan_spelled_per_abnf():
+    registry = MetricsRegistry()
+    registry.gauge("g").set(math.nan)
+    text = render_openmetrics(registry.snapshot())
+    assert "repro_g NaN" in text
+    assert "nan" not in text.replace("NaN", "")

@@ -2,6 +2,8 @@
 
 import io
 import json
+import math
+import threading
 import time
 
 from repro.obs.progress import (
@@ -12,6 +14,7 @@ from repro.obs.progress import (
     TtyProgress,
     progress_sink,
     snapshot_slots,
+    sparkline,
 )
 
 
@@ -237,3 +240,92 @@ class TestRenderSinks:
                 return True
 
         assert isinstance(progress_sink("auto", FakeTty()), TtyProgress)
+
+
+class TestBlockingSinkShutdown:
+    def test_finish_returns_despite_wedged_heartbeat_sink(self):
+        """Regression: a sink that blocks forever must not hang finish().
+
+        The heartbeat thread wedges inside the sink; finish() must set
+        the stop flag first, give up on the join after its timeout, and
+        disable the sink so the final "done" emission cannot block too.
+        """
+        entered = threading.Event()
+        release = threading.Event()  # never set: the sink blocks forever
+
+        def blocking_sink(event):
+            if event.kind == "heartbeat":
+                entered.set()
+                release.wait(timeout=30.0)
+
+        tracker = ProgressTracker(5, blocking_sink, heartbeat_s=0.01)
+        tracker.start()
+        assert entered.wait(timeout=5.0), "heartbeat never reached the sink"
+
+        started = time.monotonic()
+        tracker.finish()
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0  # join timeout is 1 s; must not wait for the sink
+        assert tracker._sink is None  # disabled, so "done" couldn't block
+        release.set()  # unwedge the daemon thread before the test exits
+
+    def test_finish_is_idempotent(self):
+        sink = CollectingProgress()
+        tracker = _tracker(1, sink)
+        tracker.start()
+        tracker.job_done("a")
+        tracker.finish()
+        tracker.finish()
+        assert [e.kind for e in sink.events] == ["start", "job", "done"]
+
+    def test_heartbeat_thread_is_a_daemon(self):
+        tracker = ProgressTracker(1, lambda e: None, heartbeat_s=60.0)
+        assert tracker._beat is not None and tracker._beat.daemon
+
+
+class TestEventRoundTrip:
+    def test_from_dict_inverts_as_dict(self):
+        event = ProgressEvent(
+            kind="job",
+            completed=3,
+            total=9,
+            label="E-T6[2]",
+            elapsed_s=1.5,
+            slots=4200.0,
+            slots_per_sec=2800.0,
+            eta_s=3.0,
+            cache_hits=1,
+            retries=2,
+            failures=1,
+        )
+        rebuilt = ProgressEvent.from_dict(event.as_dict())
+        assert rebuilt == event
+
+    def test_from_dict_none_eta_and_defaults(self):
+        assert ProgressEvent.from_dict({}).kind == "heartbeat"
+        assert ProgressEvent.from_dict({"eta_s": None}).eta_s is None
+        rebuilt = ProgressEvent.from_dict({"kind": "done", "eta_s": 2})
+        assert rebuilt.eta_s == 2.0
+
+    def test_from_dict_ignores_unknown_keys(self):
+        rebuilt = ProgressEvent.from_dict({"kind": "job", "mystery": 1})
+        assert rebuilt.kind == "job"
+
+
+class TestSparkline:
+    def test_maps_window_to_glyph_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series_is_lowest_glyph(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_tail_window(self):
+        assert len(sparkline(range(100), width=8)) == 8
+
+    def test_empty_and_non_finite(self):
+        assert sparkline([]) == ""
+        assert sparkline([math.nan, math.inf]) == "  "
+        assert sparkline([1.0, math.nan, 2.0]) == "▁ █"

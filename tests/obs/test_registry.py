@@ -7,6 +7,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    bucket_percentile,
 )
 
 
@@ -111,3 +112,51 @@ class TestNullRegistry:
 
     def test_module_singleton(self):
         assert NULL_REGISTRY.counter("x") is NullRegistry().counter("y")
+
+
+class TestPercentileEdges:
+    """Nearest-rank quantiles on degenerate histograms, pinned to numpy.
+
+    ``bucket_percentile`` claims equivalence with numpy's
+    ``inverted_cdf`` quantile whenever every observation sits on a bucket
+    boundary; the empty and single-observation histograms are the edge
+    cases of that claim (rank clamps to 1, clamp-to-max kicks in).
+    """
+
+    def test_empty_histogram_every_quantile_is_zero(self):
+        histogram = Histogram("h")
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.percentile(q) == 0.0
+        assert bucket_percentile({}, 0, 0.5) == 0.0
+
+    def test_single_observation_every_quantile_is_it(self):
+        import numpy as np
+
+        for value in (0.0, 0.75, 1.0, 3.0, 1024.0):
+            histogram = Histogram("h")
+            histogram.observe(value)
+            for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+                expected = float(
+                    np.quantile([value], q, method="inverted_cdf")
+                )
+                # The bucket bound over-estimates by up to 2x, but the
+                # clamp to the observed max makes a single observation
+                # exact at every rank — matching inverted_cdf.
+                assert histogram.percentile(q) == expected == value
+
+    def test_boundary_observations_match_inverted_cdf(self):
+        import numpy as np
+
+        data = [1.0, 2.0, 4.0, 8.0, 16.0, 16.0, 32.0]
+        histogram = Histogram("h")
+        for value in data:
+            histogram.observe(value)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            expected = float(np.quantile(data, q, method="inverted_cdf"))
+            assert histogram.percentile(q) == expected
+
+    def test_q_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            bucket_percentile({2.0: 1}, 1, 1.5)

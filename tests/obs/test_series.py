@@ -1,0 +1,148 @@
+"""The sampler's ring-buffer time series: bounds, rates, resilience."""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.series import (
+    DEFAULT_POINTS,
+    Sampler,
+    Series,
+    SeriesStore,
+)
+
+
+class TestSeries:
+    def test_ring_buffer_is_bounded(self):
+        series = Series("s", maxlen=4)
+        for i in range(10):
+            series.append(float(i), float(i * 10))
+        assert len(series) == 4
+        assert series.values() == [60.0, 70.0, 80.0, 90.0]
+        assert series.maxlen == 4
+
+    def test_tail_and_as_dict(self):
+        series = Series("s", kind="rate", maxlen=8)
+        series.append(1.0, 2.0)
+        series.append(2.0, 3.0)
+        assert series.values(last=1) == [3.0]
+        payload = series.as_dict()
+        assert payload["name"] == "s"
+        assert payload["kind"] == "rate"
+        assert payload["points"] == [[1.0, 2.0], [2.0, 3.0]]
+
+    def test_default_capacity(self):
+        assert Series("s").maxlen == DEFAULT_POINTS
+
+
+class TestSeriesStore:
+    def test_record_creates_and_appends(self):
+        store = SeriesStore(maxlen=16)
+        store.record("a", 1.0, 5.0)
+        store.record("a", 2.0, 6.0)
+        assert store.names() == ["a"]
+        assert store.series("a").values() == [5.0, 6.0]
+
+    def test_series_count_is_capped(self):
+        store = SeriesStore(max_series=2)
+        store.record("a", 1.0, 1.0)
+        store.record("b", 1.0, 1.0)
+        store.record("c", 1.0, 1.0)  # over the cap: dropped, counted
+        assert len(store) == 2
+        assert store.series("c") is None
+        assert store.dropped_series == 1
+        # known names still record fine after the cap is hit
+        store.record("a", 2.0, 2.0)
+        assert store.series("a").values() == [1.0, 2.0]
+
+    def test_as_dict_filters_and_tails(self):
+        store = SeriesStore()
+        for t in range(5):
+            store.record("x", float(t), float(t))
+            store.record("y", float(t), 0.0)
+        payload = store.as_dict(names=["x"], last=2)
+        assert set(payload["series"]) == {"x"}
+        assert payload["series"]["x"]["points"] == [[3.0, 3.0], [4.0, 4.0]]
+
+
+class TestSampler:
+    def test_counters_become_rates_gauges_stay_values(self):
+        registry = MetricsRegistry()
+        registry.counter("work.done").inc(10)
+        registry.gauge("depth").set(7.0)
+        sampler = Sampler(registry)
+        assert sampler.sample_once(now=0.0)  # baseline: no rates yet
+        assert sampler.store.series("work.done") is None
+        assert sampler.store.series("depth").values() == [7.0]
+
+        registry.counter("work.done").inc(30)
+        registry.gauge("depth").set(3.0)
+        assert sampler.sample_once(now=2.0)
+        series = sampler.store.series("work.done")
+        assert series.kind == "rate"
+        assert series.values() == [15.0]  # 30 more over 2 s
+        assert sampler.store.series("depth").values() == [7.0, 3.0]
+
+    def test_histogram_counts_sampled_as_rates(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(1.0)
+        sampler = Sampler(registry)
+        sampler.sample_once(now=0.0)  # baseline: count = 1
+        for _ in range(8):
+            registry.histogram("lat").observe(1.0)
+        sampler.sample_once(now=4.0)
+        assert sampler.store.series("lat.count").values() == [2.0]
+
+    def test_slots_per_sec_derived_from_slot_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.single.slots").inc(100)
+        registry.counter("engine.multi.slots").inc(50)
+        registry.counter("other").inc(999)
+        sampler = Sampler(registry)
+        sampler.sample_once(now=0.0)
+        registry.counter("engine.single.slots").inc(20)
+        registry.counter("engine.multi.slots").inc(10)
+        sampler.sample_once(now=1.0)
+        assert sampler.store.series("slots_per_sec").values() == [30.0]
+
+    def test_counter_reset_clamps_to_zero_rate(self):
+        # Cumulative totals never decrease in practice; if one does (a
+        # replaced registry), the rate clamps at 0 rather than going
+        # negative.
+        registry = MetricsRegistry()
+        registry.counter("c").inc(100)
+        sampler = Sampler(registry)
+        sampler.sample_once(now=0.0)
+        registry.counter("c").value = 40.0
+        sampler.sample_once(now=1.0)
+        assert sampler.store.series("c").values() == [0.0]
+
+    def test_failed_tick_is_skipped_and_counted(self):
+        class ExplodingRegistry:
+            def snapshot(self):
+                raise RuntimeError("boom")
+
+        sampler = Sampler(ExplodingRegistry())
+        assert not sampler.sample_once(now=0.0)
+        assert sampler.skipped == 1
+        assert sampler.ticks == 0
+
+        # A healthy registry resumes normal sampling afterwards.
+        sampler.registry = MetricsRegistry()
+        assert sampler.sample_once(now=1.0)
+        assert sampler.ticks == 1
+
+    def test_thread_lifecycle_samples_and_stops(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        with Sampler(registry, interval_s=0.01) as sampler:
+            for _ in range(200):
+                if sampler.ticks >= 3:
+                    break
+                import time
+
+                time.sleep(0.01)
+        assert sampler.ticks >= 3
+        assert len(sampler.store.series("g")) >= 3
+        ticks_after_stop = sampler.ticks
+        import time
+
+        time.sleep(0.05)
+        assert sampler.ticks == ticks_after_stop  # thread really stopped

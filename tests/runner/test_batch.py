@@ -127,6 +127,63 @@ class TestTelemetryMerge:
     def test_null_registry_merge_is_noop(self):
         NullRegistry().merge_snapshot({"counters": {"a": 1.0}})
 
+    def test_refold_makes_gauge_values_order_independent(self):
+        """Completion-order merges + a seq-order refold = deterministic.
+
+        The pool now merges worker snapshots as shards complete (for the
+        live observatory), so the only order-dependent field — a gauge's
+        last value — is re-asserted in submission order afterwards.  Any
+        completion order must then yield the identical final snapshot.
+        """
+        shards = []
+        for value in (3.0, 7.0, 5.0):
+            worker = MetricsRegistry()
+            worker.counter("slots").inc(10.0)
+            worker.gauge("depth").set(value)
+            worker.histogram("lat").observe(value)
+            shards.append(worker.snapshot())
+
+        def fold(completion_order):
+            registry = MetricsRegistry()
+            for index in completion_order:  # merge as shards "complete"
+                registry.merge_snapshot(shards[index])
+            for snapshot in shards:  # refold in submission order
+                registry.refold_gauge_values(snapshot)
+            return registry.snapshot()
+
+        import itertools
+
+        baseline = fold((0, 1, 2))
+        assert baseline["gauges"]["depth"]["value"] == 5.0  # last submitted
+        assert baseline["counters"]["slots"] == 30.0
+        for order in itertools.permutations(range(3)):
+            assert fold(order) == baseline
+
+    def test_refold_skips_untouched_gauges_and_garbage(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(2.0)
+        registry.refold_gauge_values(
+            {"gauges": {"g": {"value": 9.0, "updates": 0}}}
+        )
+        assert registry.gauge("g").value == 2.0  # no updates: not refolded
+        registry.refold_gauge_values(None)
+        registry.refold_gauge_values({"gauges": {"g": "nope"}})
+        registry.refold_gauge_values(
+            {"gauges": {"g": {"value": "bad", "updates": 1}}}
+        )
+        assert registry.gauge("g").value == 2.0
+        NullRegistry().refold_gauge_values({"gauges": {}})
+
+    def test_parallel_batch_registry_is_deterministic(self):
+        """Two identical jobs=2 batches leave identical registries."""
+
+        def run():
+            with telemetry_session() as tele:
+                run_batch(["E-T6"], seed=0, scale=SCALE, jobs=2, telemetry=True)
+            return tele.registry.snapshot()
+
+        assert run() == run()
+
 
 class TestReportCli:
     """`repro report` byte-identity across --jobs and cache states."""

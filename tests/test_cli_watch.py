@@ -1,0 +1,110 @@
+"""The ``watch`` subcommand: polling, dashboard rendering, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cli_watch import normalize_url, poll, render_dashboard
+from repro.obs.live import TelemetryServer
+from repro.obs.progress import ProgressEvent
+from repro.obs.registry import MetricsRegistry
+from repro.obs.series import Sampler
+
+
+@pytest.fixture()
+def server():
+    registry = MetricsRegistry()
+    registry.counter("engine.single.slots").inc(100)
+    registry.gauge("engine.stream.backlog").set(4.0)
+    sampler = Sampler(registry)
+    sampler.sample_once(now=0.0)
+    registry.counter("engine.single.slots").inc(50)
+    sampler.sample_once(now=1.0)
+    with TelemetryServer(
+        registry, sampler=sampler, port=0, label="watched"
+    ) as live:
+        yield live
+
+
+class TestNormalizeUrl:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("127.0.0.1:8080", "http://127.0.0.1:8080"),
+            ("http://h:1/", "http://h:1"),
+            ("https://h:1", "https://h:1"),
+            (" h:1 ", "http://h:1"),
+        ],
+    )
+    def test_schemes_and_slashes(self, spec, expected):
+        assert normalize_url(spec) == expected
+
+
+class TestPoll:
+    def test_collects_all_endpoints(self, server):
+        server.publish_progress(
+            ProgressEvent(kind="job", completed=1, total=3, label="E-T6")
+        )
+        observation = poll(server.url)
+        assert observation["health"]["label"] == "watched"
+        assert observation["progress"]["completed"] == 1
+        assert "slots_per_sec" in observation["series"]
+
+    def test_unreachable_is_none(self):
+        assert poll("http://127.0.0.1:1") is None
+
+
+class TestRenderDashboard:
+    def _observation(self, server):
+        server.publish_progress(
+            ProgressEvent(kind="job", completed=2, total=3, label="E-T6")
+        )
+        return poll(server.url)
+
+    def test_shows_health_progress_and_sparklines(self, server):
+        text = render_dashboard(self._observation(server), 8, 16)
+        assert "[ok]" in text and "label=watched" in text
+        assert "[  2/3]" in text and "E-T6" in text
+        assert "slots_per_sec" in text
+        assert "▁" in text  # sparkline glyphs present
+
+    def test_throughput_series_pinned_first(self, server):
+        text = render_dashboard(self._observation(server), 8, 16)
+        lines = [l for l in text.splitlines() if "▁" in l or "█" in l]
+        assert lines and lines[0].startswith("slots_per_sec")
+
+    def test_series_cap_reports_overflow(self, server):
+        text = render_dashboard(self._observation(server), 1, 16)
+        assert "more series" in text
+
+    def test_no_progress_yet(self, server):
+        observation = poll(server.url)
+        assert "(no progress published yet)" in render_dashboard(
+            observation, 8, 16
+        )
+
+
+class TestRunWatch:
+    def test_json_once_emits_one_observation(self, server, capsys):
+        assert main(["watch", server.url, "--json", "--once"]) == 0
+        observation = json.loads(capsys.readouterr().out)
+        assert observation["health"]["status"] == "ok"
+        assert observation["url"] == server.url
+
+    def test_dashboard_once_prints_plainly(self, server, capsys):
+        assert main(["watch", server.url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "label=watched" in out
+        assert "\x1b[" not in out  # no terminal control off-TTY/--once
+
+    def test_unreachable_exits_nonzero(self, capsys):
+        assert main(["watch", "127.0.0.1:1", "--once"]) == 1
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["watch", "h:1"])
+        assert args.url == "h:1"
+        assert args.interval == 1.0
+        assert not args.once and not args.json
+        assert args.series == 8 and args.width == 32
